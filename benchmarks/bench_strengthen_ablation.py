@@ -1,0 +1,149 @@
+"""Experiment E3 (paper §5/§7): the strengthen_M ablation.
+
+The paper's central claim: at quicksort's recursive returns, the link
+between the pivot and the elements of the sorted sublist is lost by the
+AU analysis alone (the summary cannot express permutations), and is
+recovered by strengthening with the AM analysis.  We benchmark the
+strengthening operator on the paper's own §5 instance and assert:
+
+- WITHOUT strengthen_M the '<= pivot' bound on the returned list is lost;
+- WITH strengthen_M it is recovered (both by the direct σ rules and by the
+  Fig. 7 traversal-program infer_M).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.combine import (
+    infer_via_traversal,
+    sigma_m_strengthen,
+)
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+AM = MultisetDomain()
+
+
+def quicksort_return_instance():
+    """The §5 situation at 'left = quicksort(left)':
+
+    known: all elements of the argument list (l) are <= the pivot d;
+    summary link: ms(l') = ms(l)  (the AM summary of quicksort);
+    projected away: everything about l (the existential quantification).
+    """
+    domain = UniversalDomain(pattern_set("P=", "P1"))
+    all_l = GuardInstance("ALL1", ("l",))
+    known = UniversalValue(
+        Polyhedron.of(
+            Constraint.le(LinExpr.var(T.hd("l")), LinExpr.var("d")),
+            Constraint.ge(LinExpr.var(T.length("l")), 1),
+            Constraint.ge(LinExpr.var(T.length("l'")), 1),
+        ),
+        {
+            all_l: Polyhedron.of(
+                Constraint.le(LinExpr.var(T.elem("l", "y1")), LinExpr.var("d"))
+            )
+        },
+    )
+    ms = MultisetValue(
+        [
+            {
+                T.mhd("l'"): Fraction(1),
+                T.mtl("l'"): Fraction(1),
+                T.mhd("l"): Fraction(-1),
+                T.mtl("l"): Fraction(-1),
+            }
+        ]
+    )
+    return domain, known, ms
+
+
+def bound_recovered(domain, value) -> bool:
+    head = value.E.entails(
+        Constraint.le(LinExpr.var(T.hd("l'")), LinExpr.var("d"))
+    )
+    gi = GuardInstance("ALL1", ("l'",))
+    ctx = value.E.meet(gi.guard_poly()).meet(
+        value.clauses.get(gi, Polyhedron.top())
+    )
+    tail = ctx.is_bottom() or ctx.entails(
+        Constraint.le(LinExpr.var(T.elem("l'", "y1")), LinExpr.var("d"))
+    )
+    return head and tail
+
+
+def project_l(domain, value):
+    """The return transformer's existential quantification of the actual."""
+    return domain.project_words(value, ["l"])
+
+
+def test_without_strengthen_bound_is_lost():
+    domain, known, ms = quicksort_return_instance()
+    after = project_l(domain, known)
+    assert not bound_recovered(domain, after)
+
+
+def test_with_direct_sigma_bound_recovered(benchmark):
+    domain, known, ms = quicksort_return_instance()
+
+    def run():
+        strengthened = sigma_m_strengthen(domain, known, ms)
+        return project_l(domain, strengthened)
+
+    after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert bound_recovered(domain, after)
+
+
+@pytest.mark.skipif(
+    __import__("os").environ.get("REPRO_SLOW_BENCH") != "1",
+    reason="Fig. 7 traversal infer takes minutes on one CPU; covered "
+    "functionally by tests/test_combine.py (set REPRO_SLOW_BENCH=1 to time it)",
+)
+def test_with_traversal_infer_bound_recovered(benchmark):
+    domain, known, ms = quicksort_return_instance()
+
+    def run():
+        strengthened = infer_via_traversal(
+            domain, known, ms, AM, words=["l'", "l"]
+        )
+        return project_l(domain, strengthened)
+
+    after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert bound_recovered(domain, after)
+
+
+def test_quicksort_am_summary_supplies_the_link(benchmark):
+    """End to end: quicksort's AM analysis really derives ms preservation."""
+    from fractions import Fraction
+
+    from repro import Analyzer
+    from repro.lang.benchlib import benchmark_program
+    from repro.shape.graph import NULL
+
+    analyzer = Analyzer(benchmark_program())
+    result = benchmark.pedantic(
+        lambda: analyzer.analyze("quicksort", domain="am"),
+        rounds=1,
+        iterations=1,
+    )
+    found = False
+    for entry, summary in result.summaries:
+        for heap in summary:
+            n_in = heap.graph.labels.get(T.entry_copy("a"), NULL)
+            n_out = heap.graph.labels.get("res", NULL)
+            if n_in == NULL or n_out == NULL:
+                continue
+            found = True
+            row = {
+                T.mhd(n_in): Fraction(1),
+                T.mtl(n_in): Fraction(1),
+                T.mhd(n_out): Fraction(-1),
+                T.mtl(n_out): Fraction(-1),
+            }
+            assert AM.entails_row(heap.value, row)
+    assert found

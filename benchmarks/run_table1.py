@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerate the full Table 1 (paper §7) -- standalone sweep.
+
+Prints one row per benchmark function: class, name, the pattern set chosen
+by the §7 heuristic, our AM and AU analysis times, the paper's times, and
+whether our synthesized summary entails the paper's reported one.
+
+AU analyses of the sorting class are expensive in pure Python on one CPU;
+set a per-function wall budget with --budget (seconds, default 240) -- a
+row that exceeds it is reported as "timeout" (see EXPERIMENTS.md).
+
+Usage:  python benchmarks/run_table1.py [--budget 240] [--only NAME]
+"""
+
+import argparse
+import multiprocessing as mp
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def _run_one(name, domain, queue):
+    from repro.lang.benchlib import entry
+    from table1_common import analyze_row, fresh_analyzer
+
+    analyzer = fresh_analyzer()
+    row = analyze_row(analyzer, entry(name), domain)
+    queue.put(
+        {
+            "time": row.am_time if domain == "am" else row.au_time,
+            "ok": row.summary_ok,
+            "note": row.note,
+            "patterns": row.patterns,
+        }
+    )
+
+
+def run_with_budget(name, domain, budget):
+    queue = mp.Queue()
+    proc = mp.Process(target=_run_one, args=(name, domain, queue))
+    start = time.perf_counter()
+    proc.start()
+    proc.join(budget)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join()
+        return {"time": None, "ok": None, "note": "timeout", "patterns": ()}
+    if queue.empty():
+        return {"time": None, "ok": None, "note": "crash", "patterns": ()}
+    return queue.get()
+
+
+def fmt_time(t):
+    return f"{t:7.2f}" if t is not None else "      -"
+
+
+def fmt_ok(ok):
+    return {True: "match", False: "WEAKER", None: "  -  "}[ok]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--budget", type=float, default=240.0)
+    parser.add_argument("--only", type=str, default=None)
+    parser.add_argument("--skip-au", action="store_true")
+    args = parser.parse_args()
+
+    from repro.lang.benchlib import TABLE1
+
+    rows = [e for e in TABLE1 if args.only is None or e.name == args.only]
+    print(
+        f"{'class':<6} {'fun':<12} {'patterns':<22} "
+        f"{'AM t(s)':>8} {'paper':>6}  {'AU t(s)':>8} {'paper':>7} "
+        f"{'summary':>7}"
+    )
+    print("-" * 88)
+    for e in rows:
+        am = run_with_budget(e.name, "am", args.budget)
+        if args.skip_au:
+            au = {"time": None, "ok": None, "note": "skipped", "patterns": am["patterns"]}
+        else:
+            au = run_with_budget(e.name, "au", args.budget)
+        pats = ",".join(sorted(au["patterns"] or am["patterns"])) or "-"
+        ok = au["ok"] if au["ok"] is not None else am["ok"]
+        note = au["note"] or am["note"]
+        print(
+            f"{e.cls:<6} {e.paper_name:<12} {pats:<22} "
+            f"{fmt_time(am['time'])} {e.paper_am_time:6.3f}  "
+            f"{fmt_time(au['time'])} {e.paper_au_time:7.3f} "
+            f"{fmt_ok(ok):>7}"
+            + (f"  [{note}]" if note else ""),
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    main()

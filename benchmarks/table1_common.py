@@ -1,0 +1,291 @@
+"""Shared harness for reproducing the paper's Table 1.
+
+Runs each benchmark function's analysis in AHS(AM) and AHS(AU) (with the
+§7 pattern heuristic), times it, and checks the synthesized summary
+against the paper's reported summary for that row (entailment of the
+published formula, not wall-clock equality -- see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import Analyzer, choose_patterns
+from repro.core.assertions import _check_equal, _check_sorted
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain
+from repro.datawords.patterns import GuardInstance
+from repro.lang.benchlib import TABLE1, BenchEntry, benchmark_program
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.shape.graph import NULL
+
+_AM = MultisetDomain()
+
+
+@dataclass
+class RowResult:
+    entry: BenchEntry
+    am_time: Optional[float]
+    au_time: Optional[float]
+    patterns: Tuple[str, ...]
+    summary_ok: Optional[bool]  # None = no check defined
+    note: str = ""
+
+
+def _first_list(params):
+    for p in params:
+        if p.type == "list":
+            return p.name
+    return None
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+# -- per-row summary checks (column 6 of Table 1) ---------------------------------
+
+
+def _nodes(analyzer, proc, heap):
+    cfg = analyzer.icfg.cfg(proc)
+    in_var = _first_list(cfg.inputs)
+    out_var = _first_list(cfg.outputs)
+    n_in = heap.graph.labels.get(T.entry_copy(in_var), NULL) if in_var else NULL
+    n_out = heap.graph.labels.get(out_var, NULL) if out_var else NULL
+    return n_in, n_out
+
+
+def check_ms_preserved(analyzer, proc, result) -> Optional[bool]:
+    """ms(input0) = ms(output) on every applicable summary heap."""
+    seen = False
+    for entry, summary in result.summaries:
+        for heap in summary:
+            n_in, n_out = _nodes(analyzer, proc, heap)
+            if n_in == NULL or n_out == NULL:
+                continue
+            seen = True
+            row = {
+                T.mhd(n_in): Fraction(1),
+                T.mtl(n_in): Fraction(1),
+                T.mhd(n_out): Fraction(-1),
+                T.mtl(n_out): Fraction(-1),
+            }
+            if not _AM.entails_row(heap.value, row):
+                return False
+    return seen or None
+
+
+def check_eq_input(analyzer, proc, result) -> Optional[bool]:
+    """eq≈(input, input0): the procedure does not modify its input list."""
+    seen = False
+    cfg = analyzer.icfg.cfg(proc)
+    in_var = _first_list(cfg.inputs)
+    for entry, summary in result.summaries:
+        for heap in summary:
+            n_now = heap.graph.labels.get(in_var, NULL)
+            n_in = heap.graph.labels.get(T.entry_copy(in_var), NULL)
+            if n_now == NULL or n_in == NULL:
+                continue
+            seen = True
+            if not _check_equal(result.domain, heap.value, n_now, n_in):
+                return False
+    return seen or None
+
+
+def check_all_equal_const(const: int):
+    """forall y. out[y] = const, hd(out) = const (create-style)."""
+
+    def check(analyzer, proc, result) -> Optional[bool]:
+        seen = False
+        for entry, summary in result.summaries:
+            for heap in summary:
+                _, n_out = _nodes(analyzer, proc, heap)
+                if n_out == NULL:
+                    continue
+                seen = True
+                if not heap.value.E.entails(
+                    Constraint.eq(v(T.hd(n_out)), const)
+                ):
+                    return False
+                gi = GuardInstance("ALL1", (n_out,))
+                body = heap.value.clauses.get(gi)
+                ctx = heap.value.E.meet(gi.guard_poly())
+                if not ctx.is_bottom():
+                    if body is None or not ctx.meet(body).entails(
+                        Constraint.eq(v(T.elem(n_out, "y1")), const)
+                    ):
+                        return False
+        return seen or None
+
+    return check
+
+
+def check_all_equal_var(var: str):
+    """forall y. out[y] = var (init-style)."""
+
+    def check(analyzer, proc, result) -> Optional[bool]:
+        seen = False
+        for entry, summary in result.summaries:
+            for heap in summary:
+                _, n_out = _nodes(analyzer, proc, heap)
+                if n_out == NULL:
+                    continue
+                seen = True
+                src = v(T.entry_copy(var))
+                if not heap.value.E.entails(
+                    Constraint.eq(v(T.hd(n_out)), src)
+                ):
+                    return False
+                gi = GuardInstance("ALL1", (n_out,))
+                body = heap.value.clauses.get(gi)
+                ctx = heap.value.E.meet(gi.guard_poly())
+                if not ctx.is_bottom():
+                    if body is None or not ctx.meet(body).entails(
+                        Constraint.eq(v(T.elem(n_out, "y1")), src)
+                    ):
+                        return False
+        return seen or None
+
+    return check
+
+
+def check_len_preserved(analyzer, proc, result) -> Optional[bool]:
+    seen = False
+    for entry, summary in result.summaries:
+        for heap in summary:
+            n_in, n_out = _nodes(analyzer, proc, heap)
+            if n_in == NULL or n_out == NULL:
+                continue
+            seen = True
+            if not heap.value.E.entails(
+                Constraint.eq(v(T.length(n_in)), v(T.length(n_out)))
+            ):
+                return False
+    return seen or None
+
+
+def check_sorted_output(analyzer, proc, result) -> Optional[bool]:
+    seen = False
+    for entry, summary in result.summaries:
+        for heap in summary:
+            _, n_out = _nodes(analyzer, proc, heap)
+            if n_out == NULL:
+                continue
+            seen = True
+            if not _check_sorted(result.domain, heap.value, n_out):
+                return False
+    return seen or None
+
+
+def check_max_bound(analyzer, proc, result) -> Optional[bool]:
+    """m >= every element of the input (max-style).
+
+    The bound may live on the current input node (with eq≈ to the
+    snapshot) or on the snapshot node itself; either witnesses the paper's
+    summary.
+    """
+    from repro.numeric.polyhedra import Polyhedron
+
+    seen = False
+    cfg = analyzer.icfg.cfg(proc)
+    in_var = _first_list(cfg.inputs)
+    out_var = next(p.name for p in cfg.outputs if p.type == "int")
+    for entry, summary in result.summaries:
+        for heap in summary:
+            candidates = [
+                heap.graph.labels.get(T.entry_copy(in_var), NULL),
+                heap.graph.labels.get(in_var, NULL),
+            ]
+            candidates = [n for n in candidates if n != NULL]
+            if not candidates:
+                continue
+            seen = True
+
+            def node_ok(node):
+                if not heap.value.E.entails(
+                    Constraint.ge(v(out_var), v(T.hd(node)))
+                ):
+                    return False
+                gi = GuardInstance("ALL1", (node,))
+                ctx = heap.value.E.meet(gi.guard_poly()).meet(
+                    heap.value.clauses.get(gi, Polyhedron.top())
+                )
+                return ctx.is_bottom() or ctx.entails(
+                    Constraint.ge(v(out_var), v(T.elem(node, "y1")))
+                )
+
+            if not any(node_ok(n) for n in candidates):
+                return False
+    return seen or None
+
+
+AM_CHECKS: Dict[str, Callable] = {
+    "clone": check_ms_preserved,
+    "bubblesort": check_ms_preserved,
+    "insertsort": check_ms_preserved,
+    "quicksort": check_ms_preserved,
+    "mergesort": check_ms_preserved,
+    "max": check_ms_preserved,
+}
+
+AU_CHECKS: Dict[str, Callable] = {
+    "create": check_all_equal_const(0),
+    "init": check_all_equal_var("v"),
+    "max": check_max_bound,
+    "mapadd": check_len_preserved,
+    "clone": check_eq_input,
+    "qsplit": check_eq_input,
+    "copy": check_len_preserved,
+    "bubblesort": check_sorted_output,
+    "insertsort": check_sorted_output,
+    "quicksort": check_sorted_output,
+    "mergesort": check_sorted_output,
+}
+
+# Functions whose AU analysis completes quickly enough for the default
+# pytest-benchmark run on one CPU; the others run in the full sweep
+# (benchmarks/run_table1.py, REPRO_FULL_TABLE1=1).
+AU_FAST = [
+    "create",
+    "addfst",
+    "delfst",
+    "init",
+    "mapadd",
+    "initSeq",
+]
+
+
+def analyze_row(
+    analyzer: Analyzer,
+    entry: BenchEntry,
+    domain: str,
+    max_steps: int = 400_000,
+) -> RowResult:
+    start = time.perf_counter()
+    note = ""
+    summary_ok: Optional[bool] = None
+    try:
+        result = analyzer.analyze(entry.name, domain=domain, max_steps=max_steps)
+        elapsed = time.perf_counter() - start
+        check = (AM_CHECKS if domain == "am" else AU_CHECKS).get(entry.name)
+        if check is not None:
+            summary_ok = check(analyzer, entry.name, result)
+    except Exception as exc:  # budget exceeded or unsupported
+        elapsed = time.perf_counter() - start
+        note = f"{type(exc).__name__}"
+    patterns = tuple(sorted(choose_patterns(analyzer.icfg, entry.name)))
+    return RowResult(
+        entry=entry,
+        am_time=elapsed if domain == "am" else None,
+        au_time=elapsed if domain == "au" else None,
+        patterns=patterns,
+        summary_ok=summary_ok,
+        note=note,
+    )
+
+
+def fresh_analyzer() -> Analyzer:
+    return Analyzer(benchmark_program())

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/repro`` importable without installation.
+
+The sandbox used for the reproduction has no network, so ``pip install -e .``
+cannot fetch the ``wheel`` build dependency; this shim provides the same
+effect for test runs.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

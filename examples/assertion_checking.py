@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Pre/post-condition reasoning with assume/assert (paper §6.3).
+
+LISL programs can carry ``assume``/``assert`` statements over the derived
+predicates ``sorted``, ``ms_eq``, ``equal`` and affine data comparisons.
+The engine checks asserts against the abstract state (after folding), with
+the entailment operator of the corresponding domain.
+
+Run:  python examples/assertion_checking.py
+"""
+
+from repro import Analyzer
+from repro.core.assertions import AssertionChecker
+
+SOURCE = """
+proc floor_at(x: list, lo: int) returns (r: list) {
+  local c: list;
+  local e: int;
+  r = x;
+  c = x;
+  while (c != NULL) {
+    e = c->data;
+    if (e < lo) {
+      c->data = lo;
+    }
+    c = c->next;
+  }
+}
+
+proc client(x: list, lo: int) returns (r: list) {
+  local e: int;
+  r = floor_at(x, lo);
+  if (r != NULL) {
+    e = r->data;
+    assert e >= lo;
+  }
+}
+
+proc bad_client(x: list, lo: int) returns (r: list) {
+  local e: int;
+  r = floor_at(x, lo);
+  if (r != NULL) {
+    e = r->data;
+    assert e > lo;     // too strong: elements may equal lo
+  }
+}
+"""
+
+
+def run(proc: str) -> bool:
+    analyzer = Analyzer.from_source(SOURCE)
+    checker = AssertionChecker()
+    analyzer.analyze(proc, domain="au", assume_handler=checker)
+    for outcome in checker.outcomes:
+        print(f"  [{proc}] assert {outcome.formula}: "
+              f"{'VERIFIED' if outcome.verified else 'NOT VERIFIED'}")
+    return checker.all_verified()
+
+
+def main() -> None:
+    print("Checking a valid postcondition:")
+    ok = run("client")
+    assert ok
+
+    print()
+    print("Checking an invalid (too strong) postcondition:")
+    bad = run("bad_client")
+    assert not bad
+    print()
+    print("The analysis correctly verifies the first and rejects the second.")
+
+
+if __name__ == "__main__":
+    main()

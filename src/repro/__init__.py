@@ -1,0 +1,32 @@
+"""repro: a reproduction of "On Inter-Procedural Analysis of Programs with
+Lists and Data" (Bouajjani, Dragoi, Enea, Sighireanu -- PLDI 2011).
+
+The package implements the CELIA analysis stack from scratch:
+
+- :mod:`repro.lang` -- the LISL language (parser, type checker, CFG/ICFG);
+- :mod:`repro.concrete` -- concrete semantics (testing oracle);
+- :mod:`repro.numeric` -- exact rational linear-arithmetic substrate;
+- :mod:`repro.datawords` -- the AU (universal formulas) and AM (multisets)
+  logical data-word domains;
+- :mod:`repro.shape` -- abstract heaps and heap sets;
+- :mod:`repro.core` -- the inter-procedural analysis, domain combination
+  (strengthen/convert), assertion checking and procedure equivalence.
+
+Quick start::
+
+    from repro import Analyzer
+    a = Analyzer.from_source('''
+        proc inc(x: list, v: int) returns (r: list) {
+          local c: list;
+          r = x; c = x;
+          while (c != NULL) { c->data = v; c = c->next; }
+        }
+    ''')
+    print(a.analyze("inc", domain="au").describe())
+"""
+
+from repro.core.api import Analyzer, AnalysisResult, choose_patterns
+
+__version__ = "0.1.0"
+
+__all__ = ["Analyzer", "AnalysisResult", "choose_patterns", "__version__"]

@@ -1,0 +1,24 @@
+"""Concrete semantics of LISL (paper §2): heaps and an ICFG interpreter.
+
+Used as the *soundness oracle*: the differential test harness runs each
+benchmark procedure concretely on randomized inputs and checks that every
+synthesized abstract summary holds of the observed input/output relation.
+"""
+
+from repro.concrete.heap import Cell, from_cells, to_cells
+from repro.concrete.interp import (
+    AssertFailure,
+    AssumeFailure,
+    ConcreteError,
+    Interpreter,
+)
+
+__all__ = [
+    "Cell",
+    "to_cells",
+    "from_cells",
+    "Interpreter",
+    "ConcreteError",
+    "AssertFailure",
+    "AssumeFailure",
+]

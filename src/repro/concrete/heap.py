@@ -1,0 +1,78 @@
+"""Concrete heap cells (paper Def. 2.1, operationally).
+
+A heap is implicit in the Python object graph: :class:`Cell` objects with a
+``data`` integer and a ``next`` reference (None encodes the distinguished
+NULL node).  Helpers convert between Python lists of integers and cell
+chains, and observe structure (length, values, sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+
+class Cell:
+    """One list cell: ``struct list { int data; struct list *next; }``."""
+
+    __slots__ = ("data", "next")
+
+    def __init__(self, data: int = 0, next: Optional["Cell"] = None):
+        self.data = data
+        self.next = next
+
+    def __repr__(self) -> str:
+        return f"Cell({self.data})"
+
+
+def to_cells(values: Iterable[int]) -> Optional[Cell]:
+    """Build a fresh singly-linked list holding ``values`` in order."""
+    head: Optional[Cell] = None
+    tail: Optional[Cell] = None
+    for value in values:
+        cell = Cell(int(value))
+        if head is None:
+            head = cell
+        else:
+            tail.next = cell
+        tail = cell
+    return head
+
+
+def from_cells(head: Optional[Cell], limit: int = 1_000_000) -> List[int]:
+    """Read a list's values; raises on cycles (via the limit)."""
+    out: List[int] = []
+    seen: Set[int] = set()
+    current = head
+    while current is not None:
+        if id(current) in seen or len(out) >= limit:
+            raise ValueError("cyclic or overlong list")
+        seen.add(id(current))
+        out.append(current.data)
+        current = current.next
+    return out
+
+
+def length(head: Optional[Cell]) -> int:
+    return len(from_cells(head))
+
+
+def cells_of(head: Optional[Cell]) -> List[Cell]:
+    """The cell objects in order (for sharing/aliasing assertions)."""
+    out: List[Cell] = []
+    seen: Set[int] = set()
+    current = head
+    while current is not None:
+        if id(current) in seen:
+            raise ValueError("cyclic list")
+        seen.add(id(current))
+        out.append(current)
+        current = current.next
+    return out
+
+
+def is_acyclic(head: Optional[Cell]) -> bool:
+    try:
+        from_cells(head)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,224 @@
+"""A small-step interpreter over the ICFG (concrete semantics, paper §2).
+
+Executes exactly the normalized operation alphabet the abstract
+transformers handle, so the differential tests exercise the same pipeline
+end to end (parser → normalizer → CFG → semantics).
+
+Call-by-value: at a call, argument *values* (cell references and integers)
+are bound to the callee's formal inputs; the callee runs to its exit; the
+output parameter values flow back into the caller's targets.  Since cell
+references are shared, heap mutations by the callee are visible to the
+caller -- the paper's local-heap semantics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.concrete.heap import Cell, from_cells
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    CFG,
+    ICFG,
+    OpAssert,
+    OpAssignData,
+    OpAssignPtr,
+    OpAssume,
+    OpAssumeData,
+    OpAssumePtr,
+    OpCall,
+    OpSkip,
+    OpStoreData,
+    OpStoreNext,
+)
+
+Value = Union[int, Optional[Cell]]
+
+
+class ConcreteError(Exception):
+    """Null dereference, non-determinism, or step-budget exhaustion."""
+
+
+class AssumeFailure(Exception):
+    """An ``assume`` did not hold: the path is infeasible."""
+
+
+class AssertFailure(Exception):
+    """An ``assert`` was violated."""
+
+
+class Interpreter:
+    def __init__(self, icfg: ICFG, max_steps: int = 2_000_000):
+        self.icfg = icfg
+        self.max_steps = max_steps
+        self.steps = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, proc_name: str, args: Sequence[Value]) -> List[Value]:
+        """Run a procedure on argument values; returns output values."""
+        self.steps = 0
+        return self._run_proc(proc_name, list(args))
+
+    # -- engine -------------------------------------------------------------------
+
+    def _run_proc(self, proc_name: str, args: List[Value]) -> List[Value]:
+        cfg = self.icfg.cfg(proc_name)
+        if len(args) != len(cfg.inputs):
+            raise ConcreteError(
+                f"{proc_name} expects {len(cfg.inputs)} arguments"
+            )
+        env: Dict[str, Value] = {}
+        for param in cfg.inputs:
+            env[param.name] = args.pop(0)
+        for param in list(cfg.outputs) + list(cfg.locals):
+            env[param.name] = 0 if param.type == A.INT else None
+        node = cfg.entry
+        while node != cfg.exit:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ConcreteError("step budget exhausted (diverging run?)")
+            node = self._step(cfg, node, env)
+        return [env[p.name] for p in cfg.outputs]
+
+    def _step(self, cfg: CFG, node: int, env: Dict[str, Value]) -> int:
+        edges = cfg.out_edges(node)
+        if not edges:
+            raise ConcreteError(f"stuck at node {node} of {cfg.proc_name}")
+        assume_edges = [
+            e for e in edges if isinstance(e.op, (OpAssumePtr, OpAssumeData))
+        ]
+        if assume_edges:
+            if len(assume_edges) != len(edges):
+                raise ConcreteError("mixed assume and action edges")
+            for edge in assume_edges:
+                if self._test(edge.op, env):
+                    return edge.dst
+            raise ConcreteError(
+                f"no branch taken at node {node} of {cfg.proc_name}"
+            )
+        if len(edges) != 1:
+            # Join points carry several skip edges inward, never outward.
+            raise ConcreteError(f"non-deterministic action at node {node}")
+        edge = edges[0]
+        self._execute(edge.op, env)
+        return edge.dst
+
+    # -- operations ---------------------------------------------------------------
+
+    def _execute(self, op, env: Dict[str, Value]) -> None:
+        if isinstance(op, OpSkip):
+            return
+        if isinstance(op, OpAssignPtr):
+            if op.kind == "null":
+                env[op.target] = None
+            elif op.kind == "new":
+                env[op.target] = Cell(0)
+            elif op.kind == "var":
+                env[op.target] = env[op.source]
+            else:  # next
+                base = env[op.source]
+                if base is None:
+                    raise ConcreteError(f"NULL dereference: {op.source}->next")
+                env[op.target] = base.next
+            return
+        if isinstance(op, OpStoreNext):
+            base = env[op.target]
+            if base is None:
+                raise ConcreteError(f"NULL dereference: {op.target}->next=")
+            base.next = None if op.source is None else env[op.source]
+            return
+        if isinstance(op, OpStoreData):
+            base = env[op.target]
+            if base is None:
+                raise ConcreteError(f"NULL dereference: {op.target}->data=")
+            base.data = self._eval_data(op.expr, env)
+            return
+        if isinstance(op, OpAssignData):
+            env[op.target] = self._eval_data(op.expr, env)
+            return
+        if isinstance(op, OpCall):
+            args = [env[a] for a in op.args]
+            results = self._run_proc(op.proc, args)
+            for target, value in zip(op.targets, results):
+                env[target] = value
+            return
+        if isinstance(op, OpAssume):
+            if not self._eval_spec(op.formula, env):
+                raise AssumeFailure(str(op.formula))
+            return
+        if isinstance(op, OpAssert):
+            if not self._eval_spec(op.formula, env):
+                raise AssertFailure(str(op.formula))
+            return
+        raise ConcreteError(f"unknown operation {op!r}")
+
+    def _test(self, op, env: Dict[str, Value]) -> bool:
+        if isinstance(op, OpAssumePtr):
+            left = env[op.left]
+            right = None if op.right is None else env[op.right]
+            return (left is right) == op.equal
+        left = self._eval_data(op.left, env)
+        right = self._eval_data(op.right, env)
+        return {
+            "==": left == right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }[op.op]
+
+    def _eval_data(self, expr: A.Expr, env: Dict[str, Value]) -> int:
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.Var):
+            value = env[expr.name]
+            if not isinstance(value, int):
+                raise ConcreteError(f"{expr.name} is not an integer")
+            return value
+        if isinstance(expr, A.DataOf):
+            base = env[expr.base.name]
+            if base is None:
+                raise ConcreteError(f"NULL dereference: {expr.base}->data")
+            return base.data
+        if isinstance(expr, A.BinOp):
+            left = self._eval_data(expr.left, env)
+            right = self._eval_data(expr.right, env)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+        raise ConcreteError(f"cannot evaluate {expr!r}")
+
+    def _eval_spec(self, formula: A.SpecFormula, env: Dict[str, Value]) -> bool:
+        for atom in formula.atoms:
+            if atom.kind == "sorted":
+                values = from_cells(env[atom.args[0]])
+                if any(a > b for a, b in zip(values, values[1:])):
+                    return False
+            elif atom.kind == "ms_eq":
+                a = Counter(from_cells(env[atom.args[0]]))
+                b = Counter(from_cells(env[atom.args[1]]))
+                if a != b:
+                    return False
+            elif atom.kind == "equal":
+                if from_cells(env[atom.args[0]]) != from_cells(env[atom.args[1]]):
+                    return False
+            else:  # data comparison
+                cmp = atom.cmp
+                left = self._eval_data(cmp.left, env)
+                right = self._eval_data(cmp.right, env)
+                ok = {
+                    "==": left == right,
+                    "!=": left != right,
+                    "<": left < right,
+                    "<=": left <= right,
+                    ">": left > right,
+                    ">=": left >= right,
+                }[cmp.op]
+                if not ok:
+                    return False
+        return True

@@ -1,0 +1,20 @@
+"""The paper's primary contribution: inter-procedural shape+data analysis.
+
+- :mod:`repro.core.transfer` -- ``post#`` for the statement alphabet (§4);
+- :mod:`repro.core.localheap` -- local heaps, entry snapshots, cutpoint
+  checks, and summary composition at returns (§4, calls/returns);
+- :mod:`repro.core.interproc` -- the tabulating fixpoint engine with
+  widening at loop heads and recursive entries/exits;
+- :mod:`repro.core.combine` -- partial reduction operators σ_U/σ_M, the
+  traversal-program ``infer_W``, ``strengthen`` and ``convert`` (§5, §6.1);
+- :mod:`repro.core.product` -- the partially reduced product AHS(AU)×AHS(AW)
+  used by ``infer_W`` (§5.1);
+- :mod:`repro.core.assertions` -- assert/assume formulas and entailment
+  checking (§6.3);
+- :mod:`repro.core.equivalence` -- procedure equivalence checking (§6.4);
+- :mod:`repro.core.api` -- the user-facing :class:`Analyzer` facade.
+"""
+
+from repro.core.api import Analyzer, AnalysisResult, choose_patterns
+
+__all__ = ["Analyzer", "AnalysisResult", "choose_patterns"]

@@ -1,0 +1,200 @@
+"""User-facing facade: parse, analyze, inspect summaries.
+
+Typical use::
+
+    from repro import Analyzer
+    analyzer = Analyzer.from_source(source_text)
+    result = analyzer.analyze("quicksort", domain="am")
+    print(result.describe())
+
+The pattern-choice heuristic of §7 (`choose_patterns`) picks the guard
+patterns per procedure from its syntax: ``P=`` always (parameter/entry
+equality), ``P1`` when there is at least one loop or recursive call
+traversing a list, ``P2`` for nested loops or two and more recursive
+calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datawords.multiset import MultisetDomain
+from repro.datawords.patterns import PatternSet, pattern_set
+from repro.datawords.universal import UniversalDomain
+from repro.lang.cfg import ICFG, build_icfg
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.heap_set import HeapSet
+from repro.core.interproc import Engine
+
+
+def choose_patterns(icfg: ICFG, proc: str) -> PatternSet:
+    """The paper's §7 heuristic for the AU guard patterns of a procedure.
+
+    ``P=`` always; ``P1`` with a loop or recursive call; ``P2`` with
+    nesting or two and more recursive calls.  Spec formulas extend the
+    choice (the paper lets the user propose patterns): ``sorted`` needs
+    the order pattern ``P2``.
+    """
+    from repro.lang.cfg import OpAssert, OpAssume
+
+    cfg = icfg.cfg(proc)
+    loops = cfg.loop_count()
+    rec = icfg.recursion_count(proc)
+    names = ["P="]
+    if loops >= 1 or rec >= 1:
+        names.append("P1")
+    if loops >= 2 or rec >= 2:
+        names.append("P2")
+    for edge in cfg.edges:
+        if isinstance(edge.op, (OpAssert, OpAssume)):
+            for atom in edge.op.formula.atoms:
+                if atom.kind == "sorted":
+                    names.extend(["P1", "P2"])
+    return pattern_set(*names)
+
+
+@dataclass
+class AnalysisResult:
+    """Summaries of one procedure in one domain."""
+
+    proc: str
+    domain_name: str  # "au" or "am"
+    domain: object
+    summaries: List[Tuple[AbstractHeap, HeapSet]]
+    engine: Engine
+
+    def describe(self) -> str:
+        lines = [f"== {self.proc} ({self.domain_name}) =="]
+        for entry, summary in self.summaries:
+            lines.append(f"entry: {entry.graph!r}")
+            lines.append(summary.describe(self.domain))
+        return "\n".join(lines)
+
+    def exit_heaps(self) -> List[AbstractHeap]:
+        out = []
+        for _, summary in self.summaries:
+            out.extend(summary)
+        return out
+
+
+class Analyzer:
+    """Parses a program once; runs per-procedure analyses on demand."""
+
+    def __init__(self, program):
+        self.program = program
+        self.icfg = build_icfg(program)
+
+    @staticmethod
+    def from_source(source: str) -> "Analyzer":
+        program = normalize_program(typecheck_program(parse_program(source)))
+        return Analyzer(program)
+
+    def make_domain(self, domain: str, proc: Optional[str] = None, patterns=None):
+        if domain == "am":
+            return MultisetDomain()
+        if domain == "au":
+            if patterns is None:
+                patterns = (
+                    choose_patterns(self.icfg, proc)
+                    if proc is not None
+                    else pattern_set("P=", "P1")
+                )
+            return UniversalDomain(patterns)
+        raise ValueError(f"unknown domain {domain!r}")
+
+    def analyze(
+        self,
+        proc: str,
+        domain: str = "au",
+        patterns=None,
+        k: int = 0,
+        strengthen_hook=None,
+        assume_handler=None,
+        max_steps: int = 200_000,
+    ) -> AnalysisResult:
+        ldw = self.make_domain(domain, proc, patterns)
+        if strengthen_hook is not None and hasattr(strengthen_hook, "au_domain"):
+            strengthen_hook.au_domain = ldw
+        engine = Engine(
+            self.icfg,
+            ldw,
+            k=k,
+            strengthen_hook=strengthen_hook,
+            assume_handler=assume_handler,
+            max_steps=max_steps,
+        )
+        engine.analyze(proc)
+        return AnalysisResult(
+            proc=proc,
+            domain_name=domain,
+            domain=ldw,
+            summaries=engine.summaries_of(proc),
+            engine=engine,
+        )
+
+    def analyze_strengthened(
+        self,
+        proc: str,
+        patterns=None,
+        k: int = 0,
+        assume_handler=None,
+        max_steps: int = 200_000,
+    ) -> AnalysisResult:
+        """The paper's combined analysis (§6.2): AHS(AM) first, then
+        AHS(AU) with strengthen_M applied at every procedure return."""
+        am_result = self.analyze(proc, domain="am", max_steps=max_steps)
+        hook = make_am_strengthen_hook(am_result.engine)
+        result = self.analyze(
+            proc,
+            domain="au",
+            patterns=patterns,
+            k=k,
+            strengthen_hook=hook,
+            assume_handler=assume_handler,
+            max_steps=max_steps,
+        )
+        result.am_result = am_result
+        return result
+
+
+def make_am_strengthen_hook(am_engine: Engine):
+    """Build the return-edge hook applying strengthen_M (paper eq. J).
+
+    At a return being composed in the AU analysis, the matching AM summary
+    (same callee, same entry backbone, same exit backbone) is renamed with
+    the very same node/data maps and σ¹_M imports its multiset facts into
+    the combined AU value.
+    """
+    from repro.core.combine import sigma_m_strengthen
+    from repro.core.localheap import _rename_data_map
+
+    am_domain = am_engine.domain
+
+    from repro.datawords import terms as dw_terms
+
+    def hook(callee, info, exit_heap, combined_value, node_rename, data_rename):
+        if hook.au_domain is None:  # pragma: no cover - defensive
+            return combined_value
+        record = am_engine.records.get((callee, info.entry_heap.graph.key()))
+        if record is None:
+            return combined_value
+        for am_exit in record.summary:
+            if am_exit.graph.key() != exit_heap.graph.key():
+                continue
+            am_value = am_domain.rename_words(am_exit.value, node_rename)
+            data_support = {
+                t
+                for t in am_value.support()
+                if dw_terms.word_of(t) is None
+            }
+            data_map = {d: data_rename.get(d, f"$ret_{d}") for d in data_support}
+            am_value = _rename_data_map(am_domain, am_value, data_map)
+            return sigma_m_strengthen(hook.au_domain, combined_value, am_value)
+        return combined_value
+
+    hook.au_domain = None
+    return hook

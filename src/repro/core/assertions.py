@@ -1,0 +1,276 @@
+"""assume/assert handling and pre/post-condition reasoning (paper §6.3).
+
+Spec formulas are conjunctions of atoms: ``sorted(x)``, ``ms_eq(x, y)``,
+``equal(x, y)`` and affine data comparisons.  The handler plugs into the
+engine (replacing the skip treatment of OpAssume/OpAssert):
+
+- ``assume`` *conjoins* the atom's translation into the current domain
+  (atoms a domain cannot express are soundly ignored);
+- ``assert`` folds the heap (paper: ``fold#(AH) ⊑ A'_H``) and checks
+  entailment, recording the verdict; to improve precision the check can be
+  strengthened with an auxiliary AM analysis (strengthen_M, §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain
+from repro.datawords.patterns import GuardInstance
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.lang import ast as A
+from repro.lang.cfg import OpAssert, OpAssume
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.graph import NULL
+from repro.shape.heap_set import HeapSet
+from repro.core.transfer import data_expr_to_linexpr, NullDereference
+
+
+@dataclass
+class AssertionOutcome:
+    formula: str
+    verified: bool
+    heap_count: int
+
+
+class AssertionChecker:
+    """An assume/assert handler recording assertion verdicts."""
+
+    def __init__(self, strengthen_with_am=None):
+        self.outcomes: List[AssertionOutcome] = []
+        self.strengthen_with_am = strengthen_with_am  # optional hook
+
+    # -- engine hook -------------------------------------------------------------
+
+    def __call__(self, op, state: HeapSet, domain) -> HeapSet:
+        if isinstance(op, OpAssume):
+            return state.map(
+                domain, lambda h: [assume_formula(domain, h, op.formula)]
+            )
+        verified = True
+        for heap in state:
+            value = heap.value
+            if self.strengthen_with_am is not None and isinstance(
+                domain, UniversalDomain
+            ):
+                value = self.strengthen_with_am(heap)
+            check_heap = AbstractHeap(heap.graph, value).fold(domain, 0)
+            if not check_formula(domain, check_heap, op.formula):
+                verified = False
+        self.outcomes.append(
+            AssertionOutcome(str(op.formula), verified, len(state))
+        )
+        return state
+
+    def all_verified(self) -> bool:
+        return all(o.verified for o in self.outcomes)
+
+
+def _chain_of(graph, node: str) -> List[str]:
+    chain = []
+    current = node
+    while current != NULL and current not in chain:
+        chain.append(current)
+        current = graph.succ.get(current, NULL)
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# assume
+
+
+def assume_formula(domain, heap: AbstractHeap, formula: A.SpecFormula) -> AbstractHeap:
+    out = heap
+    for atom in formula.atoms:
+        out = _assume_atom(domain, out, atom)
+    return out
+
+
+def _assume_atom(domain, heap: AbstractHeap, atom: A.SpecAtom) -> AbstractHeap:
+    graph = heap.graph
+    value = heap.value
+    if atom.kind == "data":
+        try:
+            left = data_expr_to_linexpr(atom.cmp.left, graph)
+            right = data_expr_to_linexpr(atom.cmp.right, graph)
+        except NullDereference:
+            return heap
+        constraint = _cmp_constraint(atom.cmp.op, left, right)
+        if constraint is not None:
+            value = domain.meet_constraint(value, constraint)
+        return AbstractHeap(graph, value)
+    if atom.kind == "sorted":
+        node = graph.node_of(atom.args[0])
+        if node == NULL:
+            return heap
+        chain = _chain_of(graph, node)
+        if isinstance(domain, UniversalDomain) and len(chain) == 1:
+            value = _assume_sorted(domain, value, node)
+        return AbstractHeap(graph, value)
+    if atom.kind == "ms_eq":
+        n1 = graph.node_of(atom.args[0])
+        n2 = graph.node_of(atom.args[1])
+        if (n1 == NULL) != (n2 == NULL):
+            # One empty, one non-empty: infeasible (words are non-empty).
+            return AbstractHeap(graph, domain.bottom())
+        if n1 == NULL or n2 == NULL:
+            return heap
+        if isinstance(domain, MultisetDomain):
+            value = domain.add_ms_eq(value, n1, n2)
+        return AbstractHeap(graph, value)
+    if atom.kind == "equal":
+        n1 = graph.node_of(atom.args[0])
+        n2 = graph.node_of(atom.args[1])
+        if n1 == NULL or n2 == NULL:
+            # equal(x, y) with one side NULL: both must be NULL.
+            if (n1 == NULL) != (n2 == NULL):
+                return AbstractHeap(graph, domain.bottom())
+            return heap
+        if len(_chain_of(graph, n1)) == 1 and len(_chain_of(graph, n2)) == 1:
+            value = domain.add_word_copy_eq(value, n1, n2)
+        return AbstractHeap(graph, value)
+    raise ValueError(f"unknown spec atom {atom.kind!r}")
+
+
+def _assume_sorted(domain: UniversalDomain, value: UniversalValue, node: str):
+    body_ord = Polyhedron.of(
+        Constraint.le(
+            LinExpr.var(T.elem(node, "y1")), LinExpr.var(T.elem(node, "y2"))
+        )
+    )
+    body_all = Polyhedron.of(
+        Constraint.le(LinExpr.var(T.hd(node)), LinExpr.var(T.elem(node, "y1")))
+    )
+    if "ORD2" in domain.patterns:
+        value = domain.meet_clause(
+            value, GuardInstance("ORD2", (node,)), body_ord
+        )
+    if "ALL1" in domain.patterns:
+        value = domain.meet_clause(
+            value, GuardInstance("ALL1", (node,)), body_all
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# assert
+
+
+def check_formula(domain, heap: AbstractHeap, formula: A.SpecFormula) -> bool:
+    return all(_check_atom(domain, heap, atom) for atom in formula.atoms)
+
+
+def _check_atom(domain, heap: AbstractHeap, atom: A.SpecAtom) -> bool:
+    graph = heap.graph
+    value = heap.value
+    if domain.is_bottom(value):
+        return True
+    if atom.kind == "data":
+        try:
+            left = data_expr_to_linexpr(atom.cmp.left, graph)
+            right = data_expr_to_linexpr(atom.cmp.right, graph)
+        except NullDereference:
+            return False
+        constraint = _cmp_constraint(atom.cmp.op, left, right)
+        if constraint is None:  # != : check via both strict sides
+            lt = Constraint.lt_int(left, right)
+            gt = Constraint.gt_int(left, right)
+            return domain.entails_constraint(value, lt) or domain.entails_constraint(value, gt)
+        return domain.entails_constraint(value, constraint)
+    if atom.kind == "sorted":
+        node = graph.node_of(atom.args[0])
+        if node == NULL:
+            return True
+        if not isinstance(domain, UniversalDomain):
+            return False
+        return _check_sorted(domain, value, node)
+    if atom.kind == "ms_eq":
+        n1 = graph.node_of(atom.args[0])
+        n2 = graph.node_of(atom.args[1])
+        if n1 == NULL and n2 == NULL:
+            return True
+        if n1 == NULL or n2 == NULL:
+            return False
+        if isinstance(domain, MultisetDomain):
+            from fractions import Fraction
+
+            row = {
+                T.mhd(n1): Fraction(1),
+                T.mtl(n1): Fraction(1),
+                T.mhd(n2): Fraction(-1),
+                T.mtl(n2): Fraction(-1),
+            }
+            return domain.entails_row(value, row)
+        return False
+    if atom.kind == "equal":
+        n1 = graph.node_of(atom.args[0])
+        n2 = graph.node_of(atom.args[1])
+        if n1 == NULL and n2 == NULL:
+            return True
+        if n1 == NULL or n2 == NULL:
+            return False
+        if not isinstance(domain, UniversalDomain):
+            return False
+        return _check_equal(domain, value, n1, n2)
+    raise ValueError(f"unknown spec atom {atom.kind!r}")
+
+
+def _check_sorted(domain: UniversalDomain, value: UniversalValue, node: str) -> bool:
+    gi = GuardInstance("ORD2", (node,))
+    target = Constraint.le(
+        LinExpr.var(T.elem(node, "y1")), LinExpr.var(T.elem(node, "y2"))
+    )
+    context = value.E.meet(gi.guard_poly()).meet(
+        value.clauses.get(gi, Polyhedron.top())
+    )
+    if context.is_bottom():
+        ord_ok = True
+    else:
+        ord_ok = context.entails(target)
+    # hd <= tail elements
+    gi1 = GuardInstance("ALL1", (node,))
+    target1 = Constraint.le(
+        LinExpr.var(T.hd(node)), LinExpr.var(T.elem(node, "y1"))
+    )
+    context1 = value.E.meet(gi1.guard_poly()).meet(
+        value.clauses.get(gi1, Polyhedron.top())
+    )
+    all_ok = context1.is_bottom() or context1.entails(target1)
+    return ord_ok and all_ok
+
+
+def _check_equal(domain: UniversalDomain, value: UniversalValue, n1: str, n2: str) -> bool:
+    if not value.E.entails(
+        Constraint.eq(LinExpr.var(T.hd(n1)), LinExpr.var(T.hd(n2)))
+    ):
+        return False
+    if not value.E.entails(
+        Constraint.eq(LinExpr.var(T.length(n1)), LinExpr.var(T.length(n2)))
+    ):
+        return False
+    gi = GuardInstance("EQ2", (n1, n2))
+    target = Constraint.eq(
+        LinExpr.var(T.elem(n1, "y1")), LinExpr.var(T.elem(n2, "y2"))
+    )
+    context = value.E.meet(gi.guard_poly()).meet(
+        value.clauses.get(gi, Polyhedron.top())
+    )
+    return context.is_bottom() or context.entails(target)
+
+
+def _cmp_constraint(op: str, left: LinExpr, right: LinExpr) -> Optional[Constraint]:
+    if op == "==":
+        return Constraint.eq(left, right)
+    if op == "<":
+        return Constraint.lt_int(left, right)
+    if op == "<=":
+        return Constraint.le(left, right)
+    if op == ">":
+        return Constraint.gt_int(left, right)
+    if op == ">=":
+        return Constraint.ge(left, right)
+    return None  # '!=' has no single-constraint translation

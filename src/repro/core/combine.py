@@ -1,0 +1,348 @@
+"""Combining abstract domains (paper §5): σ reductions, strengthen, convert.
+
+Two cooperating mechanisms are implemented:
+
+1. **Direct partial reduction** (used inside the analysis, fast):
+
+   - :func:`sigma_m_strengthen` -- σ¹_M: import facts from a multiset value
+     into a universal value using the membership inference rules of Fig. 8
+     (``mhd(n) ⊑ ...`` decompositions give facts about ``hd(n)``;
+     ``mtl(n) ⊑ ...`` decompositions strengthen the ``∀y ∈ tl(n)`` clause);
+   - :func:`sigma_m_from_universal` -- σ²_M: export head equalities;
+   - :func:`convert_value` -- convert(P1, P2): re-express an AU value over a
+     different pattern set by instantiating the old clauses at the new
+     guards' positions (the reinterpretation engine's instantiation, with
+     the identity recomposition);
+   - :func:`strengthen` -- ``W ⊓ infer(W, W_aux)``.
+
+2. **The traversal-program infer_W of Fig. 7** (:func:`infer_via_traversal`)
+   -- an actual analysis of the two-cursor list-traversal program over the
+   partially reduced product AHS(AU) × AHS(AW), with the σ operators applied
+   at every unfolding step.  Used by the applications and benchmarks to
+   validate the paper's mechanism; the direct reduction is its fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, PatternSet
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+_AM = MultisetDomain()
+
+
+def _facts_about(
+    u: UniversalValue,
+    domain: UniversalDomain,
+    rhs_term: str,
+    mult: int,
+    target: str,
+) -> Optional[Polyhedron]:
+    """Facts about a value known to be a member of the multiset ``rhs_term``,
+    expressed as constraints on the term ``target``.
+
+    Returns None when nothing is known (top).
+    """
+    if T.is_mhd(rhs_term):
+        w = T.word_of(rhs_term)
+        src = T.hd(w)
+        # membership in the singleton {hd(w)} is equality with hd(w) --
+        # itself an E-term, so the fact stays relational.
+        return u.E.meet_constraints(
+            [Constraint.eq(LinExpr.var(target), LinExpr.var(src))]
+        )
+    if T.is_mtl(rhs_term):
+        w = T.word_of(rhs_term)
+        gi = GuardInstance("ALL1", (w,))
+        body = u.clauses.get(gi)
+        if body is None:
+            return None
+        y = gi.posvars()[0]
+        elem = T.elem(w, y)
+        # Rename the source clause's quantified position to a fresh name so
+        # it cannot clash with a position variable inside ``target``.
+        fresh_pos = "$q"
+        fresh_elem = f"{w}[{fresh_pos}]"
+        body = body.rename({elem: fresh_elem}).substitute(
+            {y: LinExpr.var(fresh_pos)}
+        )
+        guard = gi.guard_poly().substitute({y: LinExpr.var(fresh_pos)})
+        facts = body.meet(u.E).meet(guard).meet_constraints(
+            [Constraint.eq(LinExpr.var(target), LinExpr.var(fresh_elem))]
+        )
+        out = facts.project([fresh_elem, fresh_pos])
+        return None if out.is_top() else out
+    # a data variable: membership in the singleton means equality
+    return u.E.meet_constraints(
+        [Constraint.eq(LinExpr.var(target), LinExpr.var(rhs_term))]
+    )
+
+
+def _membership_facts(
+    u: UniversalValue,
+    domain: UniversalDomain,
+    m: MultisetValue,
+    member_term: str,
+    target: str,
+) -> Optional[Polyhedron]:
+    """Join, over the decompositions ``member ⊑ t1 ⊎ ... ⊎ tk`` derivable
+    from the multiset value, of the disjunction of per-``tj`` facts.
+
+    Implements step (M) of §5.2: each decomposition gives a disjunction
+    (the member sits in one of the tj), and distinct decompositions can be
+    intersected (all are valid simultaneously).
+    """
+    best: Optional[Polyhedron] = None
+    for rhs in _AM.membership_decompositions(member_term, m):
+        disjuncts: List[Polyhedron] = []
+        hopeless = False
+        for term, mult in rhs:
+            facts = _facts_about(u, domain, term, mult, target)
+            if facts is None:
+                hopeless = True
+                break
+            disjuncts.append(facts)
+        if hopeless or not disjuncts:
+            continue
+        joined = disjuncts[0]
+        for d in disjuncts[1:]:
+            joined = joined.join(d)
+        if joined.is_top():
+            continue
+        best = joined if best is None else best.meet(joined)
+    return best
+
+
+def sigma_m_strengthen(
+    domain: UniversalDomain, u: UniversalValue, m: MultisetValue
+) -> UniversalValue:
+    """σ¹_M: strengthen an AU value with a multiset value (Fig. 8)."""
+    if u.is_bot or m.is_bot:
+        return u
+    words = sorted(set(u.words()) | {w for t in m.support() if (w := T.word_of(t))})
+    out = u
+    # Facts about heads.
+    for w in words:
+        facts = _membership_facts(out, domain, m, T.mhd(w), T.hd(w))
+        if facts is not None:
+            out = UniversalValue(out.E.meet(facts), out.clauses)
+    # Facts about tails: strengthen the ALL1 clause bodies.
+    if "ALL1" in domain.patterns:
+        for w in words:
+            gi = GuardInstance("ALL1", (w,))
+            y = gi.posvars()[0]
+            elem = T.elem(w, y)
+            facts = _membership_facts(out, domain, m, T.mtl(w), elem)
+            if facts is not None:
+                out = domain.meet_clause(out, gi, facts)
+    return out
+
+
+def sigma_m_from_universal(
+    domain: UniversalDomain, u: UniversalValue, m: MultisetValue
+) -> MultisetValue:
+    """σ²_M: export ``hd(n) = hd(n')`` equalities into the multiset value."""
+    if u.is_bot or m.is_bot:
+        return m
+    out = m
+    words = sorted(u.words())
+    for i, a in enumerate(words):
+        for b in words[i + 1 :]:
+            eq = Constraint.eq(LinExpr.var(T.hd(a)), LinExpr.var(T.hd(b)))
+            if u.E.entails(eq):
+                out = _AM.meet_constraint(out, eq)
+    return out
+
+
+def convert_value(
+    value: UniversalValue,
+    source: UniversalDomain,
+    target: UniversalDomain,
+) -> UniversalValue:
+    """convert(P1, P2): re-express over the target domain's pattern set.
+
+    For every guard instance of the target set, the old clauses (and E)
+    are instantiated at the new guard's positions; the instantiation engine
+    is shared with split#/concat#.  Clauses whose pattern exists in both
+    sets carry over directly.
+    """
+    from repro.datawords.reinterp import _instantiate_old_clauses, Anchor
+
+    if value.is_bot:
+        return target.bottom()
+    words = sorted(value.words())
+    clauses: Dict[GuardInstance, Polyhedron] = {}
+    common = source.patterns & target.patterns
+    for gi, body in value.clauses.items():
+        if gi.pattern_name in common:
+            clauses[gi] = body
+    for gi in target.patterns.instances(words):
+        if gi in clauses:
+            continue  # carried over from a common pattern
+        var_word = gi.var_word()
+        anchors = [
+            Anchor(var_word[v], LinExpr.var(v), T.elem(var_word[v], v))
+            for v in gi.posvars()
+        ]
+        # Mirror anchors: the same symbolic positions inside every other
+        # word, so equality clauses (EQ2 and friends) can chain the
+        # derivation through the vocabulary (e.g. sorted(x) ∧ eq≈(y, x)
+        # gives sorted(y)).  Applicability (membership in the other word's
+        # bounds) is still checked by guard entailment.
+        for v in gi.posvars():
+            for w in words:
+                if w != var_word[v]:
+                    anchors.append(
+                        Anchor(w, LinExpr.var(v), T.elem(w, v))
+                    )
+        context = value.E.meet(gi.guard_poly())
+        if context.is_bottom():
+            clauses[gi] = Polyhedron.bottom()
+            continue
+        enriched = _instantiate_old_clauses(value.clauses, anchors, context)
+        allowed = set(value.E.support()) | set(gi.posvars()) | set(gi.elem_terms())
+        body = enriched.restrict_to(allowed)
+        body = target._prune_body(value.E, gi, body)
+        if not body.is_top():
+            clauses[gi] = body
+    return UniversalValue(value.E, clauses)
+
+
+def strengthen(
+    domain: UniversalDomain,
+    value: UniversalValue,
+    aux_value,
+    aux_domain,
+) -> UniversalValue:
+    """strengthen_W(W, W_aux) = W ⊓ infer_W(W, W_aux) (paper Def. 5.1)."""
+    if isinstance(aux_domain, MultisetDomain):
+        return sigma_m_strengthen(domain, value, aux_value)
+    if isinstance(aux_domain, UniversalDomain):
+        converted = convert_value(aux_value, aux_domain, domain)
+        return domain.meet(value, converted)
+    raise TypeError(f"cannot strengthen with {aux_domain!r}")
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 7 traversal-program infer_W over the reduced product
+
+
+def infer_via_traversal(
+    domain: UniversalDomain,
+    value: UniversalValue,
+    aux_value,
+    aux_domain,
+    words: Optional[Sequence[str]] = None,
+    max_iterations: int = 40,
+) -> UniversalValue:
+    """infer_W computed by analyzing the list-traversal program of Fig. 7.
+
+    Builds the initial configuration (one node per chosen data-word
+    variable, labeled by a stable anchor and a cursor), then runs the
+    abstract execution of::
+
+        while (z1 != NULL && z2 != NULL) { z1 = z1->next; z2 = z2->next; }
+        while (z1 != NULL) { z1 = z1->next; }
+        while (z2 != NULL) { z2 = z2->next; }
+
+    over the partially reduced product AHS(AU) × AHS(AW): every cursor
+    advance unfolds both components and applies σ_W.  The exit states
+    (cursors at NULL, words folded back to single nodes) are joined and
+    projected onto the original vocabulary.
+    """
+    from repro.core.product import ProductDomain
+    from repro.core.transfer import Transfer
+    from repro.lang.cfg import OpAssignPtr, OpAssumePtr
+    from repro.shape.abstract_heap import AbstractHeap
+    from repro.shape.graph import NULL, HeapGraph
+    from repro.shape.heap_set import HeapSet
+
+    if value.is_bot:
+        return value
+    chosen = list(words) if words is not None else sorted(value.words())[:2]
+    if not chosen:
+        return value
+    product = ProductDomain(domain, aux_domain)
+    transfer = Transfer(product, k=0)
+
+    labels: Dict[str, str] = {}
+    for w in chosen:
+        labels[f"$anchor_{w}"] = w
+        labels[f"$z_{w}"] = w
+    graph = HeapGraph(chosen, {w: NULL for w in chosen}, labels)
+    start = AbstractHeap(graph, (value, aux_value))
+    state = HeapSet.single(product, start)
+
+    cursors = [f"$z_{w}" for w in chosen]
+
+    def advance_all(current: HeapSet, active: List[str]) -> HeapSet:
+        """One lockstep advance of the active cursors (non-NULL branch)."""
+        for z in active:
+            current = current.map(
+                product,
+                lambda h, _z=z: transfer.post(
+                    OpAssumePtr(_z, None, False), h
+                ),
+            )
+        for z in active:
+            current = current.map(
+                product,
+                lambda h, _z=z: transfer.post(OpAssignPtr(_z, "next", _z), h),
+            )
+        return current
+
+    def loop(current: HeapSet, active: List[str]) -> HeapSet:
+        """Fixpoint of the while loop advancing ``active`` cursors."""
+        head = current
+        for iteration in range(max_iterations):
+            stepped = advance_all(head, active)
+            if stepped.is_bottom():
+                break
+            joined = head.join(stepped, product)
+            if iteration >= 3:
+                joined = head.widen(joined, product)
+            if joined.leq(head, product) and head.leq(joined, product):
+                head = joined
+                break
+            head = joined
+        # Exit: some active cursor is NULL.
+        exits = HeapSet.bottom()
+        for z in active:
+            exited = head.map(
+                product,
+                lambda h, _z=z: transfer.post(OpAssumePtr(_z, None, True), h),
+            )
+            exits = exits.join(exited, product)
+        return exits
+
+    state = loop(state, cursors)
+    for z in cursors:
+        state = loop(state, [z])
+
+    # Collect: all cursors NULL, each anchor chain folded to one node.
+    result = domain.bottom()
+    for heap in state:
+        folded = heap.fold(product, 0)
+        rename: Dict[str, str] = {}
+        ok = True
+        for w in chosen:
+            anchor_node = folded.graph.node_of(f"$anchor_{w}")
+            if anchor_node == NULL or folded.graph.succ.get(anchor_node) != NULL:
+                ok = False
+                break
+            rename[anchor_node] = w
+        if not ok:
+            continue
+        u_part = folded.value[0]
+        u_part = domain.rename_words(u_part, rename)
+        extra = [x for x in u_part.words() if x not in chosen and x not in set(value.words())]
+        u_part = domain.project_words(u_part, extra)
+        result = domain.join(result, u_part)
+    if domain.is_bottom(result):
+        return value
+    return domain.meet(value, result)

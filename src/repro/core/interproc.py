@@ -1,0 +1,298 @@
+"""The tabulating inter-procedural fixpoint engine (paper §4).
+
+For each procedure and each *entry configuration* (an abstract heap over
+the formals plus their ``$0`` snapshot) the engine keeps a record with the
+per-node heap sets of the intra-procedural fixpoint and the summary (the
+restricted exit heap set).  Call edges look summaries up (creating and
+enqueueing records on demand) and register dependencies; when a summary
+grows, its dependents are re-analyzed.
+
+Widening is applied at intra-procedural loop heads and, for recursive
+procedures, at the entry (the tabulated entry configuration is widened
+when a new call brings a larger one) and at the exit (summaries are
+widened instead of joined), exactly the three widening points of §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.datawords.base import LDWDomain
+from repro.lang import ast as A
+from repro.lang.cfg import CFG, ICFG, OpAssert, OpAssume, OpCall
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.graph import NULL, HeapGraph
+from repro.shape.heap_set import HeapSet
+from repro.core.localheap import (
+    CallInfo,
+    CutpointError,
+    build_call_entry,
+    compose_return,
+    restrict_summary_exit,
+)
+from repro.core.transfer import Transfer
+
+
+class AnalysisBudgetExceeded(Exception):
+    pass
+
+
+RecordKey = Tuple[str, Tuple]
+
+
+@dataclass
+class Record:
+    """One tabulated (procedure, entry configuration) pair."""
+
+    proc: str
+    entry: AbstractHeap
+    states: Dict[int, HeapSet] = field(default_factory=dict)
+    summary: HeapSet = field(default_factory=HeapSet.bottom)
+    dependents: Set[RecordKey] = field(default_factory=set)
+    iterations: int = 0
+
+
+# A hook called when composing a return:
+#   hook(callee_name, call_info, exit_heap, combined_value,
+#        node_rename, data_rename) -> value
+StrengthenHook = Callable[..., object]
+
+
+class Engine:
+    """Runs the analysis of a whole program in one LDW domain."""
+
+    def __init__(
+        self,
+        icfg: ICFG,
+        domain: LDWDomain,
+        k: int = 0,
+        strengthen_hook: Optional[StrengthenHook] = None,
+        assume_handler=None,
+        max_record_iterations: int = 60,
+        max_steps: int = 200_000,
+    ):
+        self.icfg = icfg
+        self.domain = domain
+        self.transfer = Transfer(domain, k)
+        self.records: Dict[RecordKey, Record] = {}
+        self.worklist: List[RecordKey] = []
+        self.strengthen_hook = strengthen_hook
+        self.assume_handler = assume_handler
+        self.max_record_iterations = max_record_iterations
+        self.max_steps = max_steps
+        self.steps = 0
+        self.recursive = icfg.recursive_procs()
+
+    # -- entry configurations -----------------------------------------------------------
+
+    def generic_entries(self, proc: str) -> List[AbstractHeap]:
+        """Most-general entry configurations for a root analysis: every
+        pointer formal is independently NULL or a separate acyclic list."""
+        cfg = self.icfg.cfg(proc)
+        ptr_formals = [p.name for p in cfg.inputs if p.type == A.LIST]
+        shapes: List[Dict[str, bool]] = [{}]
+        for f in ptr_formals:
+            shapes = [dict(s, **{f: null}) for s in shapes for null in (False, True)]
+        entries = []
+        for shape in shapes:
+            entries.append(self._entry_for_shape(cfg, shape))
+        return entries
+
+    def _entry_for_shape(self, cfg: CFG, null_of: Dict[str, bool]) -> AbstractHeap:
+        """Build the ICFG-level initial heap for one NULL/non-NULL shape,
+        going through build_call_entry on a synthetic caller heap."""
+        caller_graph_nodes: List[str] = []
+        succ: Dict[str, str] = {}
+        labels: Dict[str, str] = {}
+        value = self.domain.top()
+        i = 0
+        args: List[str] = []
+        for param in cfg.inputs:
+            if param.type == A.INT:
+                args.append(param.name + "$arg")
+                continue
+            var = param.name + "$arg"
+            args.append(var)
+            if null_of[param.name]:
+                labels[var] = NULL
+            else:
+                node = f"a{i}"
+                i += 1
+                caller_graph_nodes.append(node)
+                succ[node] = NULL
+                labels[var] = node
+        graph = HeapGraph(caller_graph_nodes, succ, labels)
+        heap = AbstractHeap(graph, value)
+        op = OpCall(
+            targets=tuple(p.name + "$res" for p in cfg.outputs),
+            proc=cfg.proc_name,
+            args=tuple(args),
+        )
+        info = build_call_entry(self.domain, heap, cfg, op)
+        return info.entry_heap
+
+    # -- records ---------------------------------------------------------------------------
+
+    def _record_key(self, proc: str, entry: AbstractHeap) -> RecordKey:
+        return (proc, entry.graph.key())
+
+    def get_record(self, proc: str, entry: AbstractHeap) -> Record:
+        """Find or create the record; widen its entry if the new one is larger."""
+        entry = entry.canonicalize(self.domain)
+        key = self._record_key(proc, entry)
+        record = self.records.get(key)
+        if record is None:
+            record = Record(proc=proc, entry=entry)
+            self.records[key] = record
+            self._enqueue(key)
+            return record
+        if not entry.leq(record.entry, self.domain):
+            joined = record.entry.join(entry, self.domain)
+            if proc in self.recursive:
+                record.entry = record.entry.widen(joined, self.domain)
+            else:
+                record.entry = joined
+            record.states = {}
+            record.iterations = 0
+            self._enqueue(key)
+        return record
+
+    def _enqueue(self, key: RecordKey) -> None:
+        if key not in self.worklist:
+            self.worklist.append(key)
+
+    # -- main loop ----------------------------------------------------------------------------
+
+    def run(self) -> None:
+        while self.worklist:
+            key = self.worklist.pop(0)
+            self._analyze_record(key)
+
+    def analyze(self, proc: str) -> List[Record]:
+        """Analyze a procedure from its most-general entries; returns the
+        records (one per entry shape)."""
+        records = [self.get_record(proc, e) for e in self.generic_entries(proc)]
+        self.run()
+        return records
+
+    # -- intra-procedural fixpoint ----------------------------------------------------------------
+
+    def _analyze_record(self, key: RecordKey) -> None:
+        record = self.records[key]
+        record.iterations += 1
+        if record.iterations > self.max_record_iterations:
+            raise AnalysisBudgetExceeded(
+                f"record {key[0]} exceeded {self.max_record_iterations} runs"
+            )
+        cfg = self.icfg.cfg(record.proc)
+        domain = self.domain
+        states: Dict[int, HeapSet] = dict(record.states)
+        entry_state = HeapSet.single(domain, record.entry)
+        states[cfg.entry] = entry_state
+
+        # Re-seed every known node: a re-analysis is usually triggered by a
+        # callee summary growing, which changes a call edge's output even
+        # though the state at its source is unchanged.
+        pending: List[int] = [cfg.entry] + [
+            n for n in sorted(states) if n != cfg.entry
+        ]
+        visits: Dict[int, int] = {}
+        while pending:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise AnalysisBudgetExceeded("global step budget exhausted")
+            node = pending.pop(0)
+            state = states.get(node)
+            if state is None or state.is_bottom():
+                continue
+            for edge in cfg.out_edges(node):
+                out = self._post_edge(record, key, edge, state)
+                if out is None or out.is_bottom():
+                    continue
+                old = states.get(edge.dst, HeapSet.bottom())
+                if out.leq(old, domain):
+                    continue
+                visits[edge.dst] = visits.get(edge.dst, 0) + 1
+                # Delayed widening: the first join at a loop head computes
+                # the hull (where relational bounds like i <= n first
+                # appear); widening starts one visit later so those bounds
+                # can stabilize instead of being dropped.
+                if edge.dst in cfg.widen_points and visits[edge.dst] > 3:
+                    new = old.widen(out.join(old, domain), domain)
+                else:
+                    new = old.join(out, domain)
+                states[edge.dst] = new
+                if edge.dst not in pending:
+                    pending.append(edge.dst)
+
+        record.states = states
+        exit_state = states.get(cfg.exit, HeapSet.bottom())
+        summary = exit_state.map(
+            domain,
+            lambda h: [
+                restrict_summary_exit(domain, h, cfg).fold(
+                    domain, self.transfer.k
+                )
+            ],
+        )
+        if not summary.leq(record.summary, domain):
+            if record.proc in self.recursive:
+                record.summary = record.summary.widen(
+                    summary.join(record.summary, domain), domain
+                )
+            else:
+                record.summary = record.summary.join(summary, domain)
+            for dep in list(record.dependents):
+                self._enqueue(dep)
+
+    # -- edges -------------------------------------------------------------------------------------
+
+    def _post_edge(
+        self, record: Record, key: RecordKey, edge, state: HeapSet
+    ) -> Optional[HeapSet]:
+        op = edge.op
+        domain = self.domain
+        if isinstance(op, OpCall):
+            return self._post_call(record, key, op, state)
+        if isinstance(op, (OpAssume, OpAssert)):
+            if self.assume_handler is None:
+                return state  # treated as skip when no assertion layer
+            return self.assume_handler(op, state, domain)
+        return state.map(domain, lambda h: self.transfer.post(op, h))
+
+    def _post_call(
+        self, record: Record, key: RecordKey, op: OpCall, state: HeapSet
+    ) -> HeapSet:
+        domain = self.domain
+        callee_cfg = self.icfg.cfg(op.proc)
+        results: List[AbstractHeap] = []
+        for heap in state:
+            info = build_call_entry(domain, heap, callee_cfg, op)
+            callee_record = self.get_record(op.proc, info.entry_heap)
+            callee_record.dependents.add(key)
+            for exit_heap in callee_record.summary:
+                strengthen = None
+                if self.strengthen_hook is not None:
+                    strengthen = lambda value, nr, dr, _eh=exit_heap, _info=info: (
+                        self.strengthen_hook(op.proc, _info, _eh, value, nr, dr)
+                    )
+                composed = compose_return(
+                    domain, heap, exit_heap, callee_cfg, op, info, strengthen
+                )
+                if composed is None:
+                    continue
+                composed = composed.gc(domain)
+                composed = composed.fold(domain, self.transfer.k)
+                if not composed.is_bottom(domain):
+                    results.append(composed.canonicalize(domain))
+        return HeapSet.of(domain, results)
+
+    # -- results ---------------------------------------------------------------------------------------
+
+    def summaries_of(self, proc: str) -> List[Tuple[AbstractHeap, HeapSet]]:
+        out = []
+        for (name, _), record in sorted(self.records.items()):
+            if name == proc:
+                out.append((record.entry, record.summary))
+        return out

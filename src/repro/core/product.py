@@ -1,0 +1,191 @@
+"""The partially reduced product AHS(AU) × AHS(AW) (paper §5.1).
+
+Values are pairs ``(u, aux)``.  All transformers apply componentwise; the
+unfolding transformers (``split``/``advance``/``restrict_len1`` -- the
+abstract counterparts of ``p = q->next``) additionally apply the partial
+reduction σ_W, exchanging information between the components:
+
+- against a multiset component: σ¹_M/σ²_M (Fig. 8 membership reasoning);
+- against a second universal component: σ¹_U imports the quantifier-free
+  part (the paper's definition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.datawords.base import LDWDomain
+from repro.datawords.multiset import MultisetDomain
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+
+
+class ProductDomain(LDWDomain):
+    """Componentwise product with σ at unfolding points."""
+
+    def __init__(self, main: UniversalDomain, aux: LDWDomain):
+        self.main = main
+        self.aux = aux
+
+    # -- reduction -----------------------------------------------------------
+
+    def reduce(self, value: Tuple) -> Tuple:
+        from repro.core.combine import (
+            sigma_m_from_universal,
+            sigma_m_strengthen,
+        )
+
+        u, a = value
+        if self.main.is_bottom(u) or self.aux.is_bottom(a):
+            return (self.main.bottom(), self.aux.bottom())
+        if isinstance(self.aux, MultisetDomain):
+            u2 = sigma_m_strengthen(self.main, u, a)
+            a2 = sigma_m_from_universal(self.main, u2, a)
+            return (u2, a2)
+        if isinstance(self.aux, UniversalDomain):
+            # σ¹_U: import the quantifier-free part of the aux component.
+            u2 = UniversalValue(u.E.meet(a.E), u.clauses)
+            return (u2, a)
+        return value
+
+    # -- lattice ----------------------------------------------------------------
+
+    def top(self):
+        return (self.main.top(), self.aux.top())
+
+    def bottom(self):
+        return (self.main.bottom(), self.aux.bottom())
+
+    def is_bottom(self, value) -> bool:
+        return self.main.is_bottom(value[0]) or self.aux.is_bottom(value[1])
+
+    def leq(self, v1, v2) -> bool:
+        return self.main.leq(v1[0], v2[0]) and self.aux.leq(v1[1], v2[1])
+
+    def join(self, v1, v2):
+        if self.is_bottom(v1):
+            return v2
+        if self.is_bottom(v2):
+            return v1
+        return (self.main.join(v1[0], v2[0]), self.aux.join(v1[1], v2[1]))
+
+    def meet(self, v1, v2):
+        return (self.main.meet(v1[0], v2[0]), self.aux.meet(v1[1], v2[1]))
+
+    def widen(self, v1, v2):
+        if self.is_bottom(v1):
+            return v2
+        if self.is_bottom(v2):
+            return v1
+        return (self.main.widen(v1[0], v2[0]), self.aux.widen(v1[1], v2[1]))
+
+    # -- vocabulary -----------------------------------------------------------------
+
+    def rename_words(self, value, mapping: Mapping[str, str]):
+        return (
+            self.main.rename_words(value[0], mapping),
+            self.aux.rename_words(value[1], mapping),
+        )
+
+    def project_words(self, value, words: Iterable[str]):
+        ws = list(words)
+        return (
+            self.main.project_words(value[0], ws),
+            self.aux.project_words(value[1], ws),
+        )
+
+    def forget_data(self, value, dvars: Iterable[str]):
+        ds = list(dvars)
+        return (
+            self.main.forget_data(value[0], ds),
+            self.aux.forget_data(value[1], ds),
+        )
+
+    def add_singleton_word(self, value, word: str):
+        return (
+            self.main.add_singleton_word(value[0], word),
+            self.aux.add_singleton_word(value[1], word),
+        )
+
+    # -- structural (with reduction at unfold points) -----------------------------------
+
+    def concat(self, value, target: str, parts: Sequence[str], all_words=None):
+        u = _call(self.main.concat, value[0], target, parts, all_words)
+        a = _call(self.aux.concat, value[1], target, parts, all_words)
+        return (u, a)
+
+    def split(self, value, word: str, tail: str, all_words=None):
+        u = _call(self.main.split, value[0], word, tail, all_words)
+        a = _call(self.aux.split, value[1], word, tail, all_words)
+        return self.reduce((u, a))
+
+    def advance(self, value, pred: str, word: str, tail: str, all_words=None):
+        u = _call_adv(self.main, value[0], pred, word, tail, all_words)
+        a = _call_adv(self.aux, value[1], pred, word, tail, all_words)
+        return self.reduce((u, a))
+
+    def restrict_len1(self, value, word: str):
+        return self.reduce(
+            (
+                self.main.restrict_len1(value[0], word),
+                self.aux.restrict_len1(value[1], word),
+            )
+        )
+
+    # -- data ----------------------------------------------------------------------------
+
+    def assign_hd(self, value, word: str, expr: Optional[LinExpr]):
+        return (
+            self.main.assign_hd(value[0], word, expr),
+            self.aux.assign_hd(value[1], word, expr),
+        )
+
+    def assign_data(self, value, dvar: str, expr: Optional[LinExpr]):
+        return (
+            self.main.assign_data(value[0], dvar, expr),
+            self.aux.assign_data(value[1], dvar, expr),
+        )
+
+    def meet_constraint(self, value, constraint: Constraint):
+        return (
+            self.main.meet_constraint(value[0], constraint),
+            self.aux.meet_constraint(value[1], constraint),
+        )
+
+    def entails_constraint(self, value, constraint: Constraint) -> bool:
+        return self.main.entails_constraint(
+            value[0], constraint
+        ) or self.aux.entails_constraint(value[1], constraint)
+
+    def add_word_copy_eq(self, value, word: str, copy: str):
+        return (
+            self.main.add_word_copy_eq(value[0], word, copy),
+            self.aux.add_word_copy_eq(value[1], word, copy),
+        )
+
+    # -- evaluation --------------------------------------------------------------------------
+
+    def satisfied_by(self, value, words_env, data_env) -> bool:
+        return self.main.satisfied_by(
+            value[0], words_env, data_env
+        ) and self.aux.satisfied_by(value[1], words_env, data_env)
+
+    def describe(self, value) -> str:
+        return (
+            f"{self.main.describe(value[0])}  WITH  "
+            f"{self.aux.describe(value[1])}"
+        )
+
+
+def _call(method, value, target, parts, all_words):
+    try:
+        return method(value, target, parts, all_words=all_words)
+    except TypeError:
+        return method(value, target, parts)
+
+
+def _call_adv(domain, value, pred, word, tail, all_words):
+    try:
+        return domain.advance(value, pred, word, tail, all_words=all_words)
+    except TypeError:
+        return domain.advance(value, pred, word, tail)

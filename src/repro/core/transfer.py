@@ -1,0 +1,273 @@
+"""Abstract post# for the primitive statements (paper §4).
+
+Each transformer maps one abstract heap to a list of abstract heaps
+(materialization may case-split); the heap-set layer renormalizes.  All
+transformers end with garbage collection and folding back to the k-bound,
+as in CINV's eager-fold discipline.
+
+Dereference of a possibly-NULL pointer drops the NULL branch (the concrete
+execution would fault there; the analysis computes properties of non-
+faulting runs, like the paper's tool).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.datawords import terms as T
+from repro.datawords.base import LDWDomain
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    OpAssert,
+    OpAssignData,
+    OpAssignPtr,
+    OpAssume,
+    OpAssumeData,
+    OpAssumePtr,
+    OpSkip,
+    OpStoreData,
+    OpStoreNext,
+)
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.shape.abstract_heap import AbstractHeap, split_word
+from repro.shape.graph import NULL, HeapGraph
+
+
+class NullDereference(Exception):
+    """Raised internally; transformers convert it to an empty result."""
+
+
+def _advance(domain: LDWDomain, value, pred, word, tail, all_words):
+    """Call the domain's fused advance, passing the vocabulary if supported."""
+    try:
+        return domain.advance(value, pred, word, tail, all_words=all_words)
+    except TypeError:
+        return domain.advance(value, pred, word, tail)
+
+
+def data_expr_to_linexpr(expr: A.Expr, graph: HeapGraph) -> LinExpr:
+    """Translate an affine LISL data expression to terms.
+
+    ``q->data`` becomes ``hd(node_of(q))``; NULL dereference raises.
+    """
+    if isinstance(expr, A.IntLit):
+        return LinExpr.const_expr(expr.value)
+    if isinstance(expr, A.Var):
+        return LinExpr.var(expr.name)
+    if isinstance(expr, A.DataOf):
+        node = graph.node_of(expr.base.name)
+        if node == NULL:
+            raise NullDereference(expr.base.name)
+        return LinExpr.var(T.hd(node))
+    if isinstance(expr, A.BinOp):
+        left = data_expr_to_linexpr(expr.left, graph)
+        right = data_expr_to_linexpr(expr.right, graph)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.is_const():
+                return right.scale(left.const)
+            return left.scale(right.const)
+    raise ValueError(f"not an affine data expression: {expr!r}")
+
+
+class Transfer:
+    """post# over abstract heaps, parameterized by the LDW domain and k."""
+
+    def __init__(self, domain: LDWDomain, k: int = 0):
+        self.domain = domain
+        self.k = k
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _finish(self, heap: AbstractHeap) -> List[AbstractHeap]:
+        heap = heap.gc(self.domain)
+        heap = heap.fold(self.domain, self.k)
+        if heap.is_bottom(self.domain):
+            return []
+        return [heap.canonicalize(self.domain)]
+
+    def materialize_next(self, heap: AbstractHeap, var: str) -> List[AbstractHeap]:
+        """Expose the successor cell of ``var``'s cell: after this, the
+        node labeled by ``var`` has a word of length exactly 1, so its
+        graph successor is the concrete ``var->next``.
+
+        Returns 0-2 heaps (len == 1 case and len > 1 split case).
+        """
+        domain = self.domain
+        node = heap.graph.node_of(var)
+        if node == NULL:
+            return []
+        results: List[AbstractHeap] = []
+        # Case len == 1: the successor is already var->next.
+        value1 = domain.restrict_len1(heap.value, node)
+        if not domain.is_bottom(value1):
+            results.append(AbstractHeap(heap.graph, value1))
+        # Case len > 1: split off the tail as a fresh node.
+        tail = heap.graph.fresh_node_name()
+        value2 = split_word(
+            domain, heap.value, node, tail, heap.graph.word_nodes() + [tail]
+        )
+        if not domain.is_bottom(value2):
+            old_succ = heap.graph.succ.get(node)
+            graph = heap.graph.with_node(tail, old_succ).with_succ(node, tail)
+            results.append(AbstractHeap(graph, value2))
+        return results
+
+    # -- dispatcher -----------------------------------------------------------------
+
+    def post(self, op, heap: AbstractHeap) -> List[AbstractHeap]:
+        if isinstance(op, OpSkip):
+            return [heap]
+        if isinstance(op, OpAssignPtr):
+            return self.post_assign_ptr(op, heap)
+        if isinstance(op, OpStoreNext):
+            return self.post_store_next(op, heap)
+        if isinstance(op, OpStoreData):
+            return self.post_store_data(op, heap)
+        if isinstance(op, OpAssignData):
+            return self.post_assign_data(op, heap)
+        if isinstance(op, OpAssumePtr):
+            return self.post_assume_ptr(op, heap)
+        if isinstance(op, OpAssumeData):
+            return self.post_assume_data(op, heap)
+        raise ValueError(f"no transformer for {op!r}")
+
+    # -- pointer assignment -------------------------------------------------------------
+
+    def post_assign_ptr(self, op: OpAssignPtr, heap: AbstractHeap) -> List[AbstractHeap]:
+        domain = self.domain
+        if op.kind == "null":
+            graph = heap.graph.with_label(op.target, NULL)
+            return self._finish(AbstractHeap(graph, heap.value))
+        if op.kind == "var":
+            node = heap.graph.node_of(op.source)
+            graph = heap.graph.with_label(op.target, node)
+            return self._finish(AbstractHeap(graph, heap.value))
+        if op.kind == "new":
+            fresh = heap.graph.fresh_node_name()
+            graph = heap.graph.with_node(fresh, NULL).with_label(op.target, fresh)
+            value = domain.add_singleton_word(heap.value, fresh)
+            return self._finish(AbstractHeap(graph, value))
+        # op.kind == "next": materialize, then retarget the label.
+        results: List[AbstractHeap] = []
+        # Case len == 1 (the successor cell is already exposed).
+        node = heap.graph.node_of(op.source)
+        if node == NULL:
+            return []
+        value1 = domain.restrict_len1(heap.value, node)
+        if not domain.is_bottom(value1):
+            succ = heap.graph.succ.get(node)
+            if succ is not None:
+                graph = heap.graph.with_label(op.target, succ)
+                results.extend(self._finish(AbstractHeap(graph, value1)))
+        # Case len > 1: if the head cell would immediately be folded into
+        # its unique predecessor (the cursor-advance idiom), use the fused
+        # recomposition; otherwise split off the tail as usual.
+        remaining_labels = [
+            v for v in heap.graph.vars_of(node) if v != op.target
+        ]
+        preds = heap.graph.preds(node)
+        tail = heap.graph.fresh_node_name()
+        if not remaining_labels and len(preds) == 1 and preds[0] != node:
+            pred = preds[0]
+            value2 = _advance(
+                domain,
+                heap.value,
+                pred,
+                node,
+                tail,
+                heap.graph.word_nodes() + [tail],
+            )
+            if not domain.is_bottom(value2):
+                old_succ = heap.graph.succ.get(node)
+                graph = (
+                    heap.graph.with_node(tail, old_succ)
+                    .with_label(op.target, tail)
+                    .without_nodes([node])
+                    .with_succ(pred, tail)
+                )
+                results.extend(self._finish(AbstractHeap(graph, value2)))
+            return results
+        value2 = split_word(
+            domain, heap.value, node, tail, heap.graph.word_nodes() + [tail]
+        )
+        if not domain.is_bottom(value2):
+            old_succ = heap.graph.succ.get(node)
+            graph = (
+                heap.graph.with_node(tail, old_succ)
+                .with_succ(node, tail)
+                .with_label(op.target, tail)
+            )
+            results.extend(self._finish(AbstractHeap(graph, value2)))
+        return results
+
+    # -- heap writes ----------------------------------------------------------------------
+
+    def post_store_next(self, op: OpStoreNext, heap: AbstractHeap) -> List[AbstractHeap]:
+        results: List[AbstractHeap] = []
+        for mat in self.materialize_next(heap, op.target):
+            node = mat.graph.node_of(op.target)
+            target = NULL if op.source is None else mat.graph.node_of(op.source)
+            if target == node:
+                continue  # would build a self-loop; outside the fragment
+            graph = mat.graph.with_succ(node, target)
+            results.extend(self._finish(AbstractHeap(graph, mat.value)))
+        return results
+
+    def post_store_data(self, op: OpStoreData, heap: AbstractHeap) -> List[AbstractHeap]:
+        node = heap.graph.node_of(op.target)
+        if node == NULL:
+            return []
+        try:
+            expr = data_expr_to_linexpr(op.expr, heap.graph)
+        except NullDereference:
+            return []
+        value = self.domain.assign_hd(heap.value, node, expr)
+        return self._finish(AbstractHeap(heap.graph, value))
+
+    # -- data assignment ---------------------------------------------------------------------
+
+    def post_assign_data(self, op: OpAssignData, heap: AbstractHeap) -> List[AbstractHeap]:
+        try:
+            expr = data_expr_to_linexpr(op.expr, heap.graph)
+        except NullDereference:
+            return []
+        value = self.domain.assign_data(heap.value, op.target, expr)
+        return self._finish(AbstractHeap(heap.graph, value))
+
+    # -- conditions ------------------------------------------------------------------------------
+
+    def post_assume_ptr(self, op: OpAssumePtr, heap: AbstractHeap) -> List[AbstractHeap]:
+        left = heap.graph.node_of(op.left)
+        right = NULL if op.right is None else heap.graph.node_of(op.right)
+        # Distinct backbone nodes denote disjoint segments, so equality of
+        # pointers is equality of nodes: the test is exact.
+        if (left == right) == op.equal:
+            return [heap]
+        return []
+
+    def post_assume_data(self, op: OpAssumeData, heap: AbstractHeap) -> List[AbstractHeap]:
+        try:
+            left = data_expr_to_linexpr(op.left, heap.graph)
+            right = data_expr_to_linexpr(op.right, heap.graph)
+        except NullDereference:
+            return []
+        if op.op == "==":
+            constraint = Constraint.eq(left, right)
+        elif op.op == "<":
+            constraint = Constraint.lt_int(left, right)
+        elif op.op == "<=":
+            constraint = Constraint.le(left, right)
+        elif op.op == ">":
+            constraint = Constraint.gt_int(left, right)
+        elif op.op == ">=":
+            constraint = Constraint.ge(left, right)
+        else:
+            raise ValueError(f"bad data comparison {op.op!r}")
+        value = self.domain.meet_constraint(heap.value, constraint)
+        if self.domain.is_bottom(value):
+            return []
+        return [AbstractHeap(heap.graph, value)]

@@ -1,0 +1,39 @@
+"""Logical data-word (LDW) abstract domains (paper §3).
+
+Words over the integers abstract the data sequences carried by the edges of
+the heap backbone.  Two LDW domains are provided, exactly as in the paper:
+
+- :mod:`repro.datawords.universal` -- ``AU``, universally quantified
+  first-order formulas ``E ∧ ⋀_g ∀y. g(y) → U_g`` parameterized by a set of
+  guard patterns (:mod:`repro.datawords.patterns`) and a numeric base domain.
+- :mod:`repro.datawords.multiset` -- ``AM``, conjunctions of equalities
+  between unions of multisets, encoded as linear equations.
+
+:mod:`repro.datawords.reinterp` hosts the generic clause-reinterpretation
+engine that implements the ``split#``/``concat#`` transformers (unfolding
+and folding of words) uniformly for every pattern.
+"""
+
+from repro.datawords.base import LDWDomain
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import (
+    GuardInstance,
+    Pattern,
+    PatternSet,
+    PATTERNS,
+    pattern_set,
+)
+from repro.datawords.universal import UniversalDomain, UniversalValue
+
+__all__ = [
+    "LDWDomain",
+    "MultisetDomain",
+    "MultisetValue",
+    "UniversalDomain",
+    "UniversalValue",
+    "GuardInstance",
+    "Pattern",
+    "PatternSet",
+    "PATTERNS",
+    "pattern_set",
+]

@@ -1,0 +1,167 @@
+"""The logical data-words (LDW) domain interface (paper Def. 3.1).
+
+An LDW domain abstracts sets of pairs ``(L, D)`` where ``L`` maps data-word
+variables to non-empty integer sequences and ``D`` maps data variables to
+integers.  Both concrete domains (:class:`~repro.datawords.universal.
+UniversalDomain` and :class:`~repro.datawords.multiset.MultisetDomain`)
+implement this interface, which lists exactly the operations the abstract
+heap domain and the statement transformers need.
+
+Values are immutable; all operations return fresh values.  Vocabulary
+(which word variables exist) is managed by the caller (the heap backbone);
+values simply constrain the terms they mention.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.numeric.linexpr import Constraint, LinExpr
+
+
+class LDWDomain(ABC):
+    """Abstract base class for logical data-word domains."""
+
+    # -- lattice -----------------------------------------------------------
+
+    @abstractmethod
+    def top(self):
+        """The value constraining nothing."""
+
+    @abstractmethod
+    def bottom(self):
+        """The empty value."""
+
+    @abstractmethod
+    def is_bottom(self, value) -> bool:
+        ...
+
+    @abstractmethod
+    def leq(self, value1, value2) -> bool:
+        """Sound approximation of logical implication (paper's ⊑_W)."""
+
+    @abstractmethod
+    def join(self, value1, value2):
+        ...
+
+    @abstractmethod
+    def meet(self, value1, value2):
+        ...
+
+    @abstractmethod
+    def widen(self, value1, value2):
+        ...
+
+    # -- vocabulary management ----------------------------------------------
+
+    @abstractmethod
+    def rename_words(self, value, mapping: Mapping[str, str]):
+        """Rename word variables throughout."""
+
+    @abstractmethod
+    def project_words(self, value, words: Iterable[str]):
+        """Existentially quantify (drop) the given word variables."""
+
+    @abstractmethod
+    def forget_data(self, value, dvars: Iterable[str]):
+        """Existentially quantify the given data variables."""
+
+    @abstractmethod
+    def add_singleton_word(self, value, word: str):
+        """Introduce a fresh word of length 1 with unconstrained data."""
+
+    # -- structural transformers (paper §4) ----------------------------------
+
+    @abstractmethod
+    def concat(self, value, target: str, parts: Sequence[str]):
+        """``concat#``: replace ``parts`` by their concatenation ``target``.
+
+        ``parts`` is the left-to-right list of existing word variables;
+        ``target`` may equal ``parts[0]`` (the usual fold case).  All other
+        parts are removed from the vocabulary.
+        """
+
+    @abstractmethod
+    def split(self, value, word: str, tail: str):
+        """``split#`` (case ``len(word) > 1``): ``word`` keeps the head
+        letter only; ``tail`` (fresh) receives the rest."""
+
+    @abstractmethod
+    def restrict_len1(self, value, word: str):
+        """``split#`` (case ``len(word) == 1``): meet with ``len(word)=1``."""
+
+    def advance(self, value, pred: str, word: str, tail: str, all_words=None):
+        """Fused cursor advance: ``pred := pred · head(word)``, ``tail :=
+        tail(word)`` in one step.
+
+        The default composes ``split`` and ``concat``; domains with
+        positional information (AU) override it with a single
+        recomposition, which preserves anchor clauses that would die in
+        the intermediate state.
+        """
+        words = list(all_words or [])
+        stepped = self.split(value, word, tail)
+        return self.concat(stepped, pred, [pred, word])
+
+    # -- data transformers ----------------------------------------------------
+
+    @abstractmethod
+    def assign_hd(self, value, word: str, expr: Optional[LinExpr]):
+        """``p->data := expr`` where p points to ``word``.
+
+        ``expr`` is over ``hd(...)`` terms and data variables; ``None``
+        havocs the head (unknown value).
+        """
+
+    @abstractmethod
+    def assign_data(self, value, dvar: str, expr: Optional[LinExpr]):
+        """``d := expr`` (None havocs)."""
+
+    @abstractmethod
+    def meet_constraint(self, value, constraint: Constraint):
+        """Conjoin a quantifier-free constraint over hd/len/data terms."""
+
+    @abstractmethod
+    def entails_constraint(self, value, constraint: Constraint) -> bool:
+        """Does the value entail the quantifier-free constraint?"""
+
+    @abstractmethod
+    def add_word_copy_eq(self, value, word: str, copy: str):
+        """Conjoin word equality: ``eq≈`` in AU (paper eq. H), ``eqm`` in AM
+        (paper eq. I).  Used when snapshotting actual parameters."""
+
+    # -- concrete evaluation (testing oracle) ----------------------------------
+
+    @abstractmethod
+    def satisfied_by(
+        self,
+        value,
+        words_env: Mapping[str, Sequence[int]],
+        data_env: Mapping[str, int],
+    ) -> bool:
+        """Evaluate the value on a concrete valuation (soundness oracle)."""
+
+    # -- display ----------------------------------------------------------------
+
+    @abstractmethod
+    def describe(self, value) -> str:
+        """Human-readable rendering used in summaries and docs."""
+
+    # -- conveniences (shared) ---------------------------------------------------
+
+    def meet_constraints(self, value, constraints: Iterable[Constraint]):
+        for c in constraints:
+            value = self.meet_constraint(value, c)
+        return value
+
+    def join_all(self, values: List):
+        if not values:
+            return self.bottom()
+        out = values[0]
+        for v in values[1:]:
+            out = self.join(out, v)
+        return out
+
+    def equivalent(self, value1, value2) -> bool:
+        return self.leq(value1, value2) and self.leq(value2, value1)

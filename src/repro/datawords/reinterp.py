@@ -1,0 +1,526 @@
+"""Generic clause reinterpretation: the split#/concat# engine for AU.
+
+Both unfolding (``split#``, paper formula G) and folding (``concat#``,
+paper formula F) re-express a universal formula over a *recomposed*
+vocabulary: each new word is a concatenation of segments of old words.
+This module implements that re-expression once, uniformly for every guard
+pattern:
+
+1. A *bridge* polyhedron relates old and new quantifier-free terms
+   (``len`` sums, ``hd`` identities, plus anchor terms for heads of tails).
+2. For every guard instance over the new vocabulary, the engine enumerates
+   the placements of its position variables into the segments, instantiates
+   the old clauses at the placed positions (checking guard applicability by
+   entailment), and projects onto the new vocabulary; the clause body is
+   the join over all feasible placements, and *bottom* when none is
+   feasible (a provably vacuous clause).
+
+The precision argument mirrors the paper's closedness requirement on the
+pattern set: the registry's closure rules pull in the suffix-alignment
+(``SUF2``) and head-anchor (``BEF2``) patterns that make equality tracking
+survive list traversals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.datawords import terms as T
+from repro.datawords.patterns import GuardInstance, PatternSet
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+WHOLE = "whole"
+HEAD = "head"
+TAIL = "tail"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A piece of an old word: all of it, its head letter, or its tail."""
+
+    kind: str
+    word: str
+
+    def length_expr(self) -> LinExpr:
+        if self.kind == WHOLE:
+            return LinExpr.var(T.length(self.word))
+        if self.kind == HEAD:
+            return LinExpr.const_expr(1)
+        return LinExpr.var(T.length(self.word)) - 1
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A symbolic position inside an old word with its element term."""
+
+    word: str
+    pos: LinExpr  # position inside the old word (0 = head)
+    elem: str  # term naming the element at that position
+
+
+@dataclass
+class _Placement:
+    """Where one new-guard position variable lands."""
+
+    constraints: List[Constraint]  # e.g. y = offset + j, bounds on j
+    elem_term: str  # the old term equal to new_word[y]
+    anchor: Optional[Anchor]  # present when the position is quantified
+
+
+class Recomposition:
+    """new word -> ordered segments of old words.
+
+    Words absent from ``composition`` are unchanged (identity); their terms
+    keep their names on both sides.
+    """
+
+    def __init__(
+        self,
+        composition: Mapping[str, Sequence[Segment]],
+        unchanged: Iterable[str],
+    ):
+        self.composition: Dict[str, Tuple[Segment, ...]] = {
+            w: tuple(segs) for w, segs in composition.items()
+        }
+        # A freshly composed word may be listed in the caller's vocabulary;
+        # the composition always wins over "unchanged".
+        self.unchanged = frozenset(unchanged) - set(self.composition)
+        self.old_changed = frozenset(
+            seg.word for segs in self.composition.values() for seg in segs
+        )
+        self.new_words = frozenset(self.composition) | self.unchanged
+        overlap = self.old_changed & self.unchanged
+        if overlap:
+            raise ValueError(f"words both changed and unchanged: {overlap}")
+
+    def length_bridge(self) -> List[Constraint]:
+        """``len(new) = sum of segment lengths`` for every composed word."""
+        out = []
+        for new, segs in self.composition.items():
+            total = LinExpr.const_expr(0)
+            for seg in segs:
+                total = total + seg.length_expr()
+            out.append(Constraint.eq(LinExpr.var(T.length(new)), total))
+        return out
+
+    def hd_bridge(self) -> Tuple[List[Constraint], List[Anchor]]:
+        """``hd(new)`` definitions; heads of tail-segments need anchors."""
+        cons: List[Constraint] = []
+        anchors: List[Anchor] = []
+        for new, segs in self.composition.items():
+            first = segs[0]
+            if first.kind in (WHOLE, HEAD):
+                cons.append(
+                    Constraint.eq(
+                        LinExpr.var(T.hd(new)), LinExpr.var(T.hd(first.word))
+                    )
+                )
+            else:  # TAIL: hd(new) is the old word's letter at position 1
+                anchors.append(
+                    Anchor(first.word, LinExpr.const_expr(1), T.hd(new))
+                )
+        return cons, anchors
+
+    def tail_anchor_terms(self) -> List[Anchor]:
+        """Anchors for the head of every tail segment (not only leading)."""
+        anchors = []
+        for new, segs in self.composition.items():
+            offset = LinExpr.const_expr(0)
+            for i, seg in enumerate(segs):
+                if seg.kind == TAIL and i > 0:
+                    anchors.append(
+                        Anchor(
+                            seg.word,
+                            LinExpr.const_expr(1),
+                            f"{seg.word}[@1]",
+                        )
+                    )
+                offset = offset + seg.length_expr()
+        return anchors
+
+    def nonempty_constraints(self) -> List[Constraint]:
+        """Old words are non-empty; tail segments need len >= 2."""
+        cons = []
+        for segs in self.composition.values():
+            for seg in segs:
+                minimum = 2 if seg.kind == TAIL else 1
+                cons.append(
+                    Constraint.ge(LinExpr.var(T.length(seg.word)), minimum)
+                )
+        return cons
+
+
+def _placements_for(
+    var: str, word: str, reco: Recomposition, aux_counter: List[int]
+) -> List[_Placement]:
+    """All placements of position variable ``var`` ranging over ``word``."""
+    if word in reco.unchanged:
+        return [_Placement([], T.elem(word, var), Anchor(word, LinExpr.var(var), T.elem(word, var)))]
+    placements: List[_Placement] = []
+    offset = LinExpr.const_expr(0)
+    y = LinExpr.var(var)
+    for seg in reco.composition[word]:
+        if seg.kind == HEAD:
+            placements.append(
+                _Placement([Constraint.eq(y, offset)], T.hd(seg.word), None)
+            )
+        elif seg.kind == WHOLE:
+            # head of the segment
+            placements.append(
+                _Placement([Constraint.eq(y, offset)], T.hd(seg.word), None)
+            )
+            # inside the tail of the segment: y = offset + j, j in tl(word)
+            aux_counter[0] += 1
+            j = f"$j{aux_counter[0]}"
+            elem = T.elem(seg.word, j)
+            placements.append(
+                _Placement(
+                    [
+                        Constraint.eq(y, offset + LinExpr.var(j)),
+                        Constraint.ge(LinExpr.var(j), 1),
+                        Constraint.le(
+                            LinExpr.var(j),
+                            LinExpr.var(T.length(seg.word)) - 1,
+                        ),
+                    ],
+                    elem,
+                    Anchor(seg.word, LinExpr.var(j), elem),
+                )
+            )
+        else:  # TAIL: letters are word[1 .. len-1]
+            # head of the tail segment: old position 1
+            placements.append(
+                _Placement(
+                    [Constraint.eq(y, offset)],
+                    f"{seg.word}[@1]",
+                    Anchor(seg.word, LinExpr.const_expr(1), f"{seg.word}[@1]"),
+                )
+            )
+            # deeper: y = offset + j - 1 with old position j in [2, len-1]
+            aux_counter[0] += 1
+            j = f"$j{aux_counter[0]}"
+            elem = T.elem(seg.word, j)
+            placements.append(
+                _Placement(
+                    [
+                        Constraint.eq(y, offset + LinExpr.var(j) - 1),
+                        Constraint.ge(LinExpr.var(j), 2),
+                        Constraint.le(
+                            LinExpr.var(j),
+                            LinExpr.var(T.length(seg.word)) - 1,
+                        ),
+                    ],
+                    elem,
+                    Anchor(seg.word, LinExpr.var(j), elem),
+                )
+            )
+        offset = offset + seg.length_expr()
+    return placements
+
+
+def _instantiate_old_clauses(
+    clauses: Mapping[GuardInstance, Polyhedron],
+    anchors: Sequence[Anchor],
+    context: Polyhedron,
+    rounds: int = 2,
+) -> Polyhedron:
+    """Conjoin the bodies of old clauses at every applicable anchor tuple.
+
+    A clause ``forall y. g -> U`` contributes ``U[y := p]`` whenever the
+    current context entails ``g[y := p]`` for a tuple of anchors ``p`` whose
+    words match the clause's.  Applicability can be enabled by previously
+    imported bodies, so the process runs for a couple of rounds.
+    """
+    current = context
+    by_word: Dict[str, List[Anchor]] = {}
+    for a in anchors:
+        by_word.setdefault(a.word, []).append(a)
+    for _ in range(rounds):
+        additions: List[Constraint] = []
+        for gi, body in clauses.items():
+            if body.is_top():
+                continue
+            var_word = gi.var_word()
+            pools = []
+            applicable = True
+            for v in gi.posvars():
+                pool = by_word.get(var_word[v], [])
+                if not pool:
+                    applicable = False
+                    break
+                pools.append([(v, a) for a in pool])
+            if not applicable or not pools:
+                continue
+            guard_cons = list(gi.guard_poly().constraints)
+            for assignment in itertools.product(*pools):
+                subst: Dict[str, LinExpr] = {}
+                elem_rename: Dict[str, str] = {}
+                for v, anchor in assignment:
+                    subst[v] = anchor.pos
+                    elem_rename[T.elem(var_word[v], v)] = anchor.elem
+                ok = True
+                for g in guard_cons:
+                    inst = g.substitute(subst)
+                    if not current.entails(inst):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if body.is_bottom():
+                    # A vacuous clause whose guard is satisfiable in the
+                    # context would be unsound to instantiate; the guard
+                    # check above passed, so the context itself must be
+                    # infeasible -- return bottom.
+                    return Polyhedron.bottom()
+                for c in body.constraints:
+                    additions.append(c.rename(elem_rename).substitute(subst))
+        if not additions:
+            break
+        new = current.meet_constraints(additions)
+        if new.constraints == current.constraints:
+            break
+        current = new
+    return current
+
+
+def _filtered_context(E: Polyhedron, relevant: Set[str]) -> List[Constraint]:
+    """Constraints of E whose support lies in the relevant terms.
+
+    A cheap (sound) alternative to projection: dropping constraints only
+    weakens the context used for guard-applicability checks.
+    """
+    out = []
+    for c in E.constraints:
+        words = T.words_of_terms(c.support())
+        if all(w in relevant for w in words):
+            out.append(c)
+    return out
+
+
+def reinterpret(
+    old_E: Polyhedron,
+    old_clauses: Mapping[GuardInstance, Polyhedron],
+    reco: Recomposition,
+    patterns: PatternSet,
+    data_vars: Iterable[str] = (),
+) -> Tuple[Polyhedron, Dict[GuardInstance, Polyhedron]]:
+    """Re-express (E, clauses) over the recomposed vocabulary.
+
+    Returns the new quantifier-free part and the new clause map (sparse:
+    missing entries are top).
+    """
+    length_bridge = reco.length_bridge()
+    hd_bridge, hd_anchors = reco.hd_bridge()
+    base = old_E.meet_constraints(
+        length_bridge + hd_bridge + reco.nonempty_constraints()
+    )
+    if base.is_bottom():
+        return Polyhedron.bottom(), {}
+
+    # Step 1: the new quantifier-free part E'.
+    context = _instantiate_old_clauses(old_clauses, hd_anchors, base)
+    new_terms = _new_vocab_terms(reco, data_vars)
+    new_E = context.project(
+        [t for t in context.support() if _must_eliminate(t, reco, frozenset())]
+    )
+
+    # Step 2: clause bodies over the new vocabulary.
+    new_clauses: Dict[GuardInstance, Polyhedron] = {}
+    changed = set(reco.composition)
+    has_info = _info_words(old_E, old_clauses)
+    for gi in patterns.instances(sorted(reco.new_words)):
+        words = set(gi.words)
+        if not (words & changed):
+            body = _carry_unchanged_clause(gi, old_clauses, reco, new_terms)
+            if body is not None:
+                new_clauses[gi] = body
+            continue
+        involved_old = set()
+        sources: List[Set[str]] = []
+        for w in words:
+            if w in changed:
+                src = {s.word for s in reco.composition[w]}
+            else:
+                src = {w}
+            sources.append(src)
+            involved_old |= src
+        if not (involved_old & has_info):
+            continue  # body would be top anyway
+        if len(sources) == 2 and sources[0] != sources[1]:
+            if not _related(sources[0], sources[1], old_E, old_clauses):
+                continue  # no derivable cross-word relation
+        body = _compute_clause_body(
+            gi, old_E, old_clauses, reco, hd_anchors, new_terms, data_vars
+        )
+        if body is not None:
+            new_clauses[gi] = body
+    return new_E, new_clauses
+
+
+def _new_vocab_terms(reco: Recomposition, data_vars: Iterable[str]) -> Set[str]:
+    terms: Set[str] = set(data_vars)
+    for w in reco.new_words:
+        terms.add(T.hd(w))
+        terms.add(T.length(w))
+    return terms
+
+
+def _must_eliminate(term: str, reco: Recomposition, keep_posvars: frozenset) -> bool:
+    """Terms that cannot appear in the re-expressed value.
+
+    These are the terms of the (aliased) old changed words, auxiliary
+    position variables, and element/position terms whose position variable
+    is not one of the target guard's.
+    """
+    w = T.word_of(term)
+    if w is not None and w in reco.old_changed:
+        return True
+    parts = T.elem_parts(term)
+    if parts is not None:
+        return parts[1] not in keep_posvars
+    if term.startswith("$j"):
+        return True
+    if T.is_posvar(term):
+        return term not in keep_posvars
+    return False
+
+
+def _info_words(
+    old_E: Polyhedron, old_clauses: Mapping[GuardInstance, Polyhedron]
+) -> Set[str]:
+    """Old words about whose *contents* something is known.
+
+    Length-only facts produce length-only clause bodies, which the body
+    pruning would discard anyway -- only stored clauses and ``hd`` facts
+    warrant the (expensive) clause recomputation.
+    """
+    info: Set[str] = set()
+    for gi, body in old_clauses.items():
+        if not body.is_top():
+            info |= set(gi.words)
+    for term in old_E.support():
+        if T.is_hd(term):
+            info.add(T.word_of(term))
+    return info
+
+
+def _related(
+    src1: Set[str],
+    src2: Set[str],
+    old_E: Polyhedron,
+    old_clauses: Mapping[GuardInstance, Polyhedron],
+) -> bool:
+    """Can the contents of the two source groups be related at all?
+
+    A cross-word clause body can only tie elements of both groups when an
+    old clause already spans them, or some single E constraint links their
+    head terms.  Skipping unrelated pairs is a pure precision no-op (the
+    computed body would prune to top) and a large time saver.
+    """
+    for gi, body in old_clauses.items():
+        if body.is_top():
+            continue
+        gw = set(gi.words)
+        spans = gw & src1 and gw & src2
+        mentions = T.words_of_terms(body.support())
+        if spans or (
+            (gw | mentions) & src1 and (gw | mentions) & src2
+        ):
+            return True
+    for c in old_E.constraints:
+        words = T.words_of_terms(c.support())
+        if words & src1 and words & src2:
+            return True
+    return False
+
+
+def _carry_unchanged_clause(
+    gi: GuardInstance,
+    old_clauses: Mapping[GuardInstance, Polyhedron],
+    reco: Recomposition,
+    new_terms: Set[str],
+) -> Optional[Polyhedron]:
+    """A clause purely over unchanged words survives, with its body's
+    references to changed-word terms projected out (or rewritten when a
+    bridge equality exists, e.g. split keeps ``hd``)."""
+    body = old_clauses.get(gi)
+    if body is None or body.is_top():
+        return None
+    if body.is_bottom():
+        return body
+    keep_posvars = frozenset(gi.posvars())
+    drop = [t for t in body.support() if _must_eliminate(t, reco, keep_posvars)]
+    if not drop:
+        return body
+    # Give the projection a chance to rewrite through the bridge first
+    # (e.g. len(old) = len(head) + len(tail) after a split).
+    bridged = body.meet_constraints(reco.length_bridge() + reco.hd_bridge()[0])
+    out = bridged.project(
+        [t for t in bridged.support() if _must_eliminate(t, reco, keep_posvars)]
+    )
+    return None if out.is_top() else out
+
+
+def _compute_clause_body(
+    gi: GuardInstance,
+    old_E: Polyhedron,
+    old_clauses: Mapping[GuardInstance, Polyhedron],
+    reco: Recomposition,
+    hd_anchors: Sequence[Anchor],
+    new_terms: Set[str],
+    data_vars: Iterable[str],
+) -> Optional[Polyhedron]:
+    var_word = gi.var_word()
+    aux_counter = [0]
+    pools: List[List[Tuple[str, _Placement]]] = []
+    for v in gi.posvars():
+        options = _placements_for(v, var_word[v], reco, aux_counter)
+        pools.append([(v, p) for p in options])
+    guard = gi.guard_poly()
+    base_cons = (
+        reco.length_bridge()
+        + reco.hd_bridge()[0]
+        + reco.nonempty_constraints()
+        + list(guard.constraints)
+    )
+    relevant = set(reco.old_changed) | set(gi.words) | set(reco.unchanged)
+    e_cons = _filtered_context(old_E, relevant)
+    cases: List[Polyhedron] = []
+    keep_posvars = frozenset(gi.posvars())
+    for combo in itertools.product(*pools) if pools else [()]:
+        cons = list(base_cons) + list(e_cons)
+        anchors: List[Anchor] = list(hd_anchors)
+        for v, placement in combo:
+            cons.extend(placement.constraints)
+            cons.append(
+                Constraint.eq(
+                    LinExpr.var(T.elem(var_word[v], v)),
+                    LinExpr.var(placement.elem_term),
+                )
+            )
+            if placement.anchor is not None:
+                anchors.append(placement.anchor)
+        ctx = Polyhedron(cons)
+        if ctx.is_bottom():
+            continue
+        enriched = _instantiate_old_clauses(old_clauses, anchors, ctx)
+        if enriched.is_bottom():
+            continue
+        cases.append(
+            enriched.project(
+                [
+                    t
+                    for t in enriched.support()
+                    if _must_eliminate(t, reco, keep_posvars)
+                ]
+            )
+        )
+    if not cases:
+        return Polyhedron.bottom()  # provably vacuous guard
+    body = cases[0]
+    for c in cases[1:]:
+        body = body.join(c)
+    return None if body.is_top() else body

@@ -1,0 +1,150 @@
+"""Canonical term names shared by the LDW domains.
+
+All domains express constraints over *named terms* (plain strings) so they
+can reuse the numeric layer directly.  This module centralizes the naming
+scheme:
+
+=============  ==========================  =========================
+term           meaning                     producer
+=============  ==========================  =========================
+``hd(n)``      first letter of word n      :func:`hd`
+``len(n)``     length of word n            :func:`length`
+``n[y1]``      letter of n at position y1  :func:`elem`
+``y1``         quantified position         :func:`posvar`
+``d``          integer program variable    plain name
+``mhd(n)``     singleton {hd(n)}           :func:`mhd` (AM only)
+``mtl(n)``     multiset of the tail of n   :func:`mtl` (AM only)
+=============  ==========================  =========================
+
+Word variables are named after backbone nodes (``n3``) or snapshot copies
+(``n3$0``); data variables are LISL identifiers, with ``$0`` marking the
+entry-point copy.  ``$`` never occurs in LISL identifiers, so generated
+names cannot collide with program variables.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+_HD = re.compile(r"^hd\((?P<w>[^()\[\]]+)\)$")
+_LEN = re.compile(r"^len\((?P<w>[^()\[\]]+)\)$")
+_ELEM = re.compile(r"^(?P<w>[^()\[\]]+)\[(?P<y>[^()\[\]]+)\]$")
+_MHD = re.compile(r"^mhd\((?P<w>[^()\[\]]+)\)$")
+_MTL = re.compile(r"^mtl\((?P<w>[^()\[\]]+)\)$")
+_POS = re.compile(r"^y\d+$")
+
+
+def hd(word: str) -> str:
+    """The term denoting the first letter of ``word``."""
+    return f"hd({word})"
+
+
+def length(word: str) -> str:
+    """The term denoting the length of ``word``."""
+    return f"len({word})"
+
+
+def elem(word: str, pos: str) -> str:
+    """The term denoting the letter of ``word`` at position ``pos``."""
+    return f"{word}[{pos}]"
+
+
+def posvar(index: int) -> str:
+    """The canonical i-th quantified position variable (1-based)."""
+    return f"y{index}"
+
+
+def mhd(word: str) -> str:
+    """AM term: the singleton multiset holding the first letter."""
+    return f"mhd({word})"
+
+
+def mtl(word: str) -> str:
+    """AM term: the multiset of all letters but the first."""
+    return f"mtl({word})"
+
+
+def is_hd(term: str) -> bool:
+    return _HD.match(term) is not None
+
+
+def is_len(term: str) -> bool:
+    return _LEN.match(term) is not None
+
+
+def is_elem(term: str) -> bool:
+    return _ELEM.match(term) is not None
+
+
+def is_posvar(term: str) -> bool:
+    return _POS.match(term) is not None
+
+
+def is_mhd(term: str) -> bool:
+    return _MHD.match(term) is not None
+
+
+def is_mtl(term: str) -> bool:
+    return _MTL.match(term) is not None
+
+
+def word_of(term: str) -> Optional[str]:
+    """The word variable a term refers to, or None for data/position terms."""
+    for rx in (_HD, _LEN, _ELEM, _MHD, _MTL):
+        m = rx.match(term)
+        if m:
+            return m.group("w")
+    return None
+
+
+def elem_parts(term: str) -> Optional[Tuple[str, str]]:
+    """For an element term ``w[y]`` return (w, y)."""
+    m = _ELEM.match(term)
+    if m:
+        return (m.group("w"), m.group("y"))
+    return None
+
+
+def words_of_terms(terms: Iterable[str]) -> FrozenSet[str]:
+    """All word variables mentioned by a collection of terms."""
+    out: Set[str] = set()
+    for t in terms:
+        w = word_of(t)
+        if w is not None:
+            out.add(w)
+    return frozenset(out)
+
+
+def terms_of_word(word: str, terms: Iterable[str]) -> FrozenSet[str]:
+    """The subset of ``terms`` that mention ``word``."""
+    return frozenset(t for t in terms if word_of(t) == word)
+
+
+def rename_term(term: str, mapping) -> str:
+    """Rename the word variable inside a term (data terms pass through)."""
+    m = _HD.match(term)
+    if m:
+        return hd(mapping.get(m.group("w"), m.group("w")))
+    m = _LEN.match(term)
+    if m:
+        return length(mapping.get(m.group("w"), m.group("w")))
+    m = _ELEM.match(term)
+    if m:
+        return elem(mapping.get(m.group("w"), m.group("w")), m.group("y"))
+    m = _MHD.match(term)
+    if m:
+        return mhd(mapping.get(m.group("w"), m.group("w")))
+    m = _MTL.match(term)
+    if m:
+        return mtl(mapping.get(m.group("w"), m.group("w")))
+    return term
+
+
+def entry_copy(name: str) -> str:
+    """The entry-point snapshot copy of a program variable or node name."""
+    return f"{name}$0"
+
+
+def is_entry_copy(name: str) -> bool:
+    return name.endswith("$0")

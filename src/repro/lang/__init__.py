@@ -1,0 +1,37 @@
+"""LISL: the list/scalar language of the paper (§2), with frontend.
+
+The paper analyzes C programs (through Frama-C) restricted to
+singly-linked lists with one integer data field and integer scalars.  LISL
+is a small concrete language generating exactly the paper's statement
+alphabet:
+
+- pointer statements ``p = NULL | q | q->next | new``, ``p->next = q``;
+- data statements ``p->data = t``, ``d = t`` with ``t`` affine over data
+  variables and ``q->data`` terms;
+- conditions on pointers (``p == q``) and on data;
+- ``assert``/``assume``, ``if``/``while``, and procedure calls
+  ``(y, ...) = Q(x, ...)`` with call-by-value parameters.
+
+Pipeline: :mod:`lexer` → :mod:`parser` → :mod:`typecheck` →
+:mod:`normalize` (three-address form: dereferences lifted out of
+conditions and nested expressions) → :mod:`cfg` (intra-procedural CFGs and
+the ICFG).  :mod:`benchlib` holds the paper's benchmark programs.
+"""
+
+from repro.lang.ast import Program, Procedure
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program, TypeError_
+from repro.lang.normalize import normalize_program
+from repro.lang.cfg import build_icfg, ICFG, CFG
+
+__all__ = [
+    "Program",
+    "Procedure",
+    "parse_program",
+    "typecheck_program",
+    "TypeError_",
+    "normalize_program",
+    "build_icfg",
+    "ICFG",
+    "CFG",
+]

@@ -1,0 +1,289 @@
+"""Abstract syntax of LISL.
+
+Expressions
+-----------
+- pointer expressions: ``Var`` (of list type), ``Null``, ``NextOf(p)``;
+- data expressions: integer literals, ``Var`` (of int type), ``DataOf(p)``,
+  and affine combinations via ``BinOp`` (+, -, and * by a constant);
+- conditions: pointer (in)equality, data comparisons, boolean combinations.
+
+Statements
+----------
+Assignments, heap writes, ``new``, calls with tuple results, ``if``,
+``while``, ``assert``/``assume`` and ``skip``.  ``assert``/``assume`` take
+:class:`SpecFormula` -- a conjunction of shape atoms (``ls``-described
+graphs are built by the assertion layer) and data formulas, plus the
+derived predicates used in §6 (``sorted``, ``ms_eq``, ``equal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+LIST = "list"
+INT = "int"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Null(Expr):
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class NewCell(Expr):
+    def __str__(self) -> str:
+        return "new"
+
+
+@dataclass(frozen=True)
+class NextOf(Expr):
+    base: Var
+
+    def __str__(self) -> str:
+        return f"{self.base}->next"
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class DataOf(Expr):
+    base: Var
+
+    def __str__(self) -> str:
+        return f"{self.base}->data"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - *
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+
+
+@dataclass(frozen=True)
+class Cond:
+    pass
+
+
+@dataclass(frozen=True)
+class PtrCmp(Cond):
+    op: str  # == or !=
+    left: Expr  # pointer expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class DataCmp(Cond):
+    op: str  # == != < <= > >=
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp(Cond):
+    op: str  # && or ||
+    left: Cond
+    right: Cond
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotCond(Cond):
+    inner: Cond
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+# ---------------------------------------------------------------------------
+# Spec formulas (assert / assume, §6)
+
+
+@dataclass(frozen=True)
+class SpecAtom:
+    """Derived predicates: sorted(x), ms_eq(x, y), equal(x, y), or a data
+    comparison over program variables (and len(x) pseudo-terms)."""
+
+    kind: str  # "sorted" | "ms_eq" | "equal" | "data"
+    args: Tuple[str, ...] = ()
+    cmp: Optional[DataCmp] = None
+
+    def __str__(self) -> str:
+        if self.kind == "data":
+            return str(self.cmp)
+        return f"{self.kind}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class SpecFormula:
+    atoms: Tuple[SpecAtom, ...]
+
+    def __str__(self) -> str:
+        return " && ".join(str(a) for a in self.atoms) if self.atoms else "true"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where value is a pointer/data expression or new."""
+
+    target: str = ""
+    value: Expr = None
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass
+class StoreNext(Stmt):
+    """``p->next = q`` (q a pointer variable or NULL)."""
+
+    target: str = ""
+    value: Expr = None
+
+    def __str__(self) -> str:
+        return f"{self.target}->next = {self.value};"
+
+
+@dataclass
+class StoreData(Stmt):
+    """``p->data = t``."""
+
+    target: str = ""
+    value: Expr = None
+
+    def __str__(self) -> str:
+        return f"{self.target}->data = {self.value};"
+
+
+@dataclass
+class Call(Stmt):
+    """``(y1, ..., yk) = proc(x1, ..., xn)``."""
+
+    targets: Tuple[str, ...] = ()
+    proc: str = ""
+    args: Tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.targets)
+        rhs = ", ".join(str(a) for a in self.args)
+        return f"({lhs}) = {self.proc}({rhs});"
+
+
+@dataclass
+class If(Stmt):
+    cond: Cond = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Cond = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Assert(Stmt):
+    formula: SpecFormula = None
+
+
+@dataclass
+class Assume(Stmt):
+    formula: SpecFormula = None
+
+
+@dataclass
+class Skip(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Procedures and programs
+
+
+@dataclass
+class Param:
+    name: str
+    type: str  # LIST or INT
+
+
+@dataclass
+class Procedure:
+    name: str
+    inputs: List[Param]
+    outputs: List[Param]
+    locals: List[Param]
+    body: List[Stmt]
+    line: int = 0
+
+    def all_vars(self) -> List[Param]:
+        return list(self.inputs) + list(self.outputs) + list(self.locals)
+
+    def pointer_vars(self) -> List[str]:
+        return [p.name for p in self.all_vars() if p.type == LIST]
+
+    def data_vars(self) -> List[str]:
+        return [p.name for p in self.all_vars() if p.type == INT]
+
+
+@dataclass
+class Program:
+    procedures: List[Procedure]
+
+    def proc(self, name: str) -> Procedure:
+        for p in self.procedures:
+            if p.name == name:
+                return p
+        raise KeyError(f"no procedure named {name!r}")
+
+    def names(self) -> List[str]:
+        return [p.name for p in self.procedures]

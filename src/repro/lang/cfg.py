@@ -1,0 +1,439 @@
+"""Control-flow graphs and the inter-procedural CFG (paper §2).
+
+Each procedure gets a CFG whose edges carry *operations* -- the primitive
+statement alphabet the abstract transformers implement:
+
+=====================  =====================================================
+operation              meaning
+=====================  =====================================================
+``OpAssignPtr``        ``p = NULL | q | q->next | new``
+``OpStoreNext``        ``p->next = q`` (q a variable or None for NULL)
+``OpStoreData``        ``p->data = t``
+``OpAssignData``       ``d = t``
+``OpAssumePtr``        branch: ``p == q`` / ``p != q`` (q may be None=NULL)
+``OpAssumeData``       branch: affine comparison (``!=`` is split in two)
+``OpCall``             ``(y...) = Q(x...)`` -- replaced by call/return
+                       edges in the ICFG sense during the analysis
+``OpAssume/OpAssert``  spec formulas (§6)
+``OpSkip``             no-op
+=====================  =====================================================
+
+Boolean conditions are compiled to short-circuit branches; dereferences in
+conditions (``p->next == NULL``, ``p->data < d``) are lifted onto fresh
+temporary variables *at the evaluation point*, so loops re-evaluate them
+each iteration.  While-loop heads are flagged as widening points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang import ast as A
+
+
+# ---------------------------------------------------------------------------
+# Edge operations
+
+
+@dataclass(frozen=True)
+class Op:
+    pass
+
+
+@dataclass(frozen=True)
+class OpSkip(Op):
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class OpAssignPtr(Op):
+    target: str
+    kind: str  # "null" | "var" | "next" | "new"
+    source: Optional[str] = None  # for var/next
+
+    def __str__(self) -> str:
+        rhs = {
+            "null": "NULL",
+            "var": self.source,
+            "next": f"{self.source}->next",
+            "new": "new",
+        }[self.kind]
+        return f"{self.target} = {rhs}"
+
+
+@dataclass(frozen=True)
+class OpStoreNext(Op):
+    target: str
+    source: Optional[str]  # None = NULL
+
+    def __str__(self) -> str:
+        return f"{self.target}->next = {self.source or 'NULL'}"
+
+
+@dataclass(frozen=True)
+class OpStoreData(Op):
+    target: str
+    expr: A.Expr
+
+    def __str__(self) -> str:
+        return f"{self.target}->data = {self.expr}"
+
+
+@dataclass(frozen=True)
+class OpAssignData(Op):
+    target: str
+    expr: A.Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class OpAssumePtr(Op):
+    left: str
+    right: Optional[str]  # None = NULL
+    equal: bool
+
+    def __str__(self) -> str:
+        op = "==" if self.equal else "!="
+        return f"assume {self.left} {op} {self.right or 'NULL'}"
+
+
+@dataclass(frozen=True)
+class OpAssumeData(Op):
+    op: str  # == < <= > >=
+    left: A.Expr
+    right: A.Expr
+
+    def __str__(self) -> str:
+        return f"assume {self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class OpCall(Op):
+    targets: Tuple[str, ...]
+    proc: str
+    args: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"({', '.join(self.targets)}) = {self.proc}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class OpAssume(Op):
+    formula: A.SpecFormula
+
+    def __str__(self) -> str:
+        return f"assume {self.formula}"
+
+
+@dataclass(frozen=True)
+class OpAssert(Op):
+    formula: A.SpecFormula
+
+    def __str__(self) -> str:
+        return f"assert {self.formula}"
+
+
+# ---------------------------------------------------------------------------
+# Graphs
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    op: Op
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.src} --[{self.op}]--> {self.dst}"
+
+
+class CFG:
+    """The control-flow graph of one procedure."""
+
+    def __init__(self, proc: A.Procedure):
+        self.proc_name = proc.name
+        self.inputs = list(proc.inputs)
+        self.outputs = list(proc.outputs)
+        self.locals = list(proc.locals)
+        self.pointer_vars: List[str] = [
+            p.name for p in proc.all_vars() if p.type == A.LIST
+        ]
+        self.data_vars: List[str] = [
+            p.name for p in proc.all_vars() if p.type == A.INT
+        ]
+        self.edges: List[Edge] = []
+        self.widen_points: Set[int] = set()
+        self._count = 0
+        self.entry = self.new_node()
+        self.exit: int = -1  # set by the builder
+        self.node_lines: Dict[int, int] = {}
+
+    def new_node(self, line: int = 0) -> int:
+        node = self._count
+        self._count += 1
+        if line:
+            self.node_lines[node] = line
+        return node
+
+    def add_edge(self, src: int, dst: int, op: Op, line: int = 0) -> None:
+        self.edges.append(Edge(src, dst, op, line))
+
+    def nodes(self) -> range:
+        return range(self._count)
+
+    def out_edges(self, node: int) -> List[Edge]:
+        return [e for e in self.edges if e.src == node]
+
+    def add_temp(self, name: str, typ: str) -> None:
+        self.locals.append(A.Param(name, typ))
+        if typ == A.LIST:
+            self.pointer_vars.append(name)
+        else:
+            self.data_vars.append(name)
+
+    def call_sites(self) -> List[Edge]:
+        return [e for e in self.edges if isinstance(e.op, OpCall)]
+
+    def loop_count(self) -> int:
+        return len(self.widen_points)
+
+    def __str__(self) -> str:
+        lines = [f"proc {self.proc_name}: entry={self.entry} exit={self.exit}"]
+        lines.extend(f"  {e}" for e in self.edges)
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.temp_count = 0
+
+    def fresh(self, typ: str) -> str:
+        self.temp_count += 1
+        name = f"$c{self.temp_count}"
+        self.cfg.add_temp(name, typ)
+        return name
+
+    # -- statements ---------------------------------------------------------
+
+    def build_body(self, body: List[A.Stmt], src: int) -> int:
+        current = src
+        for stmt in body:
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(self, stmt: A.Stmt, src: int) -> int:
+        cfg = self.cfg
+        line = stmt.line
+        if isinstance(stmt, A.Skip):
+            return src
+        if isinstance(stmt, A.Assign):
+            return self._build_assign(stmt, src)
+        if isinstance(stmt, A.StoreNext):
+            dst = cfg.new_node(line)
+            value = None if isinstance(stmt.value, A.Null) else stmt.value.name
+            cfg.add_edge(src, dst, OpStoreNext(stmt.target, value), line)
+            return dst
+        if isinstance(stmt, A.StoreData):
+            dst = cfg.new_node(line)
+            cfg.add_edge(src, dst, OpStoreData(stmt.target, stmt.value), line)
+            return dst
+        if isinstance(stmt, A.Call):
+            dst = cfg.new_node(line)
+            args = tuple(a.name for a in stmt.args)  # normalized: vars only
+            cfg.add_edge(src, dst, OpCall(stmt.targets, stmt.proc, args), line)
+            return dst
+        if isinstance(stmt, A.If):
+            then_entry = cfg.new_node(line)
+            else_entry = cfg.new_node(line)
+            join = cfg.new_node(line)
+            self.build_cond(stmt.cond, src, then_entry, else_entry, line)
+            then_end = self.build_body(stmt.then_body, then_entry)
+            else_end = self.build_body(stmt.else_body, else_entry)
+            cfg.add_edge(then_end, join, OpSkip(), line)
+            cfg.add_edge(else_end, join, OpSkip(), line)
+            return join
+        if isinstance(stmt, A.While):
+            head = cfg.new_node(line)
+            cfg.add_edge(src, head, OpSkip(), line)
+            cfg.widen_points.add(head)
+            body_entry = cfg.new_node(line)
+            after = cfg.new_node(line)
+            self.build_cond(stmt.cond, head, body_entry, after, line)
+            body_end = self.build_body(stmt.body, body_entry)
+            cfg.add_edge(body_end, head, OpSkip(), line)
+            return after
+        if isinstance(stmt, A.Assume):
+            dst = cfg.new_node(line)
+            cfg.add_edge(src, dst, OpAssume(stmt.formula), line)
+            return dst
+        if isinstance(stmt, A.Assert):
+            dst = cfg.new_node(line)
+            cfg.add_edge(src, dst, OpAssert(stmt.formula), line)
+            return dst
+        raise ValueError(f"cannot build CFG for {stmt!r}")
+
+    def _build_assign(self, stmt: A.Assign, src: int) -> int:
+        cfg = self.cfg
+        line = stmt.line
+        dst = cfg.new_node(line)
+        value = stmt.value
+        if isinstance(value, A.NewCell):
+            cfg.add_edge(src, dst, OpAssignPtr(stmt.target, "new"), line)
+        elif isinstance(value, A.Null):
+            cfg.add_edge(src, dst, OpAssignPtr(stmt.target, "null"), line)
+        elif isinstance(value, A.NextOf):
+            cfg.add_edge(
+                src, dst, OpAssignPtr(stmt.target, "next", value.base.name), line
+            )
+        elif isinstance(value, A.Var) and stmt.target in cfg.pointer_vars:
+            cfg.add_edge(
+                src, dst, OpAssignPtr(stmt.target, "var", value.name), line
+            )
+        else:
+            cfg.add_edge(src, dst, OpAssignData(stmt.target, value), line)
+        return dst
+
+    # -- conditions ------------------------------------------------------------
+
+    def build_cond(
+        self, cond: A.Cond, src: int, then_dst: int, else_dst: int, line: int
+    ) -> None:
+        cfg = self.cfg
+        if isinstance(cond, A.BoolOp) and cond.op == "&&":
+            mid = cfg.new_node(line)
+            self.build_cond(cond.left, src, mid, else_dst, line)
+            self.build_cond(cond.right, mid, then_dst, else_dst, line)
+            return
+        if isinstance(cond, A.BoolOp) and cond.op == "||":
+            mid = cfg.new_node(line)
+            self.build_cond(cond.left, src, then_dst, mid, line)
+            self.build_cond(cond.right, mid, then_dst, else_dst, line)
+            return
+        if isinstance(cond, A.NotCond):
+            self.build_cond(cond.inner, src, else_dst, then_dst, line)
+            return
+        if isinstance(cond, A.PtrCmp):
+            src, left = self._ptr_operand(cond.left, src, line)
+            src, right = self._ptr_operand(cond.right, src, line)
+            if left is None and right is None:  # NULL == NULL
+                target = then_dst if cond.op == "==" else else_dst
+                cfg.add_edge(src, target, OpSkip(), line)
+                return
+            if left is None:  # keep a variable on the left
+                left, right = right, left
+            cfg.add_edge(src, then_dst, OpAssumePtr(left, right, cond.op == "=="), line)
+            cfg.add_edge(src, else_dst, OpAssumePtr(left, right, cond.op != "=="), line)
+            return
+        if isinstance(cond, A.DataCmp):
+            if cond.op == "!=":
+                cfg.add_edge(
+                    src, then_dst, OpAssumeData("<", cond.left, cond.right), line
+                )
+                cfg.add_edge(
+                    src, then_dst, OpAssumeData(">", cond.left, cond.right), line
+                )
+                cfg.add_edge(
+                    src, else_dst, OpAssumeData("==", cond.left, cond.right), line
+                )
+                return
+            negations = {"==": "!=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+            cfg.add_edge(
+                src, then_dst, OpAssumeData(cond.op, cond.left, cond.right), line
+            )
+            neg = negations[cond.op]
+            if neg == "!=":
+                cfg.add_edge(
+                    src, else_dst, OpAssumeData("<", cond.left, cond.right), line
+                )
+                cfg.add_edge(
+                    src, else_dst, OpAssumeData(">", cond.left, cond.right), line
+                )
+            else:
+                cfg.add_edge(
+                    src, else_dst, OpAssumeData(neg, cond.left, cond.right), line
+                )
+            return
+        raise ValueError(f"cannot build condition {cond!r}")
+
+    def _ptr_operand(
+        self, expr: A.Expr, src: int, line: int
+    ) -> Tuple[int, Optional[str]]:
+        """Return (new src node, variable name or None for NULL)."""
+        cfg = self.cfg
+        if isinstance(expr, A.Null):
+            return src, None
+        if isinstance(expr, A.Var):
+            return src, expr.name
+        if isinstance(expr, A.NextOf):
+            tmp = self.fresh(A.LIST)
+            mid = cfg.new_node(line)
+            cfg.add_edge(
+                src, mid, OpAssignPtr(tmp, "next", expr.base.name), line
+            )
+            return mid, tmp
+        raise ValueError(f"bad pointer operand {expr!r}")
+
+
+def build_cfg(proc: A.Procedure) -> CFG:
+    cfg = CFG(proc)
+    builder = _Builder(cfg)
+    end = builder.build_body(proc.body, cfg.entry)
+    cfg.exit = end
+    return cfg
+
+
+class ICFG:
+    """All procedure CFGs plus call-graph metadata."""
+
+    def __init__(self, cfgs: Dict[str, CFG]):
+        self.cfgs = cfgs
+
+    def cfg(self, name: str) -> CFG:
+        return self.cfgs[name]
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        graph: Dict[str, Set[str]] = {name: set() for name in self.cfgs}
+        for name, cfg in self.cfgs.items():
+            for edge in cfg.call_sites():
+                graph[name].add(edge.op.proc)
+        return graph
+
+    def recursive_procs(self) -> Set[str]:
+        """Procedures on a call-graph cycle (including self-recursion)."""
+        graph = self.call_graph()
+        recursive: Set[str] = set()
+        for start in graph:
+            stack = [start]
+            seen: Set[str] = set()
+            while stack:
+                current = stack.pop()
+                for callee in graph.get(current, ()):
+                    if callee == start:
+                        recursive.add(start)
+                        stack = []
+                        break
+                    if callee not in seen:
+                        seen.add(callee)
+                        stack.append(callee)
+        return recursive
+
+    def recursion_count(self, name: str) -> int:
+        """Number of call sites in ``name`` that may recurse back to it."""
+        recursive = self.recursive_procs()
+        if name not in recursive:
+            return 0
+        return sum(
+            1
+            for e in self.cfgs[name].call_sites()
+            if e.op.proc == name or e.op.proc in recursive
+        )
+
+
+def build_icfg(program: A.Program) -> ICFG:
+    return ICFG({p.name: build_cfg(p) for p in program.procedures})

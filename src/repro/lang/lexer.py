@@ -1,0 +1,119 @@
+"""Tokenizer for LISL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "proc",
+    "returns",
+    "local",
+    "list",
+    "int",
+    "if",
+    "else",
+    "while",
+    "assert",
+    "assume",
+    "skip",
+    "new",
+    "NULL",
+    "next",
+    "data",
+    "true",
+    "false",
+}
+
+SYMBOLS = [
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "kw" | "sym" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn LISL source text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line))
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

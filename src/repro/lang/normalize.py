@@ -1,0 +1,97 @@
+"""AST normalization: three-address form for the statement alphabet of §2.
+
+After this pass:
+
+- call arguments are plain variables (nested expressions are lifted into
+  fresh temporaries ``$a<i>``);
+- ``p = <complex data expr>`` stays (the transformer handles affine terms
+  with ``q->data`` occurrences directly);
+- conditions keep their boolean structure; dereferences *inside* conditions
+  are lifted by the CFG builder (which controls evaluation points), not
+  here.
+
+Fresh temporaries use ``$`` which cannot appear in source identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang import ast as A
+
+
+class _Normalizer:
+    def __init__(self, proc: A.Procedure):
+        self.proc = proc
+        self.counter = 0
+        self.new_locals: List[A.Param] = []
+
+    def fresh(self, typ: str) -> str:
+        self.counter += 1
+        name = f"$a{self.counter}"
+        self.new_locals.append(A.Param(name, typ))
+        return name
+
+    def normalize_body(self, body: List[A.Stmt]) -> List[A.Stmt]:
+        out: List[A.Stmt] = []
+        for stmt in body:
+            out.extend(self.normalize_stmt(stmt))
+        return out
+
+    def normalize_stmt(self, stmt: A.Stmt) -> List[A.Stmt]:
+        if isinstance(stmt, A.Call):
+            pre: List[A.Stmt] = []
+            args = []
+            types = {p.name: p.type for p in self.proc.all_vars()}
+            types.update({p.name: p.type for p in self.new_locals})
+            for arg in stmt.args:
+                if isinstance(arg, A.Var):
+                    args.append(arg)
+                    continue
+                typ = A.LIST if isinstance(arg, (A.Null, A.NextOf)) else A.INT
+                tmp = self.fresh(typ)
+                pre.append(A.Assign(line=stmt.line, target=tmp, value=arg))
+                args.append(A.Var(tmp))
+            return pre + [
+                A.Call(
+                    line=stmt.line,
+                    targets=stmt.targets,
+                    proc=stmt.proc,
+                    args=tuple(args),
+                )
+            ]
+        if isinstance(stmt, A.If):
+            return [
+                A.If(
+                    line=stmt.line,
+                    cond=stmt.cond,
+                    then_body=self.normalize_body(stmt.then_body),
+                    else_body=self.normalize_body(stmt.else_body),
+                )
+            ]
+        if isinstance(stmt, A.While):
+            return [
+                A.While(
+                    line=stmt.line,
+                    cond=stmt.cond,
+                    body=self.normalize_body(stmt.body),
+                )
+            ]
+        return [stmt]
+
+
+def normalize_procedure(proc: A.Procedure) -> A.Procedure:
+    normalizer = _Normalizer(proc)
+    body = normalizer.normalize_body(proc.body)
+    return A.Procedure(
+        proc.name,
+        proc.inputs,
+        proc.outputs,
+        list(proc.locals) + normalizer.new_locals,
+        body,
+        proc.line,
+    )
+
+
+def normalize_program(program: A.Program) -> A.Program:
+    return A.Program([normalize_procedure(p) for p in program.procedures])

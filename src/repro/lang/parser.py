@@ -1,0 +1,378 @@
+"""Recursive-descent parser for LISL.
+
+Grammar (see :mod:`repro.lang` for the surface description)::
+
+    program   := proc*
+    proc      := "proc" ID "(" params? ")" "returns" "(" params? ")" block
+    params    := param ("," param)*          param := ID ":" ("list"|"int")
+    block     := "{" local* stmt* "}"
+    local     := "local" ID ("," ID)* ":" ("list"|"int") ";"
+    stmt      := simple ";" | if | while | "assert" spec ";" | "assume" spec ";"
+    simple    := lhs "=" rhs | ID "->" ("next"|"data") "=" expr
+               | "(" ID ("," ID)* ")" "=" ID "(" args ")" | "skip"
+    rhs       := "new" | expr | ID "(" args ")"
+    expr      := additive over atoms; atom := NUM | "NULL" | ID
+               | ID "->" ("next"|"data") | "(" expr ")" | "-" atom
+    cond      := disjunction of conjunctions of (possibly negated) atoms;
+                 atomcond := expr ("=="|"!="|"<"|"<="|">"|">=") expr
+    spec      := specatom ("&&" specatom)*
+    specatom  := "sorted" "(" ID ")" | "ms_eq" "(" ID "," ID ")"
+               | "equal" "(" ID "," ID ")" | atomcond
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line)
+        return tok
+
+    def expect_id(self) -> Token:
+        tok = self.next()
+        if tok.kind != "id":
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.line)
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    # -- grammar --------------------------------------------------------------
+
+    def program(self) -> A.Program:
+        procs = []
+        while not self.at(""):
+            procs.append(self.procedure())
+        return A.Program(procs)
+
+    def procedure(self) -> A.Procedure:
+        start = self.expect("proc")
+        name = self.expect_id().text
+        self.expect("(")
+        inputs = self.params()
+        self.expect(")")
+        self.expect("returns")
+        self.expect("(")
+        outputs = self.params()
+        self.expect(")")
+        locals_, body = self.block()
+        return A.Procedure(name, inputs, outputs, locals_, body, start.line)
+
+    def params(self) -> List[A.Param]:
+        out: List[A.Param] = []
+        if self.at(")"):
+            return out
+        while True:
+            names = [self.expect_id().text]
+            while self.at(","):
+                # lookahead: "a, b: t" groups names; "a: t, b: u" starts anew
+                save = self.pos
+                self.next()
+                if self.peek().kind == "id" and self.peek(1).text in (",", ":"):
+                    names.append(self.expect_id().text)
+                else:
+                    self.pos = save
+                    break
+            self.expect(":")
+            typ = self.type_name()
+            out.extend(A.Param(n, typ) for n in names)
+            if self.at(","):
+                self.next()
+            else:
+                break
+        return out
+
+    def type_name(self) -> str:
+        tok = self.next()
+        if tok.text not in (A.LIST, A.INT):
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.line)
+        return tok.text
+
+    def block(self) -> Tuple[List[A.Param], List[A.Stmt]]:
+        self.expect("{")
+        locals_: List[A.Param] = []
+        while self.at("local"):
+            self.next()
+            names = [self.expect_id().text]
+            while self.at(","):
+                self.next()
+                names.append(self.expect_id().text)
+            self.expect(":")
+            typ = self.type_name()
+            self.expect(";")
+            locals_.extend(A.Param(n, typ) for n in names)
+        body: List[A.Stmt] = []
+        while not self.at("}"):
+            body.append(self.statement())
+        self.expect("}")
+        return locals_, body
+
+    def inner_block(self) -> List[A.Stmt]:
+        self.expect("{")
+        body: List[A.Stmt] = []
+        while not self.at("}"):
+            body.append(self.statement())
+        self.expect("}")
+        return body
+
+    def statement(self) -> A.Stmt:
+        tok = self.peek()
+        if tok.text == "if":
+            return self.if_stmt()
+        if tok.text == "while":
+            return self.while_stmt()
+        if tok.text == "assert":
+            self.next()
+            spec = self.spec_formula()
+            self.expect(";")
+            return A.Assert(line=tok.line, formula=spec)
+        if tok.text == "assume":
+            self.next()
+            spec = self.spec_formula()
+            self.expect(";")
+            return A.Assume(line=tok.line, formula=spec)
+        if tok.text == "skip":
+            self.next()
+            self.expect(";")
+            return A.Skip(line=tok.line)
+        if tok.text == "(":
+            return self.tuple_call()
+        return self.assignment()
+
+    def if_stmt(self) -> A.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.condition()
+        self.expect(")")
+        then_body = self.inner_block()
+        else_body: List[A.Stmt] = []
+        if self.at("else"):
+            self.next()
+            if self.at("if"):
+                else_body = [self.if_stmt()]
+            else:
+                else_body = self.inner_block()
+        return A.If(line=tok.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def while_stmt(self) -> A.While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.condition()
+        self.expect(")")
+        body = self.inner_block()
+        return A.While(line=tok.line, cond=cond, body=body)
+
+    def tuple_call(self) -> A.Call:
+        tok = self.expect("(")
+        targets = [self.expect_id().text]
+        while self.at(","):
+            self.next()
+            targets.append(self.expect_id().text)
+        self.expect(")")
+        self.expect("=")
+        proc = self.expect_id().text
+        self.expect("(")
+        args = self.call_args()
+        self.expect(")")
+        self.expect(";")
+        return A.Call(line=tok.line, targets=tuple(targets), proc=proc, args=tuple(args))
+
+    def assignment(self) -> A.Stmt:
+        tok = self.expect_id()
+        name = tok.text
+        if self.at("->"):
+            self.next()
+            field = self.next()
+            self.expect("=")
+            value = self.expression()
+            self.expect(";")
+            if field.text == "next":
+                return A.StoreNext(line=tok.line, target=name, value=value)
+            if field.text == "data":
+                return A.StoreData(line=tok.line, target=name, value=value)
+            raise ParseError(f"unknown field {field.text!r}", field.line)
+        self.expect("=")
+        # Call?  ID "(" only when followed by a call argument shape.
+        if self.peek().kind == "id" and self.peek(1).text == "(":
+            proc = self.expect_id().text
+            self.expect("(")
+            args = self.call_args()
+            self.expect(")")
+            self.expect(";")
+            return A.Call(line=tok.line, targets=(name,), proc=proc, args=tuple(args))
+        value = self.expression()
+        self.expect(";")
+        return A.Assign(line=tok.line, target=name, value=value)
+
+    def call_args(self) -> List[A.Expr]:
+        args: List[A.Expr] = []
+        if self.at(")"):
+            return args
+        args.append(self.expression())
+        while self.at(","):
+            self.next()
+            args.append(self.expression())
+        return args
+
+    # -- expressions -------------------------------------------------------------
+
+    def expression(self) -> A.Expr:
+        left = self.term()
+        while self.peek().text in ("+", "-"):
+            op = self.next().text
+            right = self.term()
+            left = A.BinOp(op, left, right)
+        return left
+
+    def term(self) -> A.Expr:
+        left = self.atom()
+        while self.at("*"):
+            op = self.next().text
+            right = self.atom()
+            left = A.BinOp(op, left, right)
+        return left
+
+    def atom(self) -> A.Expr:
+        tok = self.next()
+        if tok.text == "new":
+            return A.NewCell()
+        if tok.text == "NULL":
+            return A.Null()
+        if tok.kind == "num":
+            return A.IntLit(int(tok.text))
+        if tok.text == "-":
+            inner = self.atom()
+            return A.BinOp("-", A.IntLit(0), inner)
+        if tok.text == "(":
+            inner = self.expression()
+            self.expect(")")
+            return inner
+        if tok.kind == "id":
+            if self.at("->"):
+                self.next()
+                field = self.next()
+                if field.text == "next":
+                    return A.NextOf(A.Var(tok.text))
+                if field.text == "data":
+                    return A.DataOf(A.Var(tok.text))
+                raise ParseError(f"unknown field {field.text!r}", field.line)
+            return A.Var(tok.text)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+    # -- conditions ----------------------------------------------------------------
+
+    def condition(self) -> A.Cond:
+        left = self.conjunction()
+        while self.at("||"):
+            self.next()
+            right = self.conjunction()
+            left = A.BoolOp("||", left, right)
+        return left
+
+    def conjunction(self) -> A.Cond:
+        left = self.cond_atom()
+        while self.at("&&"):
+            self.next()
+            right = self.cond_atom()
+            left = A.BoolOp("&&", left, right)
+        return left
+
+    def cond_atom(self) -> A.Cond:
+        if self.at("!"):
+            self.next()
+            return A.NotCond(self.cond_atom())
+        if self.at("("):
+            # Could be a parenthesized condition or an arithmetic group;
+            # try condition first, fall back to comparison parsing.
+            save = self.pos
+            self.next()
+            try:
+                inner = self.condition()
+                self.expect(")")
+                return inner
+            except ParseError:
+                self.pos = save
+        left = self.expression()
+        op_tok = self.next()
+        if op_tok.text not in ("==", "!=", "<", "<=", ">", ">="):
+            raise ParseError(
+                f"expected comparison operator, found {op_tok.text!r}", op_tok.line
+            )
+        right = self.expression()
+        if _is_pointer_shape(left) or _is_pointer_shape(right):
+            if op_tok.text not in ("==", "!="):
+                raise ParseError("pointers compare only with == or !=", op_tok.line)
+            return A.PtrCmp(op_tok.text, left, right)
+        return A.DataCmp(op_tok.text, left, right)
+
+    # -- spec formulas ---------------------------------------------------------------
+
+    def spec_formula(self) -> A.SpecFormula:
+        atoms = [self.spec_atom()]
+        while self.at("&&"):
+            self.next()
+            atoms.append(self.spec_atom())
+        return A.SpecFormula(tuple(atoms))
+
+    def spec_atom(self) -> A.SpecAtom:
+        tok = self.peek()
+        if tok.kind == "id" and tok.text in ("sorted", "ms_eq", "equal"):
+            kind = self.next().text
+            self.expect("(")
+            args = [self.expect_id().text]
+            while self.at(","):
+                self.next()
+                args.append(self.expect_id().text)
+            self.expect(")")
+            expected = 1 if kind == "sorted" else 2
+            if len(args) != expected:
+                raise ParseError(f"{kind} expects {expected} argument(s)", tok.line)
+            return A.SpecAtom(kind, tuple(args))
+        cond = self.cond_atom()
+        if not isinstance(cond, A.DataCmp):
+            raise ParseError("spec atoms must be data comparisons", tok.line)
+        return A.SpecAtom("data", (), cond)
+
+
+def _is_pointer_shape(expr: A.Expr) -> bool:
+    return isinstance(expr, (A.Null, A.NextOf, A.NewCell))
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse LISL source into an (untyped) AST."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_procedure(source: str) -> A.Procedure:
+    program = parse_program(source)
+    if len(program.procedures) != 1:
+        raise ParseError("expected exactly one procedure", 1)
+    return program.procedures[0]

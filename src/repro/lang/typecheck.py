@@ -1,0 +1,219 @@
+"""Type checking (and comparison reclassification) for LISL.
+
+Checks:
+
+- every variable is declared exactly once; every use is declared;
+- pointer expressions and data expressions are well-typed;
+- data expressions are *affine* (multiplication only by literals), matching
+  the paper's terms "built using operations over Z" that the numeric domain
+  can represent;
+- calls match the callee's signature (arity and types, call-by-value);
+- ``new`` appears only as a whole right-hand side.
+
+The parser cannot distinguish ``p == q`` on pointers from ``a == b`` on
+integers; the checker reclassifies comparison nodes using declared types
+(rebuilding the statement tree, since AST nodes are immutable-ish).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang import ast as A
+
+
+class TypeError_(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class _ProcChecker:
+    def __init__(self, proc: A.Procedure, signatures: Dict[str, A.Procedure]):
+        self.proc = proc
+        self.signatures = signatures
+        self.types: Dict[str, str] = {}
+        for p in proc.all_vars():
+            if p.name in self.types:
+                raise TypeError_(
+                    f"duplicate variable {p.name!r} in {proc.name}", proc.line
+                )
+            if p.type not in (A.LIST, A.INT):
+                raise TypeError_(f"unknown type {p.type!r}", proc.line)
+            self.types[p.name] = p.type
+
+    # -- expressions ------------------------------------------------------------
+
+    def type_of(self, expr: A.Expr, line: int) -> str:
+        if isinstance(expr, A.Var):
+            if expr.name not in self.types:
+                raise TypeError_(f"undeclared variable {expr.name!r}", line)
+            return self.types[expr.name]
+        if isinstance(expr, A.Null):
+            return A.LIST
+        if isinstance(expr, A.NewCell):
+            raise TypeError_("'new' is only allowed as a full right-hand side", line)
+        if isinstance(expr, A.NextOf):
+            if self.type_of(expr.base, line) != A.LIST:
+                raise TypeError_(f"{expr.base} is not a list", line)
+            return A.LIST
+        if isinstance(expr, A.DataOf):
+            if self.type_of(expr.base, line) != A.LIST:
+                raise TypeError_(f"{expr.base} is not a list", line)
+            return A.INT
+        if isinstance(expr, A.IntLit):
+            return A.INT
+        if isinstance(expr, A.BinOp):
+            lt = self.type_of(expr.left, line)
+            rt = self.type_of(expr.right, line)
+            if lt != A.INT or rt != A.INT:
+                raise TypeError_("arithmetic requires integer operands", line)
+            if expr.op == "*" and not (
+                isinstance(expr.left, A.IntLit) or isinstance(expr.right, A.IntLit)
+            ):
+                raise TypeError_(
+                    "multiplication must have a literal operand (affine terms only)",
+                    line,
+                )
+            return A.INT
+        raise TypeError_(f"unexpected expression {expr!r}", line)
+
+    # -- conditions ----------------------------------------------------------------
+
+    def check_cond(self, cond: A.Cond, line: int) -> A.Cond:
+        if isinstance(cond, A.BoolOp):
+            return A.BoolOp(
+                cond.op,
+                self.check_cond(cond.left, line),
+                self.check_cond(cond.right, line),
+            )
+        if isinstance(cond, A.NotCond):
+            return A.NotCond(self.check_cond(cond.inner, line))
+        if isinstance(cond, (A.PtrCmp, A.DataCmp)):
+            lt = self.type_of(cond.left, line)
+            rt = self.type_of(cond.right, line)
+            if lt != rt:
+                raise TypeError_(f"comparison mixes {lt} and {rt}", line)
+            if lt == A.LIST:
+                if cond.op not in ("==", "!="):
+                    raise TypeError_("pointers compare only with == or !=", line)
+                return A.PtrCmp(cond.op, cond.left, cond.right)
+            return A.DataCmp(cond.op, cond.left, cond.right)
+        raise TypeError_(f"unexpected condition {cond!r}", line)
+
+    # -- statements -------------------------------------------------------------------
+
+    def check_body(self, body: List[A.Stmt]) -> List[A.Stmt]:
+        return [self.check_stmt(s) for s in body]
+
+    def check_stmt(self, stmt: A.Stmt) -> A.Stmt:
+        line = stmt.line
+        if isinstance(stmt, A.Assign):
+            if stmt.target not in self.types:
+                raise TypeError_(f"undeclared variable {stmt.target!r}", line)
+            target_t = self.types[stmt.target]
+            if isinstance(stmt.value, A.NewCell):
+                if target_t != A.LIST:
+                    raise TypeError_("'new' assigns to a list variable", line)
+                return stmt
+            value_t = self.type_of(stmt.value, line)
+            if value_t != target_t:
+                raise TypeError_(
+                    f"assigning {value_t} to {target_t} variable {stmt.target!r}",
+                    line,
+                )
+            return stmt
+        if isinstance(stmt, A.StoreNext):
+            if self.types.get(stmt.target) != A.LIST:
+                raise TypeError_(f"{stmt.target!r} is not a list", line)
+            if self.type_of(stmt.value, line) != A.LIST:
+                raise TypeError_("p->next takes a pointer value", line)
+            if isinstance(stmt.value, A.NextOf):
+                raise TypeError_(
+                    "p->next = q->next is not primitive; use a temporary", line
+                )
+            return stmt
+        if isinstance(stmt, A.StoreData):
+            if self.types.get(stmt.target) != A.LIST:
+                raise TypeError_(f"{stmt.target!r} is not a list", line)
+            if self.type_of(stmt.value, line) != A.INT:
+                raise TypeError_("p->data takes an integer value", line)
+            return stmt
+        if isinstance(stmt, A.Call):
+            callee = self.signatures.get(stmt.proc)
+            if callee is None:
+                raise TypeError_(f"unknown procedure {stmt.proc!r}", line)
+            if len(stmt.args) != len(callee.inputs):
+                raise TypeError_(
+                    f"{stmt.proc} expects {len(callee.inputs)} argument(s)", line
+                )
+            if len(stmt.targets) != len(callee.outputs):
+                raise TypeError_(
+                    f"{stmt.proc} returns {len(callee.outputs)} value(s)", line
+                )
+            for arg, param in zip(stmt.args, callee.inputs):
+                if self.type_of(arg, line) != param.type:
+                    raise TypeError_(
+                        f"argument for {param.name!r} must be {param.type}", line
+                    )
+            for tgt, param in zip(stmt.targets, callee.outputs):
+                if self.types.get(tgt) != param.type:
+                    raise TypeError_(
+                        f"target {tgt!r} must be {param.type}", line
+                    )
+            return stmt
+        if isinstance(stmt, A.If):
+            return A.If(
+                line=line,
+                cond=self.check_cond(stmt.cond, line),
+                then_body=self.check_body(stmt.then_body),
+                else_body=self.check_body(stmt.else_body),
+            )
+        if isinstance(stmt, A.While):
+            return A.While(
+                line=line,
+                cond=self.check_cond(stmt.cond, line),
+                body=self.check_body(stmt.body),
+            )
+        if isinstance(stmt, (A.Assert, A.Assume)):
+            for atom in stmt.formula.atoms:
+                self._check_spec_atom(atom, line)
+            return stmt
+        if isinstance(stmt, A.Skip):
+            return stmt
+        raise TypeError_(f"unexpected statement {stmt!r}", line)
+
+    def _check_spec_atom(self, atom: A.SpecAtom, line: int) -> None:
+        if atom.kind == "data":
+            checked = self.check_cond(atom.cmp, line)
+            if not isinstance(checked, A.DataCmp):
+                raise TypeError_("spec data atoms must compare integers", line)
+            return
+        for name in atom.args:
+            if self.types.get(name) != A.LIST:
+                raise TypeError_(
+                    f"{atom.kind} expects list variables, got {name!r}", line
+                )
+
+
+def typecheck_program(program: A.Program) -> A.Program:
+    """Check a program; returns a program with reclassified comparisons."""
+    signatures = {}
+    for proc in program.procedures:
+        if proc.name in signatures:
+            raise TypeError_(f"duplicate procedure {proc.name!r}", proc.line)
+        signatures[proc.name] = proc
+    checked = []
+    for proc in program.procedures:
+        checker = _ProcChecker(proc, signatures)
+        checked.append(
+            A.Procedure(
+                proc.name,
+                proc.inputs,
+                proc.outputs,
+                proc.locals,
+                checker.check_body(proc.body),
+                proc.line,
+            )
+        )
+    return A.Program(checked)

@@ -1,0 +1,214 @@
+"""A small interval domain.
+
+Used as a cheap numeric base domain in ablation benchmarks (DESIGN.md §5
+decision 1) and as an oracle in property tests: every fact the interval
+domain derives must also be derivable by the polyhedra-lite domain.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.numeric.linexpr import Constraint, EQ, LinExpr
+
+
+class Interval:
+    """A closed interval with optional infinite endpoints (None)."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[Fraction] = None, hi: Optional[Fraction] = None):
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def const(value) -> "Interval":
+        f = Fraction(value)
+        return Interval(f, f)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    def is_empty(self) -> bool:
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        lo = other.lo if self.lo is None else (self.lo if other.lo is None else max(self.lo, other.lo))
+        hi = other.hi if self.hi is None else (self.hi if other.hi is None else min(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        lo = self.lo if (self.lo is not None and other.lo is not None and other.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and other.hi is not None and other.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def leq(self, other: "Interval") -> bool:
+        if self.is_empty():
+            return True
+        if other.is_empty():
+            return False
+        lo_ok = other.lo is None or (self.lo is not None and self.lo >= other.lo)
+        hi_ok = other.hi is None or (self.hi is not None and self.hi <= other.hi)
+        return lo_ok and hi_ok
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def scale(self, k: Fraction) -> "Interval":
+        if k == 0:
+            return Interval.const(0)
+        if k > 0:
+            lo = None if self.lo is None else self.lo * k
+            hi = None if self.hi is None else self.hi * k
+        else:
+            lo = None if self.hi is None else self.hi * k
+            hi = None if self.lo is None else self.lo * k
+        return Interval(lo, hi)
+
+    def contains(self, value: Fraction) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Interval) and self.lo == other.lo and self.hi == other.hi
+
+    def __repr__(self) -> str:
+        lo = "-oo" if self.lo is None else str(self.lo)
+        hi = "+oo" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+class IntervalEnv:
+    """A non-relational environment: term name -> interval (or bottom)."""
+
+    __slots__ = ("env", "_bottom")
+
+    def __init__(self, env: Optional[Mapping[str, Interval]] = None, bottom: bool = False):
+        self._bottom = bottom
+        self.env: Dict[str, Interval] = dict(env or {})
+        if not bottom and any(iv.is_empty() for iv in self.env.values()):
+            self._bottom = True
+            self.env = {}
+
+    @staticmethod
+    def top() -> "IntervalEnv":
+        return IntervalEnv()
+
+    @staticmethod
+    def bottom() -> "IntervalEnv":
+        return IntervalEnv(bottom=True)
+
+    def is_bottom(self) -> bool:
+        return self._bottom
+
+    def get(self, var: str) -> Interval:
+        return self.env.get(var, Interval.top())
+
+    def set(self, var: str, interval: Interval) -> "IntervalEnv":
+        if self._bottom:
+            return self
+        if interval.is_empty():
+            return IntervalEnv.bottom()
+        env = dict(self.env)
+        env[var] = interval
+        return IntervalEnv(env)
+
+    def eval_expr(self, expr: LinExpr) -> Interval:
+        if self._bottom:
+            return Interval(Fraction(1), Fraction(0))
+        result = Interval.const(expr.const)
+        for var, k in expr.coeffs.items():
+            result = result.add(self.get(var).scale(k))
+        return result
+
+    def add_constraint(self, constraint: Constraint) -> "IntervalEnv":
+        """Best-effort refinement by a linear constraint (sound, incomplete)."""
+        if self._bottom:
+            return self
+        out = self
+        for half in constraint.halves():
+            out = out._refine_ge(half.expr)
+            if out._bottom:
+                return out
+        return out
+
+    def _refine_ge(self, expr: LinExpr) -> "IntervalEnv":
+        # expr >= 0.  For each variable, bound it using the others.
+        value = self.eval_expr(expr)
+        if value.hi is not None and value.hi < 0:
+            return IntervalEnv.bottom()
+        out = self
+        for var, k in expr.coeffs.items():
+            rest = LinExpr({v: c for v, c in expr.coeffs.items() if v != var}, expr.const)
+            rest_iv = self.eval_expr(rest)
+            # k*var >= -rest
+            if k > 0:
+                if rest_iv.hi is not None:
+                    bound = -rest_iv.hi / k
+                    out = out.set(var, out.get(var).meet(Interval(bound, None)))
+            else:
+                if rest_iv.hi is not None:
+                    bound = rest_iv.hi / (-k)
+                    out = out.set(var, out.get(var).meet(Interval(None, bound)))
+            if out._bottom:
+                return out
+        return out
+
+    def join(self, other: "IntervalEnv") -> "IntervalEnv":
+        if self._bottom:
+            return other
+        if other._bottom:
+            return self
+        env = {}
+        for var in set(self.env) & set(other.env):
+            env[var] = self.env[var].join(other.env[var])
+        return IntervalEnv(env)
+
+    def widen(self, other: "IntervalEnv") -> "IntervalEnv":
+        if self._bottom:
+            return other
+        if other._bottom:
+            return self
+        env = {}
+        for var in set(self.env) & set(other.env):
+            env[var] = self.env[var].widen(other.env[var])
+        return IntervalEnv(env)
+
+    def leq(self, other: "IntervalEnv") -> bool:
+        if self._bottom:
+            return True
+        if other._bottom:
+            return False
+        return all(self.get(var).leq(iv) for var, iv in other.env.items())
+
+    def project(self, variables: Iterable[str]) -> "IntervalEnv":
+        if self._bottom:
+            return self
+        env = {v: iv for v, iv in self.env.items() if v not in set(variables)}
+        return IntervalEnv(env)
+
+    def __repr__(self) -> str:
+        if self._bottom:
+            return "IntervalEnv(bottom)"
+        inner = ", ".join(f"{v}: {iv}" for v, iv in sorted(self.env.items()))
+        return f"IntervalEnv({inner})"

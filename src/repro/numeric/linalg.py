@@ -1,0 +1,81 @@
+"""Exact rational linear algebra over sparse dict-rows.
+
+Shared by the AM multiset domain (row spaces of multiset equalities) and
+the polyhedra join (affine-hull intersection).  Rows are dicts mapping
+column names to Fractions; systems are homogeneous.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+Row = Dict[str, Fraction]
+
+
+def rref(rows: List[Row], columns: List[str]) -> List[Row]:
+    """Reduced row echelon form of homogeneous rows over ordered columns."""
+    work = [dict(r) for r in rows]
+    pivots: List[Tuple[int, str]] = []
+    row_idx = 0
+    for col in columns:
+        pivot_row = None
+        for r in range(row_idx, len(work)):
+            if work[r].get(col, Fraction(0)) != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        work[row_idx], work[pivot_row] = work[pivot_row], work[row_idx]
+        inv = Fraction(1) / work[row_idx][col]
+        work[row_idx] = {c: k * inv for c, k in work[row_idx].items() if k != 0}
+        for r in range(len(work)):
+            if r == row_idx:
+                continue
+            factor = work[r].get(col, Fraction(0))
+            if factor != 0:
+                new = dict(work[r])
+                for c, k in work[row_idx].items():
+                    new[c] = new.get(c, Fraction(0)) - factor * k
+                work[r] = {c: k for c, k in new.items() if k != 0}
+        pivots.append((row_idx, col))
+        row_idx += 1
+    return [r for r in work[:row_idx] if r]
+
+
+def reduce_against(row: Row, basis: List[Row], columns: List[str]) -> Row:
+    """Reduce one row against an RREF basis; zero result means membership."""
+    work = dict(row)
+    for b in basis:
+        lead = next((c for c in columns if b.get(c, Fraction(0)) != 0), None)
+        if lead is None:
+            continue
+        factor = work.get(lead, Fraction(0)) / b[lead]
+        if factor != 0:
+            for c, k in b.items():
+                work[c] = work.get(c, Fraction(0)) - factor * k
+    return {c: k for c, k in work.items() if k != 0}
+
+
+
+
+def nullspace(rows: List[Row], unknowns: List[str]) -> List[Row]:
+    """Basis of the null space of a homogeneous system over ``unknowns``."""
+    reduced = rref([dict(r) for r in rows], unknowns)
+    pivot_cols: Dict[str, Row] = {}
+    for r in reduced:
+        lead = next((c for c in unknowns if r.get(c, Fraction(0)) != 0), None)
+        if lead is not None:
+            pivot_cols[lead] = r
+    free = [c for c in unknowns if c not in pivot_cols]
+    basis: List[Row] = []
+    for f in free:
+        vec: Row = {f: Fraction(1)}
+        for lead, row in pivot_cols.items():
+            k = row.get(f, Fraction(0))
+            if k != 0:
+                vec[lead] = -k
+        basis.append(vec)
+    return basis
+
+

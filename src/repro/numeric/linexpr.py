@@ -1,0 +1,324 @@
+"""Linear expressions and constraints over named terms.
+
+The whole analysis works with *symbolic terms* as variables: strings such
+as ``"hd(n3)"``, ``"len(n3)"``, ``"n3[y1]"``, ``"y1"`` or a plain data
+variable name.  A :class:`LinExpr` is an affine combination of such terms
+with exact rational coefficients; a :class:`Constraint` is ``expr >= 0`` or
+``expr == 0``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Coeff = Union[int, Fraction]
+
+GE = ">="
+EQ = "=="
+
+
+def _frac(value: Coeff) -> Fraction:
+    return value if isinstance(value, Fraction) else Fraction(value)
+
+
+def _intish(value: Fraction):
+    """An int when exact (the common case after normalization)."""
+    return value.numerator if value.denominator == 1 else value
+
+
+class LinExpr:
+    """An immutable affine expression ``sum(coeff_i * var_i) + const``."""
+
+    __slots__ = ("coeffs", "const", "_hash", "_norm", "_support")
+
+    def __init__(self, coeffs: Mapping[str, Coeff] = (), const: Coeff = 0):
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        clean: Dict[str, Fraction] = {}
+        for var, c in items:
+            fc = _frac(c)
+            if fc != 0:
+                clean[var] = fc
+        self.coeffs: Dict[str, Fraction] = clean
+        self.const: Fraction = _frac(const)
+        self._hash = None
+        self._norm = None
+        self._support = None
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """The expression consisting of the single term ``name``."""
+        return LinExpr({name: Fraction(1)})
+
+    @staticmethod
+    def const_expr(value: Coeff) -> "LinExpr":
+        """A constant expression."""
+        return LinExpr({}, value)
+
+    # -- basic queries ----------------------------------------------------
+
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def support(self) -> frozenset:
+        """The set of term names with non-zero coefficient."""
+        if self._support is None:
+            self._support = frozenset(self.coeffs)
+        return self._support
+
+    def coeff(self, var: str) -> Fraction:
+        return self.coeffs.get(var, Fraction(0))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: Union["LinExpr", Coeff]) -> "LinExpr":
+        if not isinstance(other, LinExpr):
+            return LinExpr(self.coeffs, self.const + _frac(other))
+        coeffs = dict(self.coeffs)
+        for var, c in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, Fraction(0)) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    def __sub__(self, other: Union["LinExpr", Coeff]) -> "LinExpr":
+        if not isinstance(other, LinExpr):
+            return LinExpr(self.coeffs, self.const - _frac(other))
+        return self + other.scale(-1)
+
+    def __neg__(self) -> "LinExpr":
+        return self.scale(-1)
+
+    def scale(self, k: Coeff) -> "LinExpr":
+        fk = _frac(k)
+        return LinExpr({v: c * fk for v, c in self.coeffs.items()}, self.const * fk)
+
+    def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace each term in ``mapping`` by the given expression."""
+        result = LinExpr({}, self.const)
+        for var, c in self.coeffs.items():
+            if var in mapping:
+                result = result + mapping[var].scale(c)
+            else:
+                result = result + LinExpr({var: c})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename terms (non-renamed terms are kept)."""
+        coeffs: Dict[str, Fraction] = {}
+        for var, c in self.coeffs.items():
+            new = mapping.get(var, var)
+            coeffs[new] = coeffs.get(new, Fraction(0)) + c
+        return LinExpr(coeffs, self.const)
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> Fraction:
+        """Evaluate under a full assignment of the support."""
+        total = self.const
+        for var, c in self.coeffs.items():
+            total += c * _frac(env[var])
+        return total
+
+    # -- canonical form ---------------------------------------------------
+
+    def normalized(self) -> "LinExpr":
+        """Scale so coefficients are coprime integers.
+
+        The sign convention (leading coefficient positive) is *not* applied
+        here because it would flip inequality directions; equality
+        constraints apply it in :meth:`Constraint.normalized`.
+        """
+        if self._norm is not None:
+            return self._norm
+        if not self.coeffs and self.const == 0:
+            self._norm = self
+            return self
+        denoms = [c.denominator for c in self.coeffs.values()]
+        denoms.append(self.const.denominator)
+        lcm = 1
+        for d in denoms:
+            lcm = lcm * d // gcd(lcm, d)
+        nums = [abs(int(c * lcm)) for c in self.coeffs.values() if c != 0]
+        if self.const != 0:
+            nums.append(abs(int(self.const * lcm)))
+        g = 0
+        for n in nums:
+            g = gcd(g, n)
+        factor = Fraction(lcm, g if g else 1)
+        result = self.scale(factor) if factor != 1 else self
+        result._norm = result
+        self._norm = result
+        return result
+
+    def key(self) -> Tuple:
+        """A hashable canonical key (integer entries hash much faster)."""
+        norm = self.normalized()
+        return (
+            tuple(sorted((v, _intish(c)) for v, c in norm.coeffs.items())),
+            _intish(norm.const),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and self.coeffs == other.coeffs
+            and self.const == other.const
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((tuple(sorted(self.coeffs.items())), self.const))
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for var in sorted(self.coeffs):
+            c = self.coeffs[var]
+            if c == 1:
+                parts.append(f"+ {var}")
+            elif c == -1:
+                parts.append(f"- {var}")
+            elif c > 0:
+                parts.append(f"+ {c}*{var}")
+            else:
+                parts.append(f"- {-c}*{var}")
+        if self.const != 0 or not parts:
+            parts.append(f"+ {self.const}" if self.const >= 0 else f"- {-self.const}")
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else text
+
+
+class Constraint:
+    """A linear constraint ``expr >= 0`` (``GE``) or ``expr == 0`` (``EQ``)."""
+
+    __slots__ = ("expr", "rel", "_hash", "_key", "_norm", "_frow")
+
+    def __init__(self, expr: LinExpr, rel: str):
+        if rel not in (GE, EQ):
+            raise ValueError(f"unknown relation {rel!r}")
+        self.expr = expr
+        self.rel = rel
+        self._hash = None
+        self._key = None
+        self._norm = None
+        self._frow = None  # cached float view for the LP fast path
+
+    def float_row(self):
+        """((var, float coeff)...), float const -- cached for the LP layer."""
+        if self._frow is None:
+            self._frow = (
+                tuple((v, float(k)) for v, k in self.expr.coeffs.items()),
+                float(self.expr.const),
+            )
+        return self._frow
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def ge(lhs: LinExpr, rhs: Union[LinExpr, Coeff] = 0) -> "Constraint":
+        """``lhs >= rhs``."""
+        rhs_expr = rhs if isinstance(rhs, LinExpr) else LinExpr.const_expr(rhs)
+        return Constraint(lhs - rhs_expr, GE)
+
+    @staticmethod
+    def le(lhs: LinExpr, rhs: Union[LinExpr, Coeff] = 0) -> "Constraint":
+        """``lhs <= rhs``."""
+        rhs_expr = rhs if isinstance(rhs, LinExpr) else LinExpr.const_expr(rhs)
+        return Constraint(rhs_expr - lhs, GE)
+
+    @staticmethod
+    def eq(lhs: LinExpr, rhs: Union[LinExpr, Coeff] = 0) -> "Constraint":
+        """``lhs == rhs``."""
+        rhs_expr = rhs if isinstance(rhs, LinExpr) else LinExpr.const_expr(rhs)
+        return Constraint(lhs - rhs_expr, EQ)
+
+    @staticmethod
+    def lt_int(lhs: LinExpr, rhs: Union[LinExpr, Coeff] = 0) -> "Constraint":
+        """``lhs < rhs`` under *integer* semantics, i.e. ``lhs <= rhs - 1``.
+
+        All analysis variables denote integers, so strict inequalities are
+        tightened rather than approximated.
+        """
+        rhs_expr = rhs if isinstance(rhs, LinExpr) else LinExpr.const_expr(rhs)
+        return Constraint(rhs_expr - lhs - LinExpr.const_expr(1), GE)
+
+    @staticmethod
+    def gt_int(lhs: LinExpr, rhs: Union[LinExpr, Coeff] = 0) -> "Constraint":
+        """``lhs > rhs`` under integer semantics, i.e. ``lhs >= rhs + 1``."""
+        rhs_expr = rhs if isinstance(rhs, LinExpr) else LinExpr.const_expr(rhs)
+        return Constraint(lhs - rhs_expr - LinExpr.const_expr(1), GE)
+
+    # -- queries ----------------------------------------------------------
+
+    def support(self) -> frozenset:
+        return self.expr.support()
+
+    def is_trivial(self) -> bool:
+        """True for constraints with empty support that hold (e.g. 3 >= 0)."""
+        if self.expr.coeffs:
+            return False
+        if self.rel == GE:
+            return self.expr.const >= 0
+        return self.expr.const == 0
+
+    def is_contradiction(self) -> bool:
+        """True for constraints with empty support that fail (e.g. -1 >= 0)."""
+        if self.expr.coeffs:
+            return False
+        if self.rel == GE:
+            return self.expr.const < 0
+        return self.expr.const != 0
+
+    # -- transforms -------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> "Constraint":
+        return Constraint(self.expr.substitute(mapping), self.rel)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.rel)
+
+    def halves(self) -> Iterable["Constraint"]:
+        """Decompose into inequality halves (an equality gives two)."""
+        if self.rel == GE:
+            yield self
+        else:
+            yield Constraint(self.expr, GE)
+            yield Constraint(self.expr.scale(-1), GE)
+
+    def normalized(self) -> "Constraint":
+        if self._norm is not None:
+            return self._norm
+        expr = self.expr.normalized()
+        if self.rel == EQ and expr.coeffs:
+            first_var = min(expr.coeffs)
+            if expr.coeffs[first_var] < 0:
+                expr = expr.scale(-1).normalized()
+        result = self if expr is self.expr else Constraint(expr, self.rel)
+        result._norm = result
+        self._norm = result
+        return result
+
+    def key(self) -> Tuple:
+        if self._key is None:
+            norm = self.normalized()
+            self._key = (norm.rel,) + norm.expr.key()
+        return self._key
+
+    def holds(self, env: Mapping[str, Coeff]) -> bool:
+        value = self.expr.evaluate(env)
+        return value >= 0 if self.rel == GE else value == 0
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and self.rel == other.rel
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.rel, self.expr))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} {self.rel} 0"

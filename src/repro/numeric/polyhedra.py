@@ -1,0 +1,561 @@
+"""A conjunction-of-linear-constraints abstract domain ("polyhedra-lite").
+
+Elements are finite conjunctions of linear constraints over named terms,
+with exact rational arithmetic.  Compared to full polyhedra (APRON, used by
+the paper), the join is the *mutual-entailment filter* over the inequality
+halves of both sides -- a sound over-approximation of the convex hull that
+is precise for the interval/difference/sum constraints arising in list
+analyses -- and the widening is the standard constraint-dropping widening.
+
+Entailment and feasibility are decided exactly (over the rationals) with
+the simplex solver; projection is Fourier-Motzkin with equality
+substitution.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.numeric.linexpr import EQ, GE, Constraint, LinExpr
+from repro.numeric import simplex
+
+_FM_BLOWUP_CAP = 600
+
+
+def _direction_of(constraint: Constraint) -> Tuple[Tuple, Fraction]:
+    """Canonical (coefficient-direction key, effective constant).
+
+    Two GE constraints with the same direction key are parallel; the one
+    with the smaller effective constant is the tighter.
+    """
+    expr = constraint.expr
+    scale = None
+    items = sorted(expr.coeffs.items())
+    first = items[0][1]
+    scale = Fraction(1) / abs(first)
+    direction = tuple((v, k * scale) for v, k in items)
+    return direction, expr.const * scale
+
+
+class Polyhedron:
+    """An immutable conjunction of linear constraints (or bottom)."""
+
+    __slots__ = (
+        "constraints",
+        "_bottom",
+        "_feasible",
+        "_entail_cache",
+        "_eq_basis",
+        "_ge_keys",
+    )
+
+    def __init__(self, constraints: Iterable[Constraint] = (), bottom: bool = False):
+        if bottom:
+            self.constraints: Tuple[Constraint, ...] = ()
+            self._bottom: Optional[bool] = True
+        else:
+            # Dedup by canonical key and keep only the tightest of any
+            # family of parallel inequalities (same coefficient direction);
+            # Fourier-Motzkin output is dominated by such redundancy.
+            by_direction: Dict[Tuple, Tuple[Fraction, Constraint]] = {}
+            eqs: Dict[Tuple, Constraint] = {}
+            contradiction = False
+            for c in constraints:
+                if c.is_trivial():
+                    continue
+                if c.is_contradiction():
+                    contradiction = True
+                    break
+                norm = c.normalized()
+                if norm.rel == EQ:
+                    eqs.setdefault(norm.key(), norm)
+                    continue
+                direction, eff_const = _direction_of(norm)
+                best = by_direction.get(direction)
+                if best is None or eff_const < best[0]:
+                    by_direction[direction] = (eff_const, norm)
+            if contradiction:
+                self.constraints = ()
+                self._bottom = True
+            else:
+                kept = list(eqs.values()) + [
+                    c for _, c in by_direction.values()
+                ]
+                self.constraints = tuple(kept)
+                self._bottom = None if kept else False
+        self._feasible: Optional[bool] = None
+        self._entail_cache: Dict[Tuple, bool] = {}
+        self._eq_basis = None
+        self._ge_keys = None
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def top() -> "Polyhedron":
+        return _TOP
+
+    @staticmethod
+    def bottom() -> "Polyhedron":
+        return _BOTTOM
+
+    @staticmethod
+    def of(*constraints: Constraint) -> "Polyhedron":
+        return Polyhedron(constraints)
+
+    # -- queries ----------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        if self._bottom is not None:
+            return self._bottom
+        if self._feasible is None:
+            self._feasible = simplex.is_feasible(self.constraints)
+        self._bottom = not self._feasible
+        return self._bottom
+
+    def is_top(self) -> bool:
+        return not self.constraints and self._bottom is not True
+
+    def support(self) -> frozenset:
+        if self._bottom is True:
+            return frozenset()
+        out: Set[str] = set()
+        for c in self.constraints:
+            out |= c.support()
+        return frozenset(out)
+
+    def _gauss_prescreen(self, candidate: Constraint) -> Optional[bool]:
+        """Decide entailment by reduction against the equality basis.
+
+        Complete for equality consequences of equalities; for inequalities
+        it answers True when the reduced form matches a stored inequality
+        (or is trivially valid).  Returns None when undecided -- the LP
+        handles those.  Only valid on feasible polyhedra.
+        """
+        from repro.numeric.linalg import reduce_against
+
+        if self._eq_basis is None:
+            from repro.numeric.linalg import rref
+
+            rows = []
+            for c in self.constraints:
+                if c.rel == EQ:
+                    row = dict(c.expr.coeffs)
+                    if c.expr.const != 0:
+                        row[_CONST] = c.expr.const
+                    rows.append(row)
+            columns = sorted(set().union(set(), *rows))
+            self._eq_basis = (rref(rows, columns), columns)
+            self._ge_keys = {
+                c.key() for c in self.constraints if c.rel == GE
+            }
+        basis, columns = self._eq_basis
+        row = dict(candidate.expr.coeffs)
+        if candidate.expr.const != 0:
+            row[_CONST] = candidate.expr.const
+        if basis:
+            # extend columns with any new variables (they reduce trivially)
+            cols = columns + [v for v in row if v not in columns]
+            row = reduce_against(row, basis, cols)
+        const = row.pop(_CONST, Fraction(0))
+        if not row:
+            if candidate.rel == EQ:
+                return const == 0
+            return True if const >= 0 else None
+        if candidate.rel == GE:
+            reduced = Constraint(LinExpr(row, const), GE)
+            if reduced.key() in self._ge_keys:
+                return True
+        return None
+
+    def entails(self, candidate: Constraint) -> bool:
+        if self._bottom is True:
+            return True
+        key = candidate.key()
+        cached = self._entail_cache.get(key)
+        if cached is None:
+            if self.is_bottom():
+                cached = True
+            else:
+                cached = self._gauss_prescreen(candidate)
+                if cached is None:
+                    cached = simplex.entails(
+                        self.constraints, candidate, assume_feasible=True
+                    )
+            self._entail_cache[key] = cached
+        return cached
+
+    def entails_all(self, candidates: Iterable[Constraint]) -> bool:
+        return all(self.entails(c) for c in candidates)
+
+    def leq(self, other: "Polyhedron") -> bool:
+        """Inclusion: gamma(self) included in gamma(other)."""
+        if self.is_bottom():
+            return True
+        if other._bottom is True:
+            return False
+        return self.entails_all(other.constraints)
+
+    def equivalent(self, other: "Polyhedron") -> bool:
+        return self.leq(other) and other.leq(self)
+
+    def satisfies(self, env: Mapping[str, Fraction]) -> bool:
+        """Does the concrete point satisfy every constraint?"""
+        if self._bottom is True:
+            return False
+        return all(c.holds(env) for c in self.constraints)
+
+    def bounds(self, expr: LinExpr) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+        """(min, max) of expr over the polyhedron; None means unbounded."""
+        if self.is_bottom():
+            return (None, None)
+        lo = simplex.solve_lp(self.constraints, expr, maximize=False)
+        hi = simplex.solve_lp(self.constraints, expr, maximize=True)
+        return (
+            lo.value if lo.status == simplex.OPTIMAL else None,
+            hi.value if hi.status == simplex.OPTIMAL else None,
+        )
+
+    # -- lattice operations ------------------------------------------------
+
+    def meet(self, other: "Polyhedron") -> "Polyhedron":
+        if self._bottom is True or other._bottom is True:
+            return _BOTTOM
+        return Polyhedron(self.constraints + other.constraints)
+
+    def meet_constraints(self, constraints: Iterable[Constraint]) -> "Polyhedron":
+        if self._bottom is True:
+            return _BOTTOM
+        return Polyhedron(self.constraints + tuple(constraints))
+
+    def join(self, other: "Polyhedron") -> "Polyhedron":
+        """Join: the exact convex hull when tractable, else the weak join.
+
+        The hull uses the Benoy-King-Mesnard encoding (scale one operand by
+        λ, the other by 1-λ, then project); when Fourier-Motzkin explodes,
+        fall back to the mutual-entailment filter enriched with the common
+        affine hull.
+        """
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        if self is other:
+            return self
+        hull = self._hull_join(other)
+        if hull is not None:
+            return hull
+        return self._weak_join(other)
+
+    def _hull_join(self, other: "Polyhedron") -> Optional["Polyhedron"]:
+        variables = sorted(self.support() | other.support())
+        if len(variables) > 24 or (
+            len(self.constraints) + len(other.constraints) > 60
+        ):
+            return None
+        lam = "$lam"
+        aux = {v: f"$a_{v}" for v in variables}
+        cons: List[Constraint] = []
+        for c in self.constraints:
+            # a.x + b >= 0 scaled onto (y, lam): a.y + b*lam >= 0
+            coeffs = {aux[v]: k for v, k in c.expr.coeffs.items()}
+            if c.expr.const != 0:
+                coeffs[lam] = coeffs.get(lam, Fraction(0)) + c.expr.const
+            cons.append(Constraint(LinExpr(coeffs), c.rel))
+        for c in other.constraints:
+            # scaled onto (x - y, 1 - lam)
+            coeffs: Dict[str, Fraction] = {}
+            for v, k in c.expr.coeffs.items():
+                coeffs[v] = coeffs.get(v, Fraction(0)) + k
+                coeffs[aux[v]] = coeffs.get(aux[v], Fraction(0)) - k
+            if c.expr.const != 0:
+                coeffs[lam] = coeffs.get(lam, Fraction(0)) - c.expr.const
+            cons.append(Constraint(LinExpr(coeffs, c.expr.const), c.rel))
+        cons.append(Constraint.ge(LinExpr.var(lam), 0))
+        cons.append(Constraint.le(LinExpr.var(lam), 1))
+        combined = Polyhedron(cons)
+        eliminate = [lam] + [aux[v] for v in variables]
+        result = combined._project_capped(eliminate, cap=90)
+        if result is None:
+            return None
+        return result.reduced()
+
+    def _project_capped(
+        self, variables: List[str], cap: int
+    ) -> Optional["Polyhedron"]:
+        """Projection that gives up (returns None) on FM blowup."""
+        cons = list(self.constraints)
+        for var in variables:
+            cons = _eliminate(cons, var)
+            if cons is None:
+                return _BOTTOM
+            if len(cons) > cap:
+                cons = Polyhedron(cons).minimized().constraints
+                if len(cons) > cap:
+                    return None
+                cons = list(cons)
+        return Polyhedron(cons)
+
+    def _weak_join(self, other: "Polyhedron") -> "Polyhedron":
+        candidates: List[Constraint] = list(
+            _common_equalities(self.equalities(), other.equalities())
+        )
+        seen: Set[Tuple] = {c.key() for c in candidates}
+        for c in self.constraints + other.constraints:
+            for half in c.halves():
+                k = half.key()
+                if k not in seen:
+                    seen.add(k)
+                    candidates.append(half)
+        kept = [c for c in candidates if self.entails(c) and other.entails(c)]
+        return Polyhedron(_recover_equalities(kept)).reduced()
+
+    def widen(self, other: "Polyhedron") -> "Polyhedron":
+        """Standard widening: drop constraints of self not entailed by other.
+
+        Additionally keeps equalities of ``other`` entailed by ``self``
+        (APRON-style mutual-redundancy refinement) which preserves
+        relational facts like ``len(x) == len(x0)`` across iterations.
+        """
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        kept: List[Constraint] = []
+        for c in _common_equalities(self.equalities(), other.equalities()):
+            if self.entails(c) and other.entails(c):
+                kept.append(c)
+        for c in self.constraints:
+            for half in c.halves():
+                if other.entails(half):
+                    kept.append(half)
+        for c in other.constraints:
+            if c.rel == EQ and self.entails(c):
+                kept.append(c)
+        return Polyhedron(_recover_equalities(kept))
+
+    # -- transforms -------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polyhedron":
+        if self._bottom is True:
+            return _BOTTOM
+        return Polyhedron(c.rename(mapping) for c in self.constraints)
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> "Polyhedron":
+        if self._bottom is True:
+            return _BOTTOM
+        return Polyhedron(c.substitute(mapping) for c in self.constraints)
+
+    def project(self, variables: Iterable[str]) -> "Polyhedron":
+        """Existentially quantify the given terms (Fourier-Motzkin)."""
+        if self._bottom is True:
+            return _BOTTOM
+        target = set(variables) & set(self.support())
+        if not target:
+            return self
+        if self.is_bottom():
+            return _BOTTOM
+        cons = list(self.constraints)
+        for var in sorted(target):
+            cons = _eliminate(cons, var)
+            if cons is None:
+                return _BOTTOM
+        return Polyhedron(cons).reduced()
+
+    def forget(self, variables: Iterable[str]) -> "Polyhedron":
+        return self.project(variables)
+
+    def restrict_to(self, variables: Iterable[str]) -> "Polyhedron":
+        """Project away everything *outside* ``variables``."""
+        keep = set(variables)
+        return self.project([v for v in self.support() if v not in keep])
+
+    def assign(self, var: str, expr: LinExpr) -> "Polyhedron":
+        """Strongest post of the assignment ``var := expr``."""
+        if self._bottom is True:
+            return _BOTTOM
+        fresh = var + "'$assign"
+        with_def = self.meet_constraints([Constraint.eq(LinExpr.var(fresh), expr)])
+        return with_def.project([var]).rename({fresh: var})
+
+    def reduced(self, threshold: int = 10) -> "Polyhedron":
+        """LP-minimize only when large (cheap parallel-dropping already
+        happened in the constructor)."""
+        if self._bottom is True or len(self.constraints) <= 1:
+            return self
+        return self.minimized()
+
+    def minimized(self) -> "Polyhedron":
+        """Drop semantically redundant constraints."""
+        if self._bottom is True:
+            return _BOTTOM
+        cons = list(self.constraints)
+        if len(cons) <= 1:
+            return self
+        kept: List[Constraint] = []
+        for i, c in enumerate(cons):
+            rest = kept + cons[i + 1 :]
+            if not simplex.entails(rest, c, assume_feasible=True):
+                kept.append(c)
+        return Polyhedron(kept)
+
+    def equalities(self) -> List[Constraint]:
+        return [c for c in self.constraints if c.rel == EQ]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polyhedron):
+            return NotImplemented
+        return self.equivalent(other)
+
+    def __hash__(self) -> int:  # structural hash; semantic eq is not hashable
+        return hash((self._bottom is True, frozenset(c.key() for c in self.constraints)))
+
+    def __repr__(self) -> str:
+        if self._bottom is True:
+            return "Poly(bottom)"
+        if not self.constraints:
+            return "Poly(top)"
+        return "Poly(" + " & ".join(repr(c) for c in self.constraints) + ")"
+
+
+def _eliminate(cons: List[Constraint], var: str) -> Optional[List[Constraint]]:
+    """Eliminate ``var`` from a constraint list; None signals bottom."""
+    # Prefer substitution through an equality involving var.
+    for i, c in enumerate(cons):
+        if c.rel == EQ and var in c.expr.coeffs:
+            a = c.expr.coeffs[var]
+            rest = LinExpr(
+                {v: k for v, k in c.expr.coeffs.items() if v != var}, c.expr.const
+            )
+            replacement = rest.scale(Fraction(-1) / a)
+            out = []
+            for j, d in enumerate(cons):
+                if j == i:
+                    continue
+                sub = d.substitute({var: replacement})
+                if sub.is_contradiction():
+                    return None
+                if not sub.is_trivial():
+                    out.append(sub)
+            return out
+        # An inequality mentioning var but nothing else on one side is fine
+        # for the generic FM path below.
+    pos: List[Constraint] = []
+    neg: List[Constraint] = []
+    rest_cons: List[Constraint] = []
+    for c in cons:
+        k = c.expr.coeffs.get(var)
+        if k is None or k == 0:
+            rest_cons.append(c)
+        elif k > 0:
+            pos.append(c)
+        else:
+            neg.append(c)
+    if len(pos) * len(neg) > _FM_BLOWUP_CAP:
+        # Sound fallback: drop all constraints mentioning var.
+        return rest_cons
+    for p in pos:
+        kp = p.expr.coeffs[var]
+        for q in neg:
+            kq = q.expr.coeffs[var]
+            combo = p.expr.scale(-kq) + q.expr.scale(kp)
+            new = Constraint(combo, GE)
+            if new.is_contradiction():
+                return None
+            if not new.is_trivial():
+                rest_cons.append(new)
+    return rest_cons
+
+
+def _recover_equalities(inequalities: Sequence[Constraint]) -> List[Constraint]:
+    """Pair up opposite inequality halves back into equalities."""
+    by_key: Dict[Tuple, Constraint] = {}
+    result: List[Constraint] = []
+    consumed: Set[int] = set()
+    normed = [c.normalized() for c in inequalities]
+    for i, c in enumerate(normed):
+        if c.rel != GE:
+            result.append(c)
+            consumed.add(i)
+            continue
+        neg_key = Constraint(c.expr.scale(-1), GE).key()
+        by_key.setdefault(c.key(), c)
+        partner = by_key.get(neg_key)
+        if partner is not None and i not in consumed:
+            result.append(Constraint(c.expr, EQ))
+            consumed.add(i)
+    for i, c in enumerate(normed):
+        if i in consumed or c.rel != GE:
+            continue
+        eq_key = Constraint(c.expr, EQ).normalized().key()
+        if any(r.rel == EQ and r.normalized().key() == eq_key for r in result):
+            continue
+        neg_key = Constraint(c.expr.scale(-1), GE).key()
+        if neg_key in by_key:
+            continue  # folded into an equality above
+        result.append(c)
+    return result
+
+
+_CONST = "$const"
+
+
+def _common_equalities(
+    eqs_a: Sequence[Constraint], eqs_b: Sequence[Constraint]
+) -> List[Constraint]:
+    """The intersection of two affine equality spans.
+
+    Each equality ``e == 0`` is a vector over (variables + constant); the
+    equalities valid on the union of the two polyhedra include every
+    linear combination lying in both row spaces -- exactly the affine-hull
+    part a candidate-filter join cannot discover syntactically.
+    """
+    if not eqs_a or not eqs_b:
+        return []
+    rows_a = [_eq_row(c) for c in eqs_a]
+    rows_b = [_eq_row(c) for c in eqs_b]
+    columns = sorted(set().union(*rows_a, *rows_b))
+    # Solve sum x_i a_i - sum z_j b_j = 0 per column; each null vector gives
+    # a common equality sum x_i a_i.
+    eq_rows = []
+    for col in columns:
+        row = {}
+        for i, a in enumerate(rows_a):
+            k = a.get(col)
+            if k:
+                row[f"x{i}"] = k
+        for j, b in enumerate(rows_b):
+            k = b.get(col)
+            if k:
+                row[f"z{j}"] = -k
+        if row:
+            eq_rows.append(row)
+    unknowns = [f"x{i}" for i in range(len(rows_a))] + [
+        f"z{j}" for j in range(len(rows_b))
+    ]
+    from repro.numeric.linalg import nullspace as _nullspace
+
+    out: List[Constraint] = []
+    for vec in _nullspace(eq_rows, unknowns):
+        combo: Dict[str, Fraction] = {}
+        for i, a in enumerate(rows_a):
+            k = vec.get(f"x{i}", Fraction(0))
+            if k:
+                for col, val in a.items():
+                    combo[col] = combo.get(col, Fraction(0)) + k * val
+        const = combo.pop(_CONST, Fraction(0))
+        expr = LinExpr(combo, const)
+        if expr.coeffs:
+            out.append(Constraint(expr, EQ).normalized())
+    return out
+
+
+def _eq_row(c: Constraint) -> Dict[str, Fraction]:
+    row = dict(c.expr.coeffs)
+    if c.expr.const != 0:
+        row[_CONST] = c.expr.const
+    return row
+
+
+_TOP = Polyhedron(())
+_BOTTOM = Polyhedron((), bottom=True)

@@ -1,0 +1,17 @@
+"""Abstract heaps (paper §3.1): bounded backbone graphs + LDW formulas.
+
+- :mod:`repro.shape.graph` -- the heap backbone: nodes are list segments
+  without sharing, edges follow ``next`` paths, labels place the program's
+  pointer variables; canonicalization decides isomorphism.
+- :mod:`repro.shape.abstract_heap` -- a backbone paired with a value from a
+  logical data-word domain constraining the node words (Def. 3.2), plus
+  ``fold#`` (the k-bound on simple nodes) and garbage collection.
+- :mod:`repro.shape.heap_set` -- finite sets of non-isomorphic abstract
+  heaps, the elements of AHS(k, AW) (Def. 3.3).
+"""
+
+from repro.shape.graph import NULL, HeapGraph
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.heap_set import HeapSet
+
+__all__ = ["NULL", "HeapGraph", "AbstractHeap", "HeapSet"]

@@ -1,0 +1,147 @@
+"""Abstract heaps: a backbone graph plus an LDW value (paper Def. 3.2).
+
+The LDW value constrains one data word per non-NULL node (the word
+variable is the node name).  All operations are parameterized by the LDW
+domain, so the same heap machinery serves AHS(AU) and AHS(AM).
+
+``fold()`` implements the k-bound of k-abstract heaps: while more than
+``k`` simple nodes remain, a simple node is merged into its unique
+predecessor with the domain's ``concat#``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datawords.base import LDWDomain
+from repro.shape.graph import NULL, HeapGraph, ShapeError
+
+
+class AbstractHeap:
+    """An immutable (graph, LDW value) pair."""
+
+    __slots__ = ("graph", "value")
+
+    def __init__(self, graph: HeapGraph, value):
+        self.graph = graph
+        self.value = value
+
+    # -- basics -------------------------------------------------------------------
+
+    @staticmethod
+    def empty(domain: LDWDomain, pointer_vars: Iterable[str]) -> "AbstractHeap":
+        return AbstractHeap(HeapGraph.empty(pointer_vars), domain.top())
+
+    def is_bottom(self, domain: LDWDomain) -> bool:
+        return domain.is_bottom(self.value)
+
+    def words(self) -> List[str]:
+        return self.graph.word_nodes()
+
+    def canonicalize(self, domain: LDWDomain) -> "AbstractHeap":
+        graph, renaming = self.graph.canonical()
+        nontrivial = {a: b for a, b in renaming.items() if a != b}
+        if not nontrivial:
+            return AbstractHeap(graph, self.value)
+        return AbstractHeap(graph, domain.rename_words(self.value, nontrivial))
+
+    def gc(self, domain: LDWDomain) -> "AbstractHeap":
+        """Drop unreachable nodes (the paper assumes garbage collection)."""
+        garbage = self.graph.garbage()
+        if not garbage:
+            return self
+        graph = self.graph.without_nodes(garbage)
+        value = domain.project_words(self.value, garbage)
+        return AbstractHeap(graph, value)
+
+    # -- lattice (isomorphic graphs only; heap sets handle the rest) ----------------
+
+    def leq(self, other: "AbstractHeap", domain: LDWDomain) -> bool:
+        if domain.is_bottom(self.value):
+            return True
+        mine = self.canonicalize(domain)
+        theirs = other.canonicalize(domain)
+        if mine.graph != theirs.graph:
+            return False
+        return domain.leq(mine.value, theirs.value)
+
+    def join(self, other: "AbstractHeap", domain: LDWDomain) -> "AbstractHeap":
+        mine = self.canonicalize(domain)
+        theirs = other.canonicalize(domain)
+        if mine.graph != theirs.graph:
+            raise ShapeError("join of non-isomorphic heaps")
+        return AbstractHeap(mine.graph, domain.join(mine.value, theirs.value))
+
+    def widen(self, other: "AbstractHeap", domain: LDWDomain) -> "AbstractHeap":
+        mine = self.canonicalize(domain)
+        theirs = other.canonicalize(domain)
+        if mine.graph != theirs.graph:
+            raise ShapeError("widen of non-isomorphic heaps")
+        return AbstractHeap(mine.graph, domain.widen(mine.value, theirs.value))
+
+    def meet_value(self, value, domain: LDWDomain) -> "AbstractHeap":
+        return AbstractHeap(self.graph, domain.meet(self.value, value))
+
+    # -- folding -----------------------------------------------------------------------
+
+    def fold(self, domain: LDWDomain, k: int = 0) -> "AbstractHeap":
+        """Merge simple nodes into predecessors until at most k remain."""
+        heap = self
+        guard = 0
+        while True:
+            simple = heap.graph.simple_nodes()
+            if len(simple) <= k:
+                return heap
+            guard += 1
+            if guard > 1000:  # pragma: no cover - structural safety net
+                raise ShapeError("fold did not converge")
+            merged = False
+            for node in simple:
+                preds = heap.graph.preds(node)
+                if len(preds) != 1 or preds[0] == node:
+                    continue  # shared from elsewhere or a self-loop
+                pred = preds[0]
+                heap = heap._merge_into(pred, node, domain)
+                merged = True
+                break
+            if not merged:
+                return heap  # only unfoldable simple nodes remain
+
+    def _merge_into(self, pred: str, node: str, domain: LDWDomain) -> "AbstractHeap":
+        graph = self.graph
+        succ_of_node = graph.succ.get(node)
+        new_succ = dict(graph.succ)
+        new_succ.pop(node)
+        if succ_of_node is not None:
+            new_succ[pred] = succ_of_node
+        else:
+            new_succ.pop(pred, None)
+        new_graph = HeapGraph(
+            (graph.nodes - {NULL}) - {node}, new_succ, graph.labels
+        )
+        value = _concat(domain, self.value, pred, [pred, node], graph.word_nodes())
+        return AbstractHeap(new_graph, value)
+
+    # -- display ------------------------------------------------------------------------
+
+    def describe(self, domain: LDWDomain) -> str:
+        return f"{self.graph!r} with {domain.describe(self.value)}"
+
+    def __repr__(self) -> str:
+        return f"AbstractHeap({self.graph!r})"
+
+
+def _concat(domain: LDWDomain, value, target: str, parts, all_words):
+    """Call the domain's concat, passing the vocabulary when supported."""
+    try:
+        return domain.concat(value, target, parts, all_words=all_words)
+    except TypeError:
+        return domain.concat(value, target, parts)
+
+
+def split_word(domain: LDWDomain, value, word: str, tail: str, all_words):
+    """Call the domain's split, passing the vocabulary when supported."""
+    try:
+        return domain.split(value, word, tail, all_words=all_words)
+    except TypeError:
+        return domain.split(value, word, tail)

@@ -1,0 +1,225 @@
+"""Heap backbone graphs (paper §3.1).
+
+A backbone abstracts the heap graph: every *crucial* node (pointed to by a
+program variable, or with ≥ 2 predecessors) is kept; an edge ``n -> m``
+abstracts a ``next``-path without intermediate crucial nodes; the node's
+*data word* carries the integers along the collapsed path.  The
+distinguished node :data:`NULL` represents the null pointer and carries no
+word.
+
+Graphs here are immutable; mutation helpers return fresh graphs.  Node
+identity is by name (``n0``, ``n1``, ...); :meth:`HeapGraph.canonical`
+renames nodes into a deterministic BFS order from the sorted label set, so
+two graphs are isomorphic iff their canonical forms are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+NULL = "null"
+
+
+class ShapeError(Exception):
+    pass
+
+
+class HeapGraph:
+    """An immutable backbone: nodes, successor map, variable labels."""
+
+    __slots__ = ("nodes", "succ", "labels", "_key")
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        succ: Mapping[str, str],
+        labels: Mapping[str, str],
+    ):
+        self.nodes: FrozenSet[str] = frozenset(nodes) | {NULL}
+        self.succ: Dict[str, str] = dict(succ)
+        self.labels: Dict[str, str] = dict(labels)
+        self._key = None
+        if NULL in self.succ:
+            raise ShapeError("NULL has no successor")
+        for n, m in self.succ.items():
+            if n not in self.nodes or m not in self.nodes:
+                raise ShapeError(f"dangling edge {n} -> {m}")
+        for var, n in self.labels.items():
+            if n not in self.nodes:
+                raise ShapeError(f"label {var} on missing node {n}")
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def empty(pointer_vars: Iterable[str]) -> "HeapGraph":
+        """All pointers NULL."""
+        return HeapGraph((), {}, {v: NULL for v in pointer_vars})
+
+    # -- queries -------------------------------------------------------------------
+
+    def node_of(self, var: str) -> str:
+        if var not in self.labels:
+            raise ShapeError(f"unlabeled variable {var!r}")
+        return self.labels[var]
+
+    def vars_of(self, node: str) -> List[str]:
+        return sorted(v for v, n in self.labels.items() if n == node)
+
+    def preds(self, node: str) -> List[str]:
+        return sorted(n for n, m in self.succ.items() if m == node)
+
+    def word_nodes(self) -> List[str]:
+        """All nodes carrying a data word (everything but NULL)."""
+        return sorted(self.nodes - {NULL})
+
+    def is_crucial(self, node: str) -> bool:
+        if node == NULL:
+            return True
+        if self.vars_of(node):
+            return True
+        return len(self.preds(node)) >= 2
+
+    def simple_nodes(self) -> List[str]:
+        return [n for n in self.word_nodes() if not self.is_crucial(n)]
+
+    def reachable_from(self, roots: Iterable[str]) -> FrozenSet[str]:
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.nodes]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            nxt = self.succ.get(n)
+            if nxt is not None:
+                stack.append(nxt)
+        return frozenset(seen)
+
+    def reachable_from_vars(self, variables: Iterable[str]) -> FrozenSet[str]:
+        return self.reachable_from(
+            self.labels[v] for v in variables if v in self.labels
+        )
+
+    def garbage(self) -> FrozenSet[str]:
+        live = self.reachable_from(self.labels.values()) | {NULL}
+        return self.nodes - live
+
+    # -- mutation helpers (return fresh graphs) ---------------------------------------
+
+    def with_label(self, var: str, node: str) -> "HeapGraph":
+        labels = dict(self.labels)
+        labels[var] = node
+        return HeapGraph(self.nodes - {NULL}, self.succ, labels)
+
+    def without_labels(self, variables: Iterable[str]) -> "HeapGraph":
+        drop = set(variables)
+        labels = {v: n for v, n in self.labels.items() if v not in drop}
+        return HeapGraph(self.nodes - {NULL}, self.succ, labels)
+
+    def with_node(self, node: str, succ: Optional[str] = None) -> "HeapGraph":
+        nodes = set(self.nodes - {NULL})
+        nodes.add(node)
+        succs = dict(self.succ)
+        if succ is not None:
+            succs[node] = succ
+        return HeapGraph(nodes, succs, self.labels)
+
+    def with_succ(self, node: str, succ: Optional[str]) -> "HeapGraph":
+        succs = dict(self.succ)
+        if succ is None:
+            succs.pop(node, None)
+        else:
+            succs[node] = succ
+        return HeapGraph(self.nodes - {NULL}, succs, self.labels)
+
+    def without_nodes(self, drop: Iterable[str]) -> "HeapGraph":
+        dropped = set(drop)
+        if NULL in dropped:
+            raise ShapeError("cannot drop NULL")
+        for var, n in self.labels.items():
+            if n in dropped:
+                raise ShapeError(f"cannot drop labeled node {n} ({var})")
+        nodes = self.nodes - {NULL} - dropped
+        succs = {
+            n: m
+            for n, m in self.succ.items()
+            if n not in dropped and m not in dropped
+        }
+        return HeapGraph(nodes, succs, self.labels)
+
+    def rename_nodes(self, mapping: Mapping[str, str]) -> "HeapGraph":
+        def rn(n: str) -> str:
+            return mapping.get(n, n)
+
+        nodes = {rn(n) for n in self.nodes - {NULL}}
+        succ = {rn(n): rn(m) for n, m in self.succ.items()}
+        labels = {v: rn(n) for v, n in self.labels.items()}
+        return HeapGraph(nodes, succ, labels)
+
+    def fresh_node_name(self, taken: Iterable[str] = ()) -> str:
+        used = set(self.nodes) | set(taken)
+        i = 0
+        while f"n{i}" in used:
+            i += 1
+        return f"n{i}"
+
+    # -- canonicalization ----------------------------------------------------------------
+
+    def canonical_renaming(self) -> Dict[str, str]:
+        """Deterministic BFS naming from the sorted variable labels."""
+        order: List[str] = []
+        seen: Set[str] = set([NULL])
+        for var in sorted(self.labels):
+            node = self.labels[var]
+            current = node
+            while current is not None and current not in seen:
+                seen.add(current)
+                order.append(current)
+                current = self.succ.get(current)
+        # Unreachable (garbage) nodes, in sorted order, at the end.
+        for node in sorted(self.nodes - seen):
+            order.append(node)
+        return {n: f"n{i}" for i, n in enumerate(order)}
+
+    def canonical(self) -> Tuple["HeapGraph", Dict[str, str]]:
+        renaming = self.canonical_renaming()
+        return self.rename_nodes(renaming), renaming
+
+    def key(self) -> Tuple:
+        """Hashable canonical key: equal iff graphs are isomorphic
+        (respecting variable labels)."""
+        if self._key is None:
+            canon, _ = self.canonical()
+            self._key = (
+                tuple(sorted(canon.nodes)),
+                tuple(sorted(canon.succ.items())),
+                tuple(sorted(canon.labels.items())),
+            )
+        return self._key
+
+    def isomorphic(self, other: "HeapGraph") -> bool:
+        return self.key() == other.key()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, HeapGraph)
+            and self.nodes == other.nodes
+            and self.succ == other.succ
+            and self.labels == other.labels
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts = []
+        for n in self.word_nodes():
+            vars_ = ",".join(self.vars_of(n))
+            nxt = self.succ.get(n, "?")
+            label = f"{n}({vars_})" if vars_ else n
+            parts.append(f"{label}->{nxt}")
+        null_vars = ",".join(self.vars_of(NULL))
+        if null_vars:
+            parts.append(f"null({null_vars})")
+        return "Graph[" + " ".join(parts) + "]"

@@ -1,0 +1,100 @@
+"""Finite sets of non-isomorphic abstract heaps: AHS(k, AW) (Def. 3.3).
+
+The join of two heap sets unions them, joining the values of heaps with
+isomorphic graphs.  The number of distinct backbones is bounded for
+programs over singly-linked lists (bounded crucial nodes, [19]), so the
+widening only needs to widen per-graph values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.datawords.base import LDWDomain
+from repro.shape.abstract_heap import AbstractHeap
+
+
+class HeapSet:
+    """An immutable set of abstract heaps keyed by canonical graph."""
+
+    __slots__ = ("heaps",)
+
+    def __init__(self, heaps: Dict[Tuple, AbstractHeap]):
+        self.heaps: Dict[Tuple, AbstractHeap] = heaps
+
+    # -- constructors -------------------------------------------------------------
+
+    @staticmethod
+    def bottom() -> "HeapSet":
+        return HeapSet({})
+
+    @staticmethod
+    def of(domain: LDWDomain, heaps: Iterable[AbstractHeap]) -> "HeapSet":
+        out: Dict[Tuple, AbstractHeap] = {}
+        for heap in heaps:
+            if heap.is_bottom(domain):
+                continue
+            canon = heap.canonicalize(domain)
+            key = canon.graph.key()
+            existing = out.get(key)
+            out[key] = canon if existing is None else existing.join(canon, domain)
+        return HeapSet(out)
+
+    @staticmethod
+    def single(domain: LDWDomain, heap: AbstractHeap) -> "HeapSet":
+        return HeapSet.of(domain, [heap])
+
+    # -- queries -------------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return not self.heaps
+
+    def __len__(self) -> int:
+        return len(self.heaps)
+
+    def __iter__(self):
+        return iter(self.heaps.values())
+
+    # -- lattice ---------------------------------------------------------------------
+
+    def leq(self, other: "HeapSet", domain: LDWDomain) -> bool:
+        for key, heap in self.heaps.items():
+            match = other.heaps.get(key)
+            if match is None or not domain.leq(heap.value, match.value):
+                return False
+        return True
+
+    def join(self, other: "HeapSet", domain: LDWDomain) -> "HeapSet":
+        out = dict(self.heaps)
+        for key, heap in other.heaps.items():
+            mine = out.get(key)
+            out[key] = heap if mine is None else mine.join(heap, domain)
+        return HeapSet(out)
+
+    def widen(self, other: "HeapSet", domain: LDWDomain) -> "HeapSet":
+        out = dict(self.heaps)
+        for key, heap in other.heaps.items():
+            mine = out.get(key)
+            out[key] = heap if mine is None else mine.widen(heap, domain)
+        return HeapSet(out)
+
+    # -- transformation -----------------------------------------------------------------
+
+    def map(
+        self,
+        domain: LDWDomain,
+        transform: Callable[[AbstractHeap], Iterable[AbstractHeap]],
+    ) -> "HeapSet":
+        """Apply a heap transformer (possibly one-to-many) and renormalize."""
+        results: List[AbstractHeap] = []
+        for heap in self.heaps.values():
+            results.extend(transform(heap))
+        return HeapSet.of(domain, results)
+
+    def describe(self, domain: LDWDomain) -> str:
+        if not self.heaps:
+            return "bottom"
+        return "\n".join(h.describe(domain) for h in self.heaps.values())
+
+    def __repr__(self) -> str:
+        return f"HeapSet({len(self.heaps)} heaps)"

@@ -1,0 +1,195 @@
+"""Tests for assume/assert handling and pre/post reasoning (paper §6.3)."""
+
+import pytest
+
+from repro import Analyzer
+from repro.core.assertions import AssertionChecker
+
+
+def run_checker(source, proc, domain="au"):
+    analyzer = Analyzer.from_source(source)
+    checker = AssertionChecker()
+    analyzer.analyze(proc, domain=domain, assume_handler=checker)
+    return checker
+
+
+class TestDataAssertions:
+    def test_valid_postcondition(self):
+        checker = run_checker(
+            """
+            proc f(n: int) returns (r: int) {
+              r = n + 1;
+              assert r > n;
+            }
+            """,
+            "f",
+        )
+        assert checker.all_verified()
+
+    def test_invalid_postcondition(self):
+        checker = run_checker(
+            """
+            proc f(n: int) returns (r: int) {
+              r = n + 1;
+              assert r > n + 1;
+            }
+            """,
+            "f",
+        )
+        assert not checker.all_verified()
+
+    def test_assume_enables_assert(self):
+        checker = run_checker(
+            """
+            proc f(n: int) returns (r: int) {
+              assume n >= 10;
+              r = n;
+              assert r >= 10;
+            }
+            """,
+            "f",
+        )
+        assert checker.all_verified()
+
+    def test_assert_on_list_data(self):
+        checker = run_checker(
+            """
+            proc f(x: list) returns (r: int) {
+              r = 0;
+              if (x != NULL) {
+                x->data = 5;
+                assert x->data == 5;
+              }
+            }
+            """,
+            "f",
+        )
+        assert checker.all_verified()
+
+    def test_neq_assertion(self):
+        checker = run_checker(
+            """
+            proc f(n: int) returns (r: int) {
+              r = n + 1;
+              assert r != n;
+            }
+            """,
+            "f",
+        )
+        assert checker.all_verified()
+
+
+class TestListAssertions:
+    def test_assume_sorted_then_assert_sorted(self):
+        checker = run_checker(
+            """
+            proc f(x: list) returns (r: list) {
+              assume sorted(x);
+              r = x;
+              assert sorted(r);
+            }
+            """,
+            "f",
+            domain="au",
+        )
+        assert checker.all_verified()
+
+    def test_sorted_not_assumed_fails(self):
+        checker = run_checker(
+            """
+            proc f(x: list) returns (r: list) {
+              r = x;
+              assert sorted(r);
+            }
+            """,
+            "f",
+            domain="au",
+        )
+        assert not checker.all_verified()
+
+    def test_equal_after_identity(self):
+        checker = run_checker(
+            """
+            proc f(x: list, y: list) returns (r: list) {
+              assume equal(x, y);
+              r = x;
+              assert equal(r, y);
+            }
+            """,
+            "f",
+            domain="au",
+        )
+        assert checker.all_verified()
+
+    def test_equal_broken_by_write(self):
+        checker = run_checker(
+            """
+            proc f(x: list, y: list) returns (r: list) {
+              assume equal(x, y);
+              r = x;
+              if (x != NULL) {
+                x->data = 999;
+                assert equal(r, y);
+              }
+            }
+            """,
+            "f",
+            domain="au",
+        )
+        assert not checker.all_verified()
+
+    def test_ms_eq_in_am_domain(self):
+        checker = run_checker(
+            """
+            proc f(x: list, y: list) returns (r: list) {
+              assume ms_eq(x, y);
+              r = x;
+              assert ms_eq(r, y);
+            }
+            """,
+            "f",
+            domain="am",
+        )
+        assert checker.all_verified()
+
+    def test_ms_eq_survives_data_permutation(self):
+        # swapping the first element's data with a saved value keeps ms
+        # equality only if the values travel; a blind overwrite breaks it.
+        checker = run_checker(
+            """
+            proc f(x: list, y: list) returns (r: list) {
+              assume ms_eq(x, y);
+              r = x;
+              if (x != NULL) {
+                x->data = 0;
+                assert ms_eq(r, y);
+              }
+            }
+            """,
+            "f",
+            domain="am",
+        )
+        assert not checker.all_verified()
+
+    def test_interprocedural_postcondition(self):
+        checker = run_checker(
+            """
+            proc setv(x: list, v: int) returns (r: list) {
+              local c: list;
+              r = x;
+              c = x;
+              while (c != NULL) { c->data = v; c = c->next; }
+            }
+            proc main(x: list) returns (r: list) {
+              local e: int;
+              r = setv(x, 3);
+              if (r != NULL) {
+                e = r->data;
+                assert e == 3;
+              }
+            }
+            """,
+            "main",
+            domain="au",
+        )
+        assert checker.all_verified()

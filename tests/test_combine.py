@@ -1,0 +1,204 @@
+"""Tests for domain combination (paper §5): σ_M, strengthen, convert."""
+
+from fractions import Fraction
+
+from repro.core.combine import (
+    convert_value,
+    infer_via_traversal,
+    sigma_m_from_universal,
+    sigma_m_strengthen,
+    strengthen,
+)
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+AM = MultisetDomain()
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def ms_eq(a, b):
+    return {
+        T.mhd(a): Fraction(1),
+        T.mtl(a): Fraction(1),
+        T.mhd(b): Fraction(-1),
+        T.mtl(b): Fraction(-1),
+    }
+
+
+class TestSigmaM:
+    def test_quicksort_scenario(self):
+        """The paper's §5 motivating example: from ms(n) = ms(l) and
+        'all elements of l are <= d', infer the same about n."""
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        all_l = GuardInstance("ALL1", ("l",))
+        u = UniversalValue(
+            Polyhedron.of(Constraint.le(v(T.hd("l")), v("d"))),
+            {all_l: Polyhedron.of(Constraint.le(v(T.elem("l", "y1")), v("d")))},
+        )
+        m = MultisetValue([ms_eq("n", "l")])
+        out = sigma_m_strengthen(domain, u, m)
+        # hd(n) is a member of ms(l) = {hd(l)} ⊎ tl(l): both cases <= d.
+        assert out.E.entails(Constraint.le(v(T.hd("n")), v("d")))
+        # every tail element of n likewise.
+        all_n = GuardInstance("ALL1", ("n",))
+        assert all_n in out.clauses
+        assert out.clauses[all_n].entails(
+            Constraint.le(v(T.elem("n", "y1")), v("d"))
+        )
+
+    def test_union_decomposition(self):
+        """ms(a) = ms(l) ⊎ ms(r), l-elements <= d, r-elements > d:
+        members of a are only boundable by the join (no info)."""
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        u = UniversalValue(
+            Polyhedron.of(
+                Constraint.le(v(T.hd("l")), v("d")),
+                Constraint.gt_int(v(T.hd("r")), v("d")),
+                Constraint.ge(v(T.hd("l")), 0),
+                Constraint.ge(v(T.hd("r")), 0),
+            ),
+            {},
+        )
+        row = {
+            T.mhd("a"): Fraction(1),
+            T.mtl("a"): Fraction(1),
+            T.mhd("l"): Fraction(-1),
+            T.mhd("r"): Fraction(-1),
+        }
+        m = MultisetValue([row])
+        out = sigma_m_strengthen(domain, u, m)
+        # hd(a) in {hd(l)} ⊎ {hd(r)}: both are >= 0.
+        assert out.E.entails(Constraint.ge(v(T.hd("a")), 0))
+        assert not out.E.entails(Constraint.le(v(T.hd("a")), v("d")))
+
+    def test_sigma2_exports_head_equalities(self):
+        domain = UniversalDomain(pattern_set("P="))
+        u = UniversalValue(
+            Polyhedron.of(
+                Constraint.eq(v(T.hd("a")), v(T.hd("b")))
+            )
+        )
+        out = sigma_m_from_universal(domain, u, AM.top())
+        assert AM.entails_row(
+            out, {T.mhd("a"): Fraction(1), T.mhd("b"): Fraction(-1)}
+        )
+
+    def test_no_memberships_no_change(self):
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        u = UniversalValue(Polyhedron.of(Constraint.ge(v(T.hd("x")), 0)))
+        out = sigma_m_strengthen(domain, u, AM.top())
+        assert domain.equivalent(u, out)
+
+    def test_strengthen_wrapper_multiset(self):
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        all_l = GuardInstance("ALL1", ("l",))
+        u = UniversalValue(
+            Polyhedron.of(Constraint.le(v(T.hd("l")), v("d"))),
+            {all_l: Polyhedron.of(Constraint.le(v(T.elem("l", "y1")), v("d")))},
+        )
+        m = MultisetValue([ms_eq("n", "l")])
+        out = strengthen(domain, u, m, AM)
+        assert out.E.entails(Constraint.le(v(T.hd("n")), v("d")))
+
+
+class TestConvert:
+    def test_sortedness_to_successor_patterns(self):
+        """The paper's §5 convert example: from ORD2-sortedness derive the
+        SUCC2 (y2 = y1 + 1) form."""
+        src = UniversalDomain(pattern_set("P2"))
+        dst = UniversalDomain(pattern_set("SUCC2"))
+        ord2 = GuardInstance("ORD2", ("n",))
+        value = UniversalValue(
+            Polyhedron.top(),
+            {
+                ord2: Polyhedron.of(
+                    Constraint.le(v(T.elem("n", "y1")), v(T.elem("n", "y2")))
+                )
+            },
+        )
+        out = convert_value(value, src, dst)
+        succ = GuardInstance("SUCC2", ("n",))
+        assert succ in out.clauses
+        assert out.clauses[succ].entails(
+            Constraint.le(v(T.elem("n", "y1")), v(T.elem("n", "y2")))
+        )
+
+    def test_convert_keeps_common_patterns(self):
+        src = UniversalDomain(pattern_set("P=", "P1"))
+        dst = UniversalDomain(pattern_set("P=", "P1", "P2"))
+        all1 = GuardInstance("ALL1", ("n",))
+        value = UniversalValue(
+            Polyhedron.top(),
+            {all1: Polyhedron.of(Constraint.ge(v(T.elem("n", "y1")), 5))},
+        )
+        out = convert_value(value, src, dst)
+        assert all1 in out.clauses
+        # ORD2 instance derivable from ALL1 (both positions >= 5).
+        ord2 = GuardInstance("ORD2", ("n",))
+        assert ord2 in out.clauses
+        assert out.clauses[ord2].entails(
+            Constraint.ge(v(T.elem("n", "y1")), 5)
+        )
+
+    def test_convert_from_all1_to_ord2_relation(self):
+        """ALL1 alone cannot produce y1<=y2 => data order; the conversion
+        must not invent unsound relations."""
+        src = UniversalDomain(pattern_set("P1"))
+        dst = UniversalDomain(pattern_set("P2"))
+        all1 = GuardInstance("ALL1", ("n",))
+        value = UniversalValue(
+            Polyhedron.top(),
+            {all1: Polyhedron.of(Constraint.ge(v(T.elem("n", "y1")), 0))},
+        )
+        out = convert_value(value, src, dst)
+        ord2 = GuardInstance("ORD2", ("n",))
+        if ord2 in out.clauses:
+            assert not out.clauses[ord2].entails(
+                Constraint.le(v(T.elem("n", "y1")), v(T.elem("n", "y2")))
+            )
+
+    def test_strengthen_wrapper_universal(self):
+        src = UniversalDomain(pattern_set("P2"))
+        dst = UniversalDomain(pattern_set("SUCC2"))
+        ord2 = GuardInstance("ORD2", ("n",))
+        aux = UniversalValue(
+            Polyhedron.top(),
+            {
+                ord2: Polyhedron.of(
+                    Constraint.le(v(T.elem("n", "y1")), v(T.elem("n", "y2")))
+                )
+            },
+        )
+        out = strengthen(dst, dst.top(), aux, src)
+        succ = GuardInstance("SUCC2", ("n",))
+        assert succ in out.clauses
+
+
+class TestTraversalInfer:
+    def test_traversal_matches_direct_sigma(self):
+        """The Fig. 7 program re-derives the quicksort strengthening."""
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        all_l = GuardInstance("ALL1", ("l",))
+        u = UniversalValue(
+            Polyhedron.of(
+                Constraint.le(v(T.hd("l")), v("d")),
+                Constraint.ge(v(T.length("l")), 1),
+                Constraint.ge(v(T.length("n")), 1),
+            ),
+            {all_l: Polyhedron.of(Constraint.le(v(T.elem("l", "y1")), v("d")))},
+        )
+        m = MultisetValue([ms_eq("n", "l")])
+        out = infer_via_traversal(domain, u, m, AM, words=["n", "l"])
+        assert out.E.entails(Constraint.le(v(T.hd("n")), v("d")))
+        all_n = GuardInstance("ALL1", ("n",))
+        ctx = out.E.meet(all_n.guard_poly()).meet(
+            out.clauses.get(all_n, Polyhedron.top())
+        )
+        assert ctx.entails(Constraint.le(v(T.elem("n", "y1")), v("d")))

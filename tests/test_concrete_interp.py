@@ -1,0 +1,228 @@
+"""Tests for the concrete interpreter, including all benchmark procedures."""
+
+import random
+
+import pytest
+
+from repro.concrete.heap import Cell, cells_of, from_cells, to_cells
+from repro.concrete.interp import AssertFailure, ConcreteError, Interpreter
+from repro.lang.benchlib import benchmark_program
+from repro.lang.cfg import build_icfg
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+
+
+def make_interp(source=None):
+    if source is None:
+        program = benchmark_program()
+    else:
+        program = normalize_program(typecheck_program(parse_program(source)))
+    return Interpreter(build_icfg(program))
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_interp()
+
+
+class TestHeapHelpers:
+    def test_roundtrip(self):
+        assert from_cells(to_cells([1, 2, 3])) == [1, 2, 3]
+
+    def test_empty(self):
+        assert to_cells([]) is None
+        assert from_cells(None) == []
+
+    def test_cycle_detection(self):
+        a = Cell(1)
+        a.next = a
+        with pytest.raises(ValueError):
+            from_cells(a)
+
+    def test_cells_of_order(self):
+        head = to_cells([5, 6])
+        cells = cells_of(head)
+        assert [c.data for c in cells] == [5, 6]
+
+
+class TestBasics:
+    def test_simple_return(self):
+        interp = make_interp(
+            "proc f(n: int) returns (r: int) { r = n + 1; }"
+        )
+        assert interp.run("f", [41]) == [42]
+
+    def test_loop(self):
+        interp = make_interp(
+            "proc f(n: int) returns (r: int) { local i: int;"
+            " r = 0; i = 0; while (i < n) { r = r + 2; i = i + 1; } }"
+        )
+        assert interp.run("f", [5]) == [10]
+
+    def test_null_deref_raises(self):
+        interp = make_interp(
+            "proc f(x: list) returns (r: int) { r = x->data; }"
+        )
+        with pytest.raises(ConcreteError):
+            interp.run("f", [None])
+
+    def test_assert_pass_and_fail(self):
+        interp = make_interp(
+            "proc f(n: int) returns (r: int) { r = n; assert r >= 0; }"
+        )
+        assert interp.run("f", [3]) == [3]
+        with pytest.raises(AssertFailure):
+            interp.run("f", [-1])
+
+    def test_step_budget(self):
+        interp = make_interp(
+            "proc f() returns (r: int) { r = 0; while (r >= 0) { r = r + 1; } }"
+        )
+        interp.max_steps = 1000
+        with pytest.raises(ConcreteError):
+            interp.run("f", [])
+
+
+class TestSllClass:
+    def test_create(self, bench):
+        (x,) = bench.run("create", [4])
+        assert from_cells(x) == [0, 0, 0, 0]
+
+    def test_addfst(self, bench):
+        (r,) = bench.run("addfst", [to_cells([2, 3]), 1])
+        assert from_cells(r) == [1, 2, 3]
+
+    def test_addlst(self, bench):
+        (r,) = bench.run("addlst", [to_cells([1, 2]), 3])
+        assert from_cells(r) == [1, 2, 3]
+
+    def test_addlst_empty(self, bench):
+        (r,) = bench.run("addlst", [None, 9])
+        assert from_cells(r) == [9]
+
+    def test_delfst(self, bench):
+        (r,) = bench.run("delfst", [to_cells([1, 2, 3])])
+        assert from_cells(r) == [2, 3]
+        (r,) = bench.run("delfst", [None])
+        assert r is None
+
+    def test_dellst(self, bench):
+        (r,) = bench.run("dellst", [to_cells([1, 2, 3])])
+        assert from_cells(r) == [1, 2]
+        (r,) = bench.run("dellst", [to_cells([7])])
+        assert r is None
+        (r,) = bench.run("dellst", [None])
+        assert r is None
+
+    def test_init(self, bench):
+        (r,) = bench.run("init", [to_cells([1, 2, 3]), 9])
+        assert from_cells(r) == [9, 9, 9]
+
+
+class TestMapClasses:
+    def test_initseq(self, bench):
+        (r,) = bench.run("initSeq", [to_cells([5, 5, 5])])
+        assert from_cells(r) == [0, 1, 2]
+
+    def test_mapadd(self, bench):
+        (r,) = bench.run("mapadd", [to_cells([1, 2]), 10])
+        assert from_cells(r) == [11, 12]
+
+    def test_map2add(self, bench):
+        x = to_cells([1, 2, 3])
+        z = to_cells([0, 0, 0])
+        (r,) = bench.run("map2add", [x, z, 5])
+        assert from_cells(r) == [6, 7, 8]
+        assert from_cells(x) == [1, 2, 3]  # x unmodified
+
+    def test_copy(self, bench):
+        x = to_cells([4, 5])
+        z = to_cells([0, 0])
+        (r,) = bench.run("copy", [x, z])
+        assert from_cells(r) == [4, 5]
+
+
+class TestFoldClasses:
+    def test_max(self, bench):
+        (m,) = bench.run("max", [to_cells([3, 9, 2])])
+        assert m == 9
+
+    def test_max_empty(self, bench):
+        (m,) = bench.run("max", [None])
+        assert m == 0
+
+    def test_clone(self, bench):
+        x = to_cells([1, 2, 3])
+        (y,) = bench.run("clone", [x])
+        assert from_cells(y) == [1, 2, 3]
+        assert cells_of(y)[0] is not cells_of(x)[0]  # fresh cells
+
+    def test_split(self, bench):
+        (l, u) = bench.run("split", [to_cells([5, 1, 9, 3, 7]), 4])
+        assert sorted(from_cells(l)) == [1, 3]
+        assert sorted(from_cells(u)) == [5, 7, 9]
+        assert all(v <= 4 for v in from_cells(l))
+        assert all(v > 4 for v in from_cells(u))
+
+    def test_delpred(self, bench):
+        (r,) = bench.run("delPred", [to_cells([5, 1, 9, 3]), 4])
+        assert from_cells(r) == [1, 3]
+
+    def test_equal(self, bench):
+        (b,) = bench.run("equal", [to_cells([1, 2]), to_cells([1, 2])])
+        assert b == 1
+        (b,) = bench.run("equal", [to_cells([1, 2]), to_cells([1, 3])])
+        assert b == 0
+        (b,) = bench.run("equal", [to_cells([1, 2]), to_cells([1, 2, 3])])
+        assert b == 0
+
+    def test_concat(self, bench):
+        (r,) = bench.run("concat", [to_cells([1, 2]), to_cells([3])])
+        assert from_cells(r) == [1, 2, 3]
+        (r,) = bench.run("concat", [None, to_cells([3])])
+        assert from_cells(r) == [3]
+
+    def test_merge(self, bench):
+        (r,) = bench.run("merge", [to_cells([1, 4, 6]), to_cells([2, 3, 9])])
+        assert from_cells(r) == [1, 2, 3, 4, 6, 9]
+
+    def test_merge_uneven(self, bench):
+        (r,) = bench.run("merge", [to_cells([5]), to_cells([1, 2])])
+        assert from_cells(r) == [1, 2, 5]
+
+
+class TestSorts:
+    @pytest.mark.parametrize("proc", ["bubblesort", "insertsort", "quicksort", "mergesort"])
+    def test_sorts_sort(self, bench, proc):
+        rng = random.Random(7)
+        for _ in range(12):
+            values = [rng.randint(-20, 20) for _ in range(rng.randint(0, 9))]
+            (r,) = bench.run(proc, [to_cells(values)])
+            assert from_cells(r) == sorted(values), proc
+
+    def test_quicksort_preserves_multiset(self, bench):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        x = to_cells(values)
+        (r,) = bench.run("quicksort", [x])
+        assert sorted(from_cells(r)) == sorted(values)
+
+
+class TestRecursiveVariants:
+    def test_init_rec(self, bench):
+        (r,) = bench.run("init_rec", [to_cells([1, 2, 3]), 7])
+        assert from_cells(r) == [7, 7, 7]
+
+    def test_mapadd_rec(self, bench):
+        (r,) = bench.run("mapadd_rec", [to_cells([1, 2]), 1])
+        assert from_cells(r) == [2, 3]
+
+    def test_max_rec(self, bench):
+        (m,) = bench.run("max_rec", [to_cells([2, 8, 5])])
+        assert m == 8
+
+    def test_clone_rec(self, bench):
+        x = to_cells([1, 2])
+        (y,) = bench.run("clone_rec", [x])
+        assert from_cells(y) == [1, 2]
+        assert cells_of(y)[0] is not cells_of(x)[0]

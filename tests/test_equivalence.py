@@ -1,0 +1,97 @@
+"""Tests for the equivalence-checking application (paper §6.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.equivalence import EquivalenceResult, check_formula_c
+from repro.core.combine import sigma_m_from_universal, sigma_m_strengthen
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+AM = MultisetDomain()
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def sorted_value(domain, words):
+    value = domain.top()
+    for w in words:
+        value = domain.meet_clause(
+            value,
+            GuardInstance("ORD2", (w,)),
+            Polyhedron.of(
+                Constraint.le(v(T.elem(w, "y1")), v(T.elem(w, "y2")))
+            ),
+        )
+        value = domain.meet_clause(
+            value,
+            GuardInstance("ALL1", (w,)),
+            Polyhedron.of(Constraint.le(v(T.hd(w)), v(T.elem(w, "y1")))),
+        )
+    return value
+
+
+def ms_equal(a, b):
+    return MultisetValue(
+        [
+            {
+                T.mhd(a): Fraction(1),
+                T.mtl(a): Fraction(1),
+                T.mhd(b): Fraction(-1),
+                T.mtl(b): Fraction(-1),
+            }
+        ]
+    )
+
+
+class TestFormulaC:
+    def test_valid(self):
+        assert check_formula_c()
+
+    def test_head_equality_step(self):
+        domain = UniversalDomain(pattern_set("P=", "P1", "P2"))
+        value = sorted_value(domain, ["o1", "o2"])
+        strengthened = sigma_m_strengthen(domain, value, ms_equal("o1", "o2"))
+        assert strengthened.E.entails(
+            Constraint.eq(v(T.hd("o1")), v(T.hd("o2")))
+        )
+
+    def test_tail_premise_reestablished(self):
+        domain = UniversalDomain(pattern_set("P=", "P1", "P2"))
+        value = sorted_value(domain, ["o1", "o2"])
+        ms = ms_equal("o1", "o2")
+        strengthened = sigma_m_strengthen(domain, value, ms)
+        exported = sigma_m_from_universal(domain, strengthened, ms)
+        assert AM.entails_row(
+            exported, {T.mtl("o1"): Fraction(1), T.mtl("o2"): Fraction(-1)}
+        )
+
+    def test_unsorted_does_not_prove_head_equality(self):
+        """Sanity: the multiset argument alone must NOT equate heads."""
+        domain = UniversalDomain(pattern_set("P=", "P1", "P2"))
+        value = domain.top()  # no sortedness
+        strengthened = sigma_m_strengthen(domain, value, ms_equal("o1", "o2"))
+        assert not strengthened.E.entails(
+            Constraint.eq(v(T.hd("o1")), v(T.hd("o2")))
+        )
+
+    def test_one_sided_sortedness_insufficient(self):
+        domain = UniversalDomain(pattern_set("P=", "P1", "P2"))
+        value = sorted_value(domain, ["o1"])  # o2 unconstrained
+        strengthened = sigma_m_strengthen(domain, value, ms_equal("o1", "o2"))
+        assert not strengthened.E.entails(
+            Constraint.eq(v(T.hd("o1")), v(T.hd("o2")))
+        )
+
+
+class TestResultType:
+    def test_result_dataclass(self):
+        r = EquivalenceResult("a", "b", True, "why")
+        assert r.equivalent and r.detail == "why"

@@ -1,0 +1,218 @@
+"""Tests for the inter-procedural engine: summaries, recursion, local heaps."""
+
+import pytest
+
+from repro import Analyzer
+from repro.core.localheap import CutpointError
+from repro.datawords import terms as T
+from repro.datawords.patterns import pattern_set
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.shape.graph import NULL
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def analyze(source, proc, domain="au", **kw):
+    return Analyzer.from_source(source).analyze(proc, domain=domain, **kw)
+
+
+class TestBasicCalls:
+    def test_call_composes_summary(self):
+        res = analyze(
+            """
+            proc seven(x: list) returns (r: list) {
+              r = x;
+              if (x != NULL) { x->data = 7; }
+            }
+            proc main(x: list) returns (r: list) {
+              r = seven(x);
+            }
+            """,
+            "main",
+        )
+        heaps = [h for h in res.exit_heaps() if h.graph.word_nodes()]
+        assert heaps
+        for h in heaps:
+            node = h.graph.node_of("r")
+            assert h.value.E.entails(Constraint.eq(v(T.hd(node)), 7))
+
+    def test_call_with_data_args_and_results(self):
+        res = analyze(
+            """
+            proc addc(a: int) returns (b: int) { b = a + 5; }
+            proc main(n: int) returns (m: int) { m = addc(n); m = m + 1; }
+            """,
+            "main",
+        )
+        (entry, summary), = res.summaries
+        (heap,) = list(summary)
+        assert heap.value.E.entails(
+            Constraint.eq(v("m"), v(T.entry_copy("n")) + 6)
+        )
+
+    def test_two_sequential_calls_reuse_summary(self):
+        res = analyze(
+            """
+            proc bump(x: list) returns (r: list) {
+              r = x;
+              if (x != NULL) { x->data = 1; }
+            }
+            proc main(x: list, y: list) returns (r: list, s: list) {
+              r = bump(x);
+              s = bump(y);
+            }
+            """,
+            "main",
+        )
+        # bump analyzed once per entry shape, not once per call site
+        bump_records = [
+            key for key in res.engine.records if key[0] == "bump"
+        ]
+        assert len(bump_records) <= 2
+
+    def test_tuple_returns(self):
+        res = analyze(
+            """
+            proc pair(x: list) returns (a: list, b: list) {
+              a = x; b = NULL;
+            }
+            proc main(x: list) returns (r: list, s: list) {
+              (r, s) = pair(x);
+            }
+            """,
+            "main",
+        )
+        heaps = [h for h in res.exit_heaps() if h.graph.word_nodes()]
+        assert heaps
+        for h in heaps:
+            assert h.graph.node_of("s") == NULL
+            assert h.graph.node_of("r") != NULL
+
+
+class TestRecursion:
+    SUM_SRC = """
+        proc sumlen(x: list) returns (n: int) {
+          local t: list;
+          local m: int;
+          if (x == NULL) { n = 0; }
+          else {
+            t = x->next;
+            m = sumlen(t);
+            n = m + 1;
+          }
+        }
+    """
+
+    def test_recursive_length(self):
+        res = analyze(self.SUM_SRC, "sumlen")
+        nonnull = [
+            h
+            for h in res.exit_heaps()
+            if h.graph.labels.get(T.entry_copy("x")) not in (None, NULL)
+        ]
+        assert nonnull
+        for h in nonnull:
+            node = h.graph.node_of(T.entry_copy("x"))
+            assert h.value.E.entails(
+                Constraint.eq(v("n"), v(T.length(node)))
+            )
+
+    def test_recursive_all_set(self):
+        res = analyze(
+            """
+            proc setall(x: list, w: int) returns (r: list) {
+              local t, m: list;
+              if (x == NULL) { r = NULL; }
+              else {
+                x->data = w;
+                t = x->next;
+                m = setall(t, w);
+                x->next = NULL;
+                x->next = m;
+                r = x;
+              }
+            }
+            """,
+            "setall",
+        )
+        nonnull = [h for h in res.exit_heaps() if h.graph.labels.get("r") not in (None, NULL)]
+        assert nonnull
+        for h in nonnull:
+            node = h.graph.node_of("r")
+            assert h.value.E.entails(Constraint.eq(v(T.hd(node)), v("w")))
+
+
+class TestCutpoints:
+    def test_cutpoint_detected(self):
+        source = """
+            proc touch(x: list) returns (r: list) {
+              r = x;
+              x = x->next;
+            }
+            proc main(x: list) returns (r: list) {
+              local mid: list;
+              r = NULL;
+              if (x != NULL) {
+                mid = x->next;
+                if (mid != NULL) {
+                  r = touch(mid);
+                }
+              }
+            }
+        """
+        with pytest.raises(CutpointError):
+            analyze(source, "main")
+
+    def test_entry_alias_allowed_when_callee_keeps_formal(self):
+        # x and the caller's q alias the same entry node; 'keep' never
+        # reassigns its formal, so the reference re-attaches.
+        res = analyze(
+            """
+            proc keep(x: list) returns (r: list) {
+              r = x;
+              if (x != NULL) { x->data = 3; }
+            }
+            proc main(x: list) returns (r: list, q: list) {
+              q = x;
+              r = keep(x);
+            }
+            """,
+            "main",
+        )
+        heaps = [h for h in res.exit_heaps() if h.graph.word_nodes()]
+        assert heaps
+        for h in heaps:
+            assert h.graph.node_of("q") == h.graph.node_of("r")
+
+
+class TestEntryShapes:
+    def test_null_and_nonnull_entries(self):
+        res = analyze(
+            "proc id(x: list) returns (r: list) { r = x; }", "id"
+        )
+        entry_graphs = {entry.graph.key() for entry, _ in res.summaries}
+        assert len(entry_graphs) == 2  # x NULL / x a list
+
+    def test_two_pointer_inputs_give_four_shapes(self):
+        res = analyze(
+            "proc pick(x: list, y: list) returns (r: list) { r = x; }",
+            "pick",
+        )
+        assert len(res.summaries) == 4
+
+    def test_snapshot_equalities_at_entry(self):
+        res = analyze(
+            "proc id(x: list) returns (r: list) { r = x; }", "id"
+        )
+        nonnull = [h for h in res.exit_heaps() if h.graph.word_nodes()]
+        for h in nonnull:
+            r_node = h.graph.node_of("r")
+            snap = h.graph.node_of(T.entry_copy("x"))
+            assert h.value.E.entails(
+                Constraint.eq(v(T.length(r_node)), v(T.length(snap)))
+            )
+            assert h.value.E.entails(
+                Constraint.eq(v(T.hd(r_node)), v(T.hd(snap)))
+            )

@@ -1,0 +1,318 @@
+"""Tests for the LISL frontend: lexer, parser, typechecker, normalizer, CFG."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.benchlib import BENCHMARK_SOURCE, TABLE1, benchmark_program
+from repro.lang.cfg import (
+    OpAssignData,
+    OpAssignPtr,
+    OpAssumeData,
+    OpAssumePtr,
+    OpCall,
+    OpStoreData,
+    OpStoreNext,
+    build_cfg,
+    build_icfg,
+)
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.typecheck import TypeError_, typecheck_program
+
+
+def pipeline(source):
+    return normalize_program(typecheck_program(parse_program(source)))
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("proc f(x: list) returns (y: int) { y = 1; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "kw"
+        assert tokens[-1].kind == "eof"
+
+    def test_arrow_token(self):
+        tokens = tokenize("p->next")
+        assert [t.text for t in tokens[:3]] == ["p", "->", "next"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// comment\nx /* block\n comment */ y")
+        assert [t.text for t in tokens if t.kind == "id"] == ["x", "y"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+
+class TestParser:
+    def test_simple_procedure(self):
+        prog = parse_program(
+            "proc id(x: list) returns (r: list) { r = x; }"
+        )
+        assert prog.names() == ["id"]
+        proc = prog.proc("id")
+        assert [p.name for p in proc.inputs] == ["x"]
+        assert [p.name for p in proc.outputs] == ["r"]
+        assert isinstance(proc.body[0], A.Assign)
+
+    def test_grouped_param_declaration(self):
+        prog = parse_program(
+            "proc f(a, b: list, n: int) returns (r: list) { r = a; }"
+        )
+        params = prog.proc("f").inputs
+        assert [(p.name, p.type) for p in params] == [
+            ("a", "list"),
+            ("b", "list"),
+            ("n", "int"),
+        ]
+
+    def test_locals(self):
+        prog = parse_program(
+            "proc f(x: list) returns (r: list) { local a, b: list; local i: int; r = x; }"
+        )
+        locs = prog.proc("f").locals
+        assert [(p.name, p.type) for p in locs] == [
+            ("a", "list"),
+            ("b", "list"),
+            ("i", "int"),
+        ]
+
+    def test_field_statements(self):
+        prog = parse_program(
+            "proc f(x: list, v: int) returns (r: list) {"
+            " x->data = v + 1; x->next = NULL; r = x; }"
+        )
+        body = prog.proc("f").body
+        assert isinstance(body[0], A.StoreData)
+        assert isinstance(body[1], A.StoreNext)
+
+    def test_call_forms(self):
+        prog = parse_program(
+            "proc g(x: list) returns (r: list) { r = x; }"
+            "proc f(x: list) returns (r: list) {"
+            " local a, b: list; a = g(x); (a, b) = h(x); r = a; }"
+            "proc h(x: list) returns (p: list, q: list) { p = x; q = x; }"
+        )
+        body = prog.proc("f").body
+        assert isinstance(body[0], A.Call) and body[0].targets == ("a",)
+        assert isinstance(body[1], A.Call) and body[1].targets == ("a", "b")
+
+    def test_if_else_chain(self):
+        prog = parse_program(
+            "proc f(n: int) returns (r: int) {"
+            " if (n < 0) { r = 0; } else if (n < 10) { r = 1; } else { r = 2; } }"
+        )
+        stmt = prog.proc("f").body[0]
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.else_body[0], A.If)
+
+    def test_while_with_complex_cond(self):
+        prog = parse_program(
+            "proc f(x: list) returns (r: int) { local c: list;"
+            " c = x; r = 0; while (c != NULL && c->next != NULL) { c = c->next; } }"
+        )
+        stmt = prog.proc("f").body[2]
+        assert isinstance(stmt, A.While)
+        assert isinstance(stmt.cond, A.BoolOp)
+
+    def test_spec_formulas(self):
+        prog = parse_program(
+            "proc f(x: list, y: list) returns (r: list) {"
+            " assume sorted(x) && ms_eq(x, y); assert equal(x, y) ; r = x; }"
+        )
+        body = prog.proc("f").body
+        assert isinstance(body[0], A.Assume)
+        assert [a.kind for a in body[0].formula.atoms] == ["sorted", "ms_eq"]
+        assert isinstance(body[1], A.Assert)
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("proc f() returns (r: int) {\n r = ; }")
+        assert "line 2" in str(err.value)
+
+    def test_benchmark_source_parses(self):
+        prog = parse_program(BENCHMARK_SOURCE)
+        names = set(prog.names())
+        for entry in TABLE1:
+            assert entry.name in names
+
+
+class TestTypecheck:
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program("proc f() returns (r: int) { r = zz; }")
+            )
+
+    def test_type_mismatch_assign(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program(
+                    "proc f(x: list) returns (r: int) { r = x; }"
+                )
+            )
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program(
+                    "proc f(a: int, b: int) returns (r: int) { r = a * b; }"
+                )
+            )
+
+    def test_linear_multiplication_accepted(self):
+        typecheck_program(
+            parse_program(
+                "proc f(a: int) returns (r: int) { r = 2 * a + 1; }"
+            )
+        )
+
+    def test_pointer_comparison_reclassified(self):
+        prog = typecheck_program(
+            parse_program(
+                "proc f(x: list, y: list) returns (r: int) {"
+                " r = 0; if (x == y) { r = 1; } }"
+            )
+        )
+        cond = prog.proc("f").body[1].cond
+        assert isinstance(cond, A.PtrCmp)
+
+    def test_pointer_order_comparison_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program(
+                    "proc f(x: list, y: list) returns (r: int) {"
+                    " r = 0; if (x < y) { r = 1; } }"
+                )
+            )
+
+    def test_call_arity_mismatch(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program(
+                    "proc g(x: list) returns (r: list) { r = x; }"
+                    "proc f(x: list) returns (r: list) { r = g(x, x); }"
+                )
+            )
+
+    def test_next_of_next_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                parse_program(
+                    "proc f(x: list, y: list) returns (r: list) {"
+                    " x->next = y->next; r = x; }"
+                )
+            )
+
+    def test_benchmark_typechecks(self):
+        typecheck_program(parse_program(BENCHMARK_SOURCE))
+
+
+class TestNormalize:
+    def test_call_args_lifted(self):
+        prog = pipeline(
+            "proc g(x: list, n: int) returns (r: list) { r = x; }"
+            "proc f(x: list) returns (r: list) { r = g(x->next, 3 + 1); }"
+        )
+        body = prog.proc("f").body
+        assert isinstance(body[0], A.Assign)
+        assert isinstance(body[1], A.Assign)
+        call = body[2]
+        assert isinstance(call, A.Call)
+        assert all(isinstance(a, A.Var) for a in call.args)
+
+    def test_plain_args_untouched(self):
+        prog = pipeline(
+            "proc g(x: list) returns (r: list) { r = x; }"
+            "proc f(x: list) returns (r: list) { r = g(x); }"
+        )
+        assert len(prog.proc("f").body) == 1
+
+
+class TestCFG:
+    def test_straightline(self):
+        prog = pipeline(
+            "proc f(x: list, v: int) returns (r: list) {"
+            " x->data = v; r = x; }"
+        )
+        cfg = build_cfg(prog.proc("f"))
+        ops = [e.op for e in cfg.edges]
+        assert any(isinstance(op, OpStoreData) for op in ops)
+        assert any(isinstance(op, OpAssignPtr) for op in ops)
+        assert cfg.exit >= 0
+
+    def test_while_creates_widen_point(self):
+        prog = pipeline(
+            "proc f(x: list) returns (r: int) { local c: list;"
+            " c = x; r = 0; while (c != NULL) { c = c->next; r = r + 1; } }"
+        )
+        cfg = build_cfg(prog.proc("f"))
+        assert len(cfg.widen_points) == 1
+
+    def test_condition_with_deref_gets_temp(self):
+        prog = pipeline(
+            "proc f(x: list) returns (r: int) { r = 0;"
+            " if (x->next == NULL) { r = 1; } }"
+        )
+        cfg = build_cfg(prog.proc("f"))
+        temp_assigns = [
+            e.op
+            for e in cfg.edges
+            if isinstance(e.op, OpAssignPtr) and e.op.kind == "next"
+        ]
+        assert temp_assigns  # lifted dereference
+        assert any(v.startswith("$c") for v in cfg.pointer_vars)
+
+    def test_data_neq_splits_into_two_edges(self):
+        prog = pipeline(
+            "proc f(a: int, b: int) returns (r: int) { r = 0;"
+            " if (a != b) { r = 1; } }"
+        )
+        cfg = build_cfg(prog.proc("f"))
+        thens = [
+            e.op
+            for e in cfg.edges
+            if isinstance(e.op, OpAssumeData) and e.op.op in ("<", ">")
+        ]
+        assert len(thens) == 2
+
+    def test_short_circuit_and(self):
+        prog = pipeline(
+            "proc f(x: list) returns (r: int) { local c: list; r = 0;"
+            " c = x; while (c != NULL && c->next != NULL) { c = c->next; } }"
+        )
+        cfg = build_cfg(prog.proc("f"))
+        # the && generates two pointer tests
+        assumes = [e.op for e in cfg.edges if isinstance(e.op, OpAssumePtr)]
+        assert len(assumes) >= 4
+
+    def test_icfg_recursion_detection(self):
+        icfg = build_icfg(benchmark_program())
+        recursive = icfg.recursive_procs()
+        assert "quicksort" in recursive
+        assert "mergesort" in recursive
+        assert "init_rec" in recursive
+        assert "create" not in recursive
+
+    def test_icfg_call_graph(self):
+        icfg = build_icfg(benchmark_program())
+        graph = icfg.call_graph()
+        assert "qsplit" in graph["quicksort"]
+        assert "clone" in graph["quicksort"]
+        assert "merge" in graph["mergesort"]
+
+    def test_every_benchmark_builds(self):
+        icfg = build_icfg(benchmark_program())
+        for entry in TABLE1:
+            cfg = icfg.cfg(entry.name)
+            assert cfg.exit >= 0
+            assert cfg.edges

@@ -1,0 +1,172 @@
+"""Unit tests for local heaps, entry snapshots and composition (paper §4)."""
+
+import pytest
+
+from repro.core.localheap import (
+    CutpointError,
+    build_call_entry,
+    compose_return,
+    restrict_summary_exit,
+)
+from repro.datawords import terms as T
+from repro.datawords.patterns import pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.lang.cfg import OpCall, build_cfg
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.graph import NULL, HeapGraph
+
+AU = UniversalDomain(pattern_set("P="))
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def callee_cfg(source, name):
+    program = normalize_program(typecheck_program(parse_program(source)))
+    return build_cfg(program.proc(name))
+
+
+IDENTITY = "proc id(x: list) returns (r: list) { r = x; }"
+TOUCH = (
+    "proc touch(x: list) returns (r: list) {"
+    " r = x; if (x != NULL) { x->data = 1; } }"
+)
+SHIFT = (
+    "proc shift(x: list) returns (r: list) {"
+    " if (x == NULL) { r = NULL; } else { r = x->next; x = NULL; } }"
+)
+
+
+def caller_heap():
+    """Caller: a -> cell A; unrelated b -> cell B; data var d."""
+    g = HeapGraph(
+        ["A", "B"], {"A": NULL, "B": NULL}, {"a": "A", "b": "B"}
+    )
+    E = Polyhedron.of(
+        Constraint.eq(v(T.hd("A")), v("d")),
+        Constraint.eq(v(T.hd("B")), 9),
+    )
+    return AbstractHeap(g, UniversalValue(E))
+
+
+class TestBuildCallEntry:
+    def test_entry_has_formals_and_snapshot(self):
+        cfg = callee_cfg(IDENTITY, "id")
+        op = OpCall(("out",), "id", ("a",))
+        info = build_call_entry(AU, caller_heap(), cfg, op)
+        g = info.entry_heap.graph
+        assert g.node_of("x") != NULL
+        assert g.node_of(T.entry_copy("x")) != NULL
+        assert g.node_of("x") != g.node_of(T.entry_copy("x"))
+
+    def test_entry_value_is_localized(self):
+        cfg = callee_cfg(IDENTITY, "id")
+        op = OpCall(("out",), "id", ("a",))
+        info = build_call_entry(AU, caller_heap(), cfg, op)
+        # B's facts and the caller data var are projected away
+        support = info.entry_heap.value.E.support()
+        assert not any("B" in t for t in support)
+        assert "d" not in support
+
+    def test_entry_snapshot_equalities(self):
+        cfg = callee_cfg(IDENTITY, "id")
+        op = OpCall(("out",), "id", ("a",))
+        info = build_call_entry(AU, caller_heap(), cfg, op)
+        g = info.entry_heap.graph
+        n, s = g.node_of("x"), g.node_of(T.entry_copy("x"))
+        E = info.entry_heap.value.E
+        assert E.entails(Constraint.eq(v(T.hd(n)), v(T.hd(s))))
+        assert E.entails(Constraint.eq(v(T.length(n)), v(T.length(s))))
+
+    def test_null_actual(self):
+        cfg = callee_cfg(IDENTITY, "id")
+        g = HeapGraph.empty(["a"])
+        heap = AbstractHeap(g, AU.top())
+        op = OpCall(("out",), "id", ("a",))
+        info = build_call_entry(AU, heap, cfg, op)
+        assert info.entry_heap.graph.node_of("x") == NULL
+        assert info.local_nodes == []
+
+    def test_cutpoint_mid_list_label(self):
+        # caller variable labels a non-entry local node: cutpoint.
+        g = HeapGraph(
+            ["A", "B"], {"A": "B", "B": NULL}, {"a": "A", "mid": "B"}
+        )
+        heap = AbstractHeap(g, AU.top())
+        cfg = callee_cfg(IDENTITY, "id")
+        op = OpCall(("out",), "id", ("a",))
+        with pytest.raises(CutpointError):
+            build_call_entry(AU, heap, cfg, op)
+
+    def test_external_ref_to_entry_ok_when_formal_kept(self):
+        # p -> A (entry node of actual a): allowed, 'touch' keeps x.
+        g = HeapGraph(
+            ["P", "A"], {"P": "A", "A": NULL}, {"p": "P", "a": "A"}
+        )
+        heap = AbstractHeap(g, AU.top())
+        cfg = callee_cfg(TOUCH, "touch")
+        op = OpCall(("out",), "touch", ("a",))
+        info = build_call_entry(AU, heap, cfg, op)
+        assert info.reattach["x"]
+
+    def test_external_ref_rejected_when_formal_reassigned(self):
+        g = HeapGraph(
+            ["P", "A"], {"P": "A", "A": NULL}, {"p": "P", "a": "A"}
+        )
+        heap = AbstractHeap(g, AU.top())
+        cfg = callee_cfg(SHIFT, "shift")
+        op = OpCall(("out",), "shift", ("a",))
+        with pytest.raises(CutpointError):
+            build_call_entry(AU, heap, cfg, op)
+
+
+class TestCompose:
+    def test_identity_roundtrip(self):
+        cfg = callee_cfg(IDENTITY, "id")
+        op = OpCall(("out",), "id", ("a",))
+        heap = caller_heap()
+        info = build_call_entry(AU, heap, cfg, op)
+        # Fake an identity summary: exit = entry with r labeling x's node.
+        exit_graph = info.entry_heap.graph.with_label(
+            "r", info.entry_heap.graph.node_of("x")
+        )
+        exit_heap = restrict_summary_exit(
+            AU, AbstractHeap(exit_graph, info.entry_heap.value), cfg
+        )
+        composed = compose_return(AU, heap, exit_heap, cfg, op, info)
+        assert composed is not None
+        out_node = composed.graph.node_of("out")
+        assert out_node != NULL
+        # the head value flows back: hd(out) == d held by the caller
+        assert composed.value.E.entails(
+            Constraint.eq(v(T.hd(out_node)), v("d"))
+        )
+        # the unrelated cell B is untouched
+        b_node = composed.graph.node_of("b")
+        assert composed.value.E.entails(
+            Constraint.eq(v(T.hd(b_node)), 9)
+        )
+
+    def test_restrict_summary_drops_locals(self):
+        source = (
+            "proc f(x: list) returns (r: list) {"
+            " local tmp: list; local i: int;"
+            " tmp = x; i = 3; r = tmp; }"
+        )
+        cfg = callee_cfg(source, "f")
+        g = HeapGraph(["A"], {"A": NULL}, {
+            "x": "A", "r": "A", "tmp": "A", T.entry_copy("x"): "A"
+        })
+        value = UniversalValue(
+            Polyhedron.of(Constraint.eq(v("i"), 3))
+        )
+        out = restrict_summary_exit(AU, AbstractHeap(g, value), cfg)
+        assert "tmp" not in out.graph.labels
+        assert "i" not in out.value.E.support()
+        assert "r" in out.graph.labels

@@ -1,0 +1,144 @@
+"""Property-based tests: AM lattice laws and concrete soundness."""
+
+import random
+from collections import Counter
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+
+AM = MultisetDomain()
+WORDS = ["a", "b", "c"]
+TERMS = [T.mhd(w) for w in WORDS] + [T.mtl(w) for w in WORDS] + ["d"]
+
+
+@st.composite
+def row_st(draw):
+    size = draw(st.integers(min_value=2, max_value=4))
+    terms = draw(
+        st.lists(st.sampled_from(TERMS), min_size=size, max_size=size, unique=True)
+    )
+    coeffs = draw(
+        st.lists(
+            st.sampled_from([-2, -1, 1, 2]), min_size=size, max_size=size
+        )
+    )
+    return {t: Fraction(k) for t, k in zip(terms, coeffs)}
+
+
+@st.composite
+def value_st(draw):
+    rows = draw(st.lists(row_st(), min_size=0, max_size=3))
+    return MultisetValue(rows)
+
+
+@st.composite
+def env_st(draw):
+    words = {}
+    for w in WORDS:
+        words[w] = draw(
+            st.lists(st.integers(-3, 3), min_size=1, max_size=4)
+        )
+    data = {"d": draw(st.integers(-3, 3))}
+    return words, data
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_st(), value_st())
+def test_join_is_upper_bound(v1, v2):
+    j = AM.join(v1, v2)
+    assert AM.leq(v1, j)
+    assert AM.leq(v2, j)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_st(), value_st())
+def test_meet_is_lower_bound(v1, v2):
+    m = AM.meet(v1, v2)
+    assert AM.leq(m, v1)
+    assert AM.leq(m, v2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_st())
+def test_leq_reflexive(v):
+    assert AM.leq(v, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), value_st(), env_st())
+def test_join_soundness_on_concrete_words(v1, v2, env):
+    words, data = env
+    j = AM.join(v1, v2)
+    if AM.satisfied_by(v1, words, data) or AM.satisfied_by(v2, words, data):
+        assert AM.satisfied_by(j, words, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), env_st())
+def test_project_soundness(v, env):
+    words, data = env
+    p = AM.project_words(v, ["b"])
+    if AM.satisfied_by(v, words, data):
+        assert AM.satisfied_by(p, words, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), env_st())
+def test_split_soundness(v, env):
+    """Concrete split: word 'a' of length >= 2 splits into head + tail."""
+    words, data = env
+    if len(words["a"]) < 2:
+        return
+    if not AM.satisfied_by(v, words, data):
+        return
+    out = AM.split(v, "a", "t")
+    new_words = dict(words)
+    new_words["a"] = words["a"][:1]
+    new_words["t"] = words["a"][1:]
+    assert AM.satisfied_by(out, new_words, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), env_st())
+def test_concat_soundness(v, env):
+    """Concrete concat: a := a . b."""
+    words, data = env
+    if not AM.satisfied_by(v, words, data):
+        return
+    out = AM.concat(v, "a", ["a", "b"])
+    new_words = {"a": words["a"] + words["b"], "c": words["c"]}
+    assert AM.satisfied_by(out, new_words, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), env_st())
+def test_membership_decompositions_sound(v, env):
+    """Every decomposition mhd(w) ⊑ U really contains the head value."""
+    words, data = env
+    if not AM.satisfied_by(v, words, data):
+        return
+    for w in WORDS:
+        for rhs in AM.membership_decompositions(T.mhd(w), v):
+            bag = Counter()
+            ok = True
+            for term, mult in rhs:
+                if T.is_mhd(term):
+                    src = T.word_of(term)
+                    bag[words[src][0]] += mult
+                elif T.is_mtl(term):
+                    src = T.word_of(term)
+                    for x in words[src][1:]:
+                        bag[x] += mult
+                elif term in data:
+                    bag[data[term]] += mult
+                else:
+                    ok = False
+            if ok:
+                assert bag[words[w][0]] >= 1, (
+                    f"decomposition {rhs} misses head of {w} "
+                    f"in {words}, {data}, value {v}"
+                )

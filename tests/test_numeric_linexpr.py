@@ -1,0 +1,133 @@
+"""Unit tests for linear expressions and constraints."""
+
+from fractions import Fraction
+
+from repro.numeric.linexpr import Constraint, EQ, GE, LinExpr
+
+
+def x():
+    return LinExpr.var("x")
+
+
+def y():
+    return LinExpr.var("y")
+
+
+class TestLinExpr:
+    def test_var_and_const(self):
+        e = x() + 3
+        assert e.coeff("x") == 1
+        assert e.const == 3
+
+    def test_zero_coefficients_dropped(self):
+        e = x() - x()
+        assert e.is_const()
+        assert e.const == 0
+
+    def test_addition_merges_support(self):
+        e = x() + y() + x()
+        assert e.coeff("x") == 2
+        assert e.coeff("y") == 1
+        assert e.support() == {"x", "y"}
+
+    def test_scale(self):
+        e = (x() + 2).scale(Fraction(1, 2))
+        assert e.coeff("x") == Fraction(1, 2)
+        assert e.const == 1
+
+    def test_negation(self):
+        e = -(x() - y())
+        assert e.coeff("x") == -1
+        assert e.coeff("y") == 1
+
+    def test_substitute(self):
+        e = x() + y()
+        sub = e.substitute({"x": y() + 1})
+        assert sub.coeff("y") == 2
+        assert sub.const == 1
+        assert "x" not in sub.support()
+
+    def test_substitute_self_referential(self):
+        e = x().substitute({"x": x() - 1})
+        assert e.coeff("x") == 1
+        assert e.const == -1
+
+    def test_rename(self):
+        e = (x() + y()).rename({"x": "z"})
+        assert e.support() == {"z", "y"}
+
+    def test_rename_collision_merges(self):
+        e = (x() + y()).rename({"x": "y"})
+        assert e.coeff("y") == 2
+
+    def test_evaluate(self):
+        e = x().scale(2) + y() - 1
+        assert e.evaluate({"x": 3, "y": 4}) == 9
+
+    def test_normalized_integer_coprime(self):
+        e = x().scale(Fraction(2, 3)) + Fraction(4, 3)
+        n = e.normalized()
+        assert n.coeff("x") == 1
+        assert n.const == 2
+
+    def test_key_equality_of_scaled_expressions(self):
+        a = x().scale(2) + 4
+        b = x() + 2
+        assert a.key() == b.key()
+
+    def test_hash_consistency(self):
+        assert hash(x() + 1) == hash(LinExpr({"x": 1}, 1))
+
+
+class TestConstraint:
+    def test_ge_constructor(self):
+        c = Constraint.ge(x(), 3)  # x >= 3
+        assert c.rel == GE
+        assert c.holds({"x": 3})
+        assert not c.holds({"x": 2})
+
+    def test_le_constructor(self):
+        c = Constraint.le(x(), y())  # x <= y
+        assert c.holds({"x": 1, "y": 2})
+        assert not c.holds({"x": 3, "y": 2})
+
+    def test_eq_constructor(self):
+        c = Constraint.eq(x(), 5)
+        assert c.rel == EQ
+        assert c.holds({"x": 5})
+        assert not c.holds({"x": 4})
+
+    def test_strict_integer_tightening(self):
+        c = Constraint.lt_int(x(), 3)  # x < 3 becomes x <= 2
+        assert c.holds({"x": 2})
+        assert not c.holds({"x": Fraction(5, 2)})
+
+    def test_gt_int(self):
+        c = Constraint.gt_int(x(), 0)
+        assert c.holds({"x": 1})
+        assert not c.holds({"x": Fraction(1, 2)})
+
+    def test_trivial_and_contradiction(self):
+        assert Constraint.ge(LinExpr.const_expr(1)).is_trivial()
+        assert Constraint.ge(LinExpr.const_expr(-1)).is_contradiction()
+        assert Constraint.eq(LinExpr.const_expr(0)).is_trivial()
+        assert Constraint.eq(LinExpr.const_expr(2)).is_contradiction()
+
+    def test_halves_of_equality(self):
+        c = Constraint.eq(x(), y())
+        halves = list(c.halves())
+        assert len(halves) == 2
+        assert all(h.rel == GE for h in halves)
+        assert halves[0].expr == -halves[1].expr
+
+    def test_normalized_equality_sign_canonical(self):
+        a = Constraint.eq(x() - y())
+        b = Constraint.eq(y() - x())
+        assert a.normalized().key() == b.normalized().key()
+
+    def test_key_distinguishes_relation(self):
+        assert Constraint.ge(x()).key() != Constraint.eq(x()).key()
+
+    def test_rename(self):
+        c = Constraint.ge(x(), y()).rename({"y": "z"})
+        assert c.support() == {"x", "z"}

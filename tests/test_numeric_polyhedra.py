@@ -1,0 +1,245 @@
+"""Unit and property tests for the polyhedra-lite domain."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+def poly(*cons):
+    return Polyhedron(cons)
+
+
+class TestLatticeBasics:
+    def test_top_bottom(self):
+        assert Polyhedron.top().is_top()
+        assert Polyhedron.bottom().is_bottom()
+        assert not Polyhedron.top().is_bottom()
+
+    def test_syntactic_contradiction_is_bottom(self):
+        p = poly(Constraint.ge(LinExpr.const_expr(-1)))
+        assert p.is_bottom()
+
+    def test_semantic_contradiction_is_bottom(self):
+        p = poly(Constraint.ge(v("x"), 1), Constraint.le(v("x"), 0))
+        assert p.is_bottom()
+
+    def test_meet(self):
+        p = poly(Constraint.ge(v("x"), 0)).meet(poly(Constraint.le(v("x"), 5)))
+        assert p.entails(Constraint.ge(v("x"), 0))
+        assert p.entails(Constraint.le(v("x"), 5))
+
+    def test_leq(self):
+        small = poly(Constraint.ge(v("x"), 2))
+        big = poly(Constraint.ge(v("x"), 0))
+        assert small.leq(big)
+        assert not big.leq(small)
+
+    def test_bottom_leq_everything(self):
+        assert Polyhedron.bottom().leq(poly(Constraint.eq(v("x"), 1)))
+
+    def test_entails_cache_consistency(self):
+        p = poly(Constraint.ge(v("x"), 1))
+        c = Constraint.ge(v("x"), 0)
+        assert p.entails(c)
+        assert p.entails(c)  # cached path
+
+    def test_dedup_of_scaled_constraints(self):
+        p = poly(Constraint.ge(v("x"), 1), Constraint.ge(v("x").scale(2), 2))
+        assert len(p.constraints) == 1
+
+
+class TestJoin:
+    def test_join_of_points_gives_segment(self):
+        p0 = poly(Constraint.eq(v("x"), 0))
+        p1 = poly(Constraint.eq(v("x"), 1))
+        j = p0.join(p1)
+        assert j.entails(Constraint.ge(v("x"), 0))
+        assert j.entails(Constraint.le(v("x"), 1))
+        assert not j.entails(Constraint.eq(v("x"), 0))
+
+    def test_join_preserves_common_relation(self):
+        p0 = poly(Constraint.eq(v("y"), v("x")))
+        p1 = poly(Constraint.eq(v("y"), v("x") + 1))
+        j = p0.join(p1)
+        assert j.entails(Constraint.ge(v("y"), v("x")))
+        assert j.entails(Constraint.le(v("y"), v("x") + 1))
+
+    def test_join_with_bottom(self):
+        p = poly(Constraint.eq(v("x"), 3))
+        assert p.join(Polyhedron.bottom()).entails(Constraint.eq(v("x"), 3))
+        assert Polyhedron.bottom().join(p).entails(Constraint.eq(v("x"), 3))
+
+    def test_join_is_upper_bound(self):
+        a = poly(Constraint.ge(v("x"), 0), Constraint.le(v("x"), 1))
+        b = poly(Constraint.ge(v("x"), 5), Constraint.le(v("x"), 6))
+        j = a.join(b)
+        assert a.leq(j)
+        assert b.leq(j)
+
+
+class TestWiden:
+    def test_widen_drops_unstable_bound(self):
+        a = poly(Constraint.ge(v("i"), 0), Constraint.le(v("i"), 1))
+        b = poly(Constraint.ge(v("i"), 0), Constraint.le(v("i"), 2))
+        w = a.widen(b)
+        assert w.entails(Constraint.ge(v("i"), 0))
+        assert not w.entails(Constraint.le(v("i"), 100))
+
+    def test_widen_keeps_stable_relation(self):
+        a = poly(Constraint.le(v("i"), v("n")), Constraint.le(v("i"), 1))
+        b = poly(Constraint.le(v("i"), v("n")), Constraint.le(v("i"), 2))
+        w = a.widen(b)
+        assert w.entails(Constraint.le(v("i"), v("n")))
+
+    def test_widen_is_upper_bound_of_both(self):
+        a = poly(Constraint.eq(v("x"), 0))
+        b = poly(Constraint.ge(v("x"), 0), Constraint.le(v("x"), 1))
+        w = a.widen(b)
+        assert a.leq(w)
+        assert b.leq(w)
+
+    def test_widen_keeps_new_equalities_entailed_by_old(self):
+        a = poly(Constraint.eq(v("x"), v("y")), Constraint.le(v("x"), 1))
+        b = poly(Constraint.eq(v("x"), v("y")))
+        w = a.widen(b)
+        assert w.entails(Constraint.eq(v("x"), v("y")))
+
+
+class TestProject:
+    def test_project_via_equality(self):
+        p = poly(Constraint.eq(v("y"), v("x") + 1), Constraint.ge(v("x"), 0))
+        q = p.project(["x"])
+        assert "x" not in q.support()
+        assert q.entails(Constraint.ge(v("y"), 1))
+
+    def test_project_fourier_motzkin(self):
+        p = poly(Constraint.le(v("x"), v("y")), Constraint.le(v("y"), v("z")))
+        q = p.project(["y"])
+        assert q.entails(Constraint.le(v("x"), v("z")))
+        assert "y" not in q.support()
+
+    def test_project_missing_variable_is_noop(self):
+        p = poly(Constraint.ge(v("x"), 0))
+        assert p.project(["zz"]) is p
+
+    def test_project_of_bottom(self):
+        assert Polyhedron.bottom().project(["x"]).is_bottom()
+
+    def test_project_all(self):
+        p = poly(Constraint.ge(v("x"), 0), Constraint.le(v("x"), v("y")))
+        q = p.project(["x", "y"])
+        assert q.is_top()
+
+    def test_restrict_to(self):
+        p = poly(Constraint.eq(v("a"), v("b")), Constraint.eq(v("b"), v("c")))
+        q = p.restrict_to(["a", "c"])
+        assert q.support() <= {"a", "c"}
+        assert q.entails(Constraint.eq(v("a"), v("c")))
+
+
+class TestAssignRename:
+    def test_assign_constant(self):
+        p = Polyhedron.top().assign("x", LinExpr.const_expr(5))
+        assert p.entails(Constraint.eq(v("x"), 5))
+
+    def test_assign_increment(self):
+        p = poly(Constraint.eq(v("i"), 3)).assign("i", v("i") + 1)
+        assert p.entails(Constraint.eq(v("i"), 4))
+
+    def test_assign_forgets_old_value(self):
+        p = poly(Constraint.eq(v("x"), 1), Constraint.eq(v("y"), v("x")))
+        q = p.assign("x", LinExpr.const_expr(9))
+        assert q.entails(Constraint.eq(v("x"), 9))
+        assert q.entails(Constraint.eq(v("y"), 1))
+
+    def test_assign_swap_style(self):
+        p = poly(Constraint.eq(v("x"), v("y") + 2)).assign("x", v("x") - v("y"))
+        assert p.entails(Constraint.eq(v("x"), 2))
+
+    def test_rename(self):
+        p = poly(Constraint.eq(v("x"), 1)).rename({"x": "z"})
+        assert p.entails(Constraint.eq(v("z"), 1))
+        assert "x" not in p.support()
+
+    def test_substitute(self):
+        p = poly(Constraint.ge(v("x"), 0)).substitute({"x": v("a") - v("b")})
+        assert p.entails(Constraint.ge(v("a"), v("b")))
+
+    def test_minimized_removes_redundant(self):
+        p = poly(Constraint.ge(v("x"), 2), Constraint.ge(v("x"), 0))
+        q = p.minimized()
+        assert len(q.constraints) == 1
+        assert q.entails(Constraint.ge(v("x"), 2))
+
+
+coeff_st = st.integers(min_value=-3, max_value=3)
+const_st = st.integers(min_value=-5, max_value=5)
+
+
+@st.composite
+def constraint_st(draw):
+    cx = draw(coeff_st)
+    cy = draw(coeff_st)
+    c = draw(const_st)
+    rel = draw(st.sampled_from(["ge", "eq"]))
+    expr = LinExpr({"x": cx, "y": cy}, c)
+    return Constraint.ge(expr) if rel == "ge" else Constraint.eq(expr)
+
+
+@st.composite
+def poly_st(draw):
+    cons = draw(st.lists(constraint_st(), min_size=0, max_size=4))
+    return Polyhedron(cons)
+
+
+points_st = st.fixed_dictionaries(
+    {"x": st.integers(-10, 10).map(Fraction), "y": st.integers(-10, 10).map(Fraction)}
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(poly_st(), poly_st(), points_st)
+def test_property_join_soundness(a, b, point):
+    """A point in a or b is in join(a, b)."""
+    j = a.join(b)
+    if a.satisfies(point) or b.satisfies(point):
+        assert j.satisfies(point)
+
+
+@settings(max_examples=40, deadline=None)
+@given(poly_st(), poly_st(), points_st)
+def test_property_meet_exactness(a, b, point):
+    m = a.meet(b)
+    assert m.satisfies(point) == (a.satisfies(point) and b.satisfies(point))
+
+
+@settings(max_examples=40, deadline=None)
+@given(poly_st(), poly_st(), points_st)
+def test_property_widen_upper_bound(a, b, point):
+    w = a.widen(b)
+    if a.satisfies(point) or b.satisfies(point):
+        assert w.satisfies(point)
+
+
+@settings(max_examples=40, deadline=None)
+@given(poly_st(), points_st)
+def test_property_project_soundness(a, point):
+    q = a.project(["y"])
+    if a.satisfies(point):
+        assert q.satisfies(point)
+
+
+@settings(max_examples=30, deadline=None)
+@given(poly_st(), poly_st())
+def test_property_leq_reflexive_transitive_bits(a, b):
+    assert a.leq(a)
+    j = a.join(b)
+    assert a.leq(j) and b.leq(j)

@@ -1,0 +1,148 @@
+"""Unit tests for the exact rational simplex solver."""
+
+from fractions import Fraction
+
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.simplex import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    entails,
+    is_feasible,
+    sample_point,
+    solve_lp,
+)
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+class TestSolveLP:
+    def test_simple_minimum(self):
+        # min x subject to x >= 3
+        res = solve_lp([Constraint.ge(v("x"), 3)], v("x"))
+        assert res.status == OPTIMAL
+        assert res.value == 3
+
+    def test_simple_maximum(self):
+        res = solve_lp([Constraint.le(v("x"), 7)], v("x"), maximize=True)
+        assert res.status == OPTIMAL
+        assert res.value == 7
+
+    def test_unbounded(self):
+        res = solve_lp([Constraint.ge(v("x"), 0)], v("x"), maximize=True)
+        assert res.status == UNBOUNDED
+
+    def test_infeasible(self):
+        res = solve_lp(
+            [Constraint.ge(v("x"), 1), Constraint.le(v("x"), 0)], v("x")
+        )
+        assert res.status == INFEASIBLE
+
+    def test_free_variables_negative_optimum(self):
+        # min x subject to x >= -5 (needs the x = x+ - x- split)
+        res = solve_lp([Constraint.ge(v("x"), -5)], v("x"))
+        assert res.status == OPTIMAL
+        assert res.value == -5
+
+    def test_equality_constraint(self):
+        res = solve_lp(
+            [Constraint.eq(v("x") + v("y"), 10), Constraint.ge(v("x"), 4)],
+            v("y"),
+            maximize=True,
+        )
+        assert res.status == OPTIMAL
+        assert res.value == 6
+
+    def test_rational_optimum(self):
+        # min x st 3x >= 1
+        res = solve_lp([Constraint.ge(v("x").scale(3), 1)], v("x"))
+        assert res.status == OPTIMAL
+        assert res.value == Fraction(1, 3)
+
+    def test_two_dim_polytope(self):
+        cons = [
+            Constraint.ge(v("x"), 0),
+            Constraint.ge(v("y"), 0),
+            Constraint.le(v("x") + v("y"), 4),
+        ]
+        res = solve_lp(cons, v("x") + v("y").scale(2), maximize=True)
+        assert res.status == OPTIMAL
+        assert res.value == 8
+
+    def test_objective_with_constant(self):
+        res = solve_lp([Constraint.ge(v("x"), 2)], v("x") + 10)
+        assert res.value == 12
+
+    def test_no_constraints_constant_objective(self):
+        res = solve_lp([], LinExpr.const_expr(5))
+        assert res.status == OPTIMAL
+        assert res.value == 5
+
+    def test_no_constraints_variable_objective(self):
+        res = solve_lp([], v("x"))
+        assert res.status == UNBOUNDED
+
+    def test_degenerate_cycling_guard(self):
+        # A classically degenerate problem; Bland's rule must terminate.
+        cons = [
+            Constraint.le(v("x1").scale(Fraction(1, 4)) - v("x2").scale(60) - v("x3").scale(Fraction(1, 25)) + v("x4").scale(9), 0),
+            Constraint.le(v("x1").scale(Fraction(1, 2)) - v("x2").scale(90) - v("x3").scale(Fraction(1, 50)) + v("x4").scale(3), 0),
+            Constraint.le(v("x3"), 1),
+            Constraint.ge(v("x1"), 0),
+            Constraint.ge(v("x2"), 0),
+            Constraint.ge(v("x3"), 0),
+            Constraint.ge(v("x4"), 0),
+        ]
+        obj = v("x1").scale(Fraction(-3, 4)) + v("x2").scale(150) - v("x3").scale(Fraction(1, 50)) + v("x4").scale(6)
+        res = solve_lp(cons, obj)
+        assert res.status == OPTIMAL
+        assert res.value == Fraction(-1, 20)
+
+
+class TestEntailsAndFeasibility:
+    def test_feasible(self):
+        assert is_feasible([Constraint.ge(v("x"), 0)])
+
+    def test_infeasible(self):
+        assert not is_feasible([Constraint.eq(v("x"), 1), Constraint.eq(v("x"), 2)])
+
+    def test_entails_basic(self):
+        cons = [Constraint.ge(v("x"), 2)]
+        assert entails(cons, Constraint.ge(v("x"), 1))
+        assert not entails(cons, Constraint.ge(v("x"), 3))
+
+    def test_entails_equality_needs_both_directions(self):
+        cons = [Constraint.ge(v("x"), 1), Constraint.le(v("x"), 1)]
+        assert entails(cons, Constraint.eq(v("x"), 1))
+        assert not entails([Constraint.ge(v("x"), 1)], Constraint.eq(v("x"), 1))
+
+    def test_bottom_entails_everything(self):
+        cons = [Constraint.ge(v("x"), 1), Constraint.le(v("x"), 0)]
+        assert entails(cons, Constraint.eq(v("y"), 42))
+
+    def test_entails_relational(self):
+        cons = [Constraint.le(v("x"), v("y")), Constraint.le(v("y"), v("z"))]
+        assert entails(cons, Constraint.le(v("x"), v("z")))
+        assert not entails(cons, Constraint.le(v("z"), v("x")))
+
+    def test_sample_point(self):
+        cons = [Constraint.ge(v("x"), 2), Constraint.le(v("x"), 3)]
+        point = sample_point(cons)
+        assert point is not None
+        assert 2 <= point["x"] <= 3
+
+    def test_sample_point_infeasible(self):
+        cons = [Constraint.ge(v("x"), 2), Constraint.le(v("x"), 1)]
+        assert sample_point(cons) is None
+
+    def test_sample_point_satisfies_all(self):
+        cons = [
+            Constraint.ge(v("x") + v("y"), 3),
+            Constraint.le(v("x") - v("y"), 1),
+            Constraint.ge(v("y"), 0),
+        ]
+        point = sample_point(cons)
+        for c in cons:
+            assert c.holds(point)

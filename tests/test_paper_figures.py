@@ -1,0 +1,158 @@
+"""Executable checks of the paper's worked examples (Figures 4-6, §5).
+
+These are not data plots; each figure illustrates a mechanism the tests
+below exercise end to end:
+
+- Fig. 4: the relation at quicksort's first recursive call -- the split
+  facts (everything in `left` <= pivot < everything in `right`, lengths
+  add up, multisets partition);
+- Fig. 5: what is lost *without* strengthening (the paper's motivating
+  imprecision);
+- Fig. 6: the infer_M computation recovering it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Analyzer
+from repro.core.combine import sigma_m_strengthen
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.lang.benchlib import benchmark_program
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+from repro.shape.graph import NULL
+
+AM = MultisetDomain()
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return Analyzer(benchmark_program())
+
+
+class TestFigure4:
+    """The abstraction of quicksort's state at the recursive calls comes
+    from qsplit's summary: Figure 4(c)'s formulas."""
+
+    @pytest.fixture(scope="class")
+    def qsplit_am(self, analyzer):
+        return analyzer.analyze("qsplit", domain="am")
+
+    def test_multiset_partition(self, qsplit_am, analyzer):
+        # ms(x0) = ms(l) ⊎ ms(u)  (Figure 4(c)'s multiset formula).
+        seen = False
+        for entry, summary in qsplit_am.summaries:
+            for heap in summary:
+                n_in = heap.graph.labels.get(T.entry_copy("x"), NULL)
+                n_l = heap.graph.labels.get("l", NULL)
+                n_u = heap.graph.labels.get("u", NULL)
+                if NULL in (n_in, n_l, n_u):
+                    continue
+                seen = True
+                row = {
+                    T.mhd(n_in): Fraction(1),
+                    T.mtl(n_in): Fraction(1),
+                    T.mhd(n_l): Fraction(-1),
+                    T.mtl(n_l): Fraction(-1),
+                    T.mhd(n_u): Fraction(-1),
+                    T.mtl(n_u): Fraction(-1),
+                }
+                assert AM.entails_row(heap.value, row)
+        assert seen
+
+    def test_input_preserved(self, qsplit_am, analyzer):
+        # eqm(x, x0): qsplit does not modify its input.
+        for entry, summary in qsplit_am.summaries:
+            for heap in summary:
+                n_now = heap.graph.labels.get("x", NULL)
+                n_in = heap.graph.labels.get(T.entry_copy("x"), NULL)
+                if NULL in (n_now, n_in):
+                    continue
+                assert AM.entails_row(
+                    heap.value,
+                    {T.mhd(n_now): Fraction(1), T.mhd(n_in): Fraction(-1)},
+                )
+
+
+class TestFigures5and6:
+    """The §5 imprecision and its strengthen_M repair."""
+
+    def setting(self):
+        domain = UniversalDomain(pattern_set("P=", "P1"))
+        all_l = GuardInstance("ALL1", ("nl",))
+        context = UniversalValue(
+            Polyhedron.of(
+                Constraint.le(v(T.hd("nl")), v(T.hd("np"))),
+                Constraint.eq(v(T.length("np")), 1),
+            ),
+            {
+                all_l: Polyhedron.of(
+                    Constraint.le(v(T.elem("nl", "y1")), v(T.hd("np")))
+                )
+            },
+        )
+        summary_ms = MultisetValue(
+            [
+                {
+                    T.mhd("nl'"): Fraction(1),
+                    T.mtl("nl'"): Fraction(1),
+                    T.mhd("nl"): Fraction(-1),
+                    T.mtl("nl"): Fraction(-1),
+                }
+            ]
+        )
+        return domain, context, summary_ms
+
+    def test_figure5_loss_without_strengthen(self):
+        domain, context, _ = self.setting()
+        after = domain.project_words(context, ["nl"])
+        # everything about nl' is unknown: the pivot bound is gone
+        assert not after.E.entails(
+            Constraint.le(v(T.hd("nl'")), v(T.hd("np")))
+        )
+
+    def test_figure6_infer_m_recovers(self):
+        domain, context, summary_ms = self.setting()
+        strengthened = sigma_m_strengthen(domain, context, summary_ms)
+        after = domain.project_words(strengthened, ["nl"])
+        assert after.E.entails(
+            Constraint.le(v(T.hd("nl'")), v(T.hd("np")))
+        )
+        gi = GuardInstance("ALL1", ("nl'",))
+        ctx = after.E.meet(gi.guard_poly()).meet(
+            after.clauses.get(gi, Polyhedron.top())
+        )
+        assert ctx.is_bottom() or ctx.entails(
+            Constraint.le(v(T.elem("nl'", "y1")), v(T.hd("np")))
+        )
+
+
+class TestQuicksortAMSummary:
+    """The running example's final summary: ms(a0) = ms(res)."""
+
+    def test_preservation(self, analyzer):
+        result = analyzer.analyze("quicksort", domain="am")
+        seen = False
+        for entry, summary in result.summaries:
+            for heap in summary:
+                n_in = heap.graph.labels.get(T.entry_copy("a"), NULL)
+                n_out = heap.graph.labels.get("res", NULL)
+                if NULL in (n_in, n_out):
+                    continue
+                seen = True
+                row = {
+                    T.mhd(n_in): Fraction(1),
+                    T.mtl(n_in): Fraction(1),
+                    T.mhd(n_out): Fraction(-1),
+                    T.mtl(n_out): Fraction(-1),
+                }
+                assert AM.entails_row(heap.value, row)
+        assert seen

@@ -1,0 +1,142 @@
+"""Tests for the partially reduced product AHS(AU) x AHS(AW) (paper §5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.product import ProductDomain
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.datawords.patterns import GuardInstance, pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+AU = UniversalDomain(pattern_set("P=", "P1"))
+AM = MultisetDomain()
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+@pytest.fixture
+def product():
+    return ProductDomain(AU, AM)
+
+
+def ms_eq(a, b):
+    return MultisetValue(
+        [
+            {
+                T.mhd(a): Fraction(1),
+                T.mtl(a): Fraction(1),
+                T.mhd(b): Fraction(-1),
+                T.mtl(b): Fraction(-1),
+            }
+        ]
+    )
+
+
+class TestLattice:
+    def test_top_bottom(self, product):
+        assert not product.is_bottom(product.top())
+        assert product.is_bottom(product.bottom())
+
+    def test_bottom_if_either_component(self, product):
+        assert product.is_bottom((AU.bottom(), AM.top()))
+        assert product.is_bottom((AU.top(), AM.bottom()))
+
+    def test_leq_componentwise(self, product):
+        strong = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 1))),
+            AM.top(),
+        )
+        assert product.leq(strong, product.top())
+        assert not product.leq(product.top(), strong)
+
+    def test_join_meet(self, product):
+        a = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 1))),
+            AM.top(),
+        )
+        b = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 3))),
+            AM.top(),
+        )
+        j = product.join(a, b)
+        assert j[0].E.entails(Constraint.ge(v(T.hd("a")), 1))
+        m = product.meet(a, b)
+        assert product.is_bottom(m) or m[0].E.is_bottom()
+
+
+class TestReduction:
+    def test_reduce_imports_multiset_facts(self, product):
+        all_l = GuardInstance("ALL1", ("l",))
+        u = UniversalValue(
+            Polyhedron.of(Constraint.le(v(T.hd("l")), 5)),
+            {all_l: Polyhedron.of(Constraint.le(v(T.elem("l", "y1")), 5))},
+        )
+        value = product.reduce((u, ms_eq("n", "l")))
+        assert value[0].E.entails(Constraint.le(v(T.hd("n")), 5))
+
+    def test_reduce_exports_head_equalities(self, product):
+        u = UniversalValue(
+            Polyhedron.of(Constraint.eq(v(T.hd("a")), v(T.hd("b"))))
+        )
+        value = product.reduce((u, AM.top()))
+        assert AM.entails_row(
+            value[1], {T.mhd("a"): Fraction(1), T.mhd("b"): Fraction(-1)}
+        )
+
+    def test_split_applies_reduction(self, product):
+        # ms(x) = ms(z), all elements of z <= 5; splitting x exposes hd of
+        # the tail, which σ should bound through the multiset link.
+        all_z = GuardInstance("ALL1", ("z",))
+        u = UniversalValue(
+            Polyhedron.of(
+                Constraint.le(v(T.hd("z")), 5),
+                Constraint.ge(v(T.length("x")), 2),
+            ),
+            {all_z: Polyhedron.of(Constraint.le(v(T.elem("z", "y1")), 5))},
+        )
+        value = (u, ms_eq("x", "z"))
+        out = product.split(value, "x", "t", all_words=["x", "z", "t"])
+        assert out[0].E.entails(Constraint.le(v(T.hd("x")), 5))
+
+    def test_universal_aux_imports_qf_part(self):
+        aux_domain = UniversalDomain(pattern_set("P2"))
+        product = ProductDomain(AU, aux_domain)
+        u = AU.top()
+        aux = UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 2)))
+        out = product.reduce((u, aux))
+        assert out[0].E.entails(Constraint.eq(v(T.hd("a")), 2))
+
+
+class TestVocabulary:
+    def test_rename_both(self, product):
+        value = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 1))),
+            ms_eq("a", "b"),
+        )
+        out = product.rename_words(value, {"a": "c"})
+        assert out[0].E.entails(Constraint.eq(v(T.hd("c")), 1))
+        assert T.mhd("c") in out[1].support()
+
+    def test_project_both(self, product):
+        value = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 1))),
+            ms_eq("a", "b"),
+        )
+        out = product.project_words(value, ["a"])
+        assert T.hd("a") not in out[0].E.support()
+        assert T.mhd("a") not in out[1].support()
+
+    def test_satisfied_by_requires_both(self, product):
+        value = (
+            UniversalValue(Polyhedron.of(Constraint.eq(v(T.hd("a")), 1))),
+            ms_eq("a", "b"),
+        )
+        assert product.satisfied_by(value, {"a": [1, 2], "b": [2, 1]}, {})
+        assert not product.satisfied_by(value, {"a": [2, 2], "b": [2, 2]}, {})
+        assert not product.satisfied_by(value, {"a": [1, 2], "b": [1, 3]}, {})

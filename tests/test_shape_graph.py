@@ -1,0 +1,161 @@
+"""Unit and property tests for heap backbone graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shape.graph import NULL, HeapGraph, ShapeError
+
+
+def chain(labels_at):
+    """Build x -> n0 -> n1 -> ... -> null with labels {var: index}."""
+    n = max(labels_at.values()) + 1
+    nodes = [f"c{i}" for i in range(n)]
+    succ = {nodes[i]: nodes[i + 1] for i in range(n - 1)}
+    succ[nodes[-1]] = NULL
+    labels = {var: nodes[i] for var, i in labels_at.items()}
+    return HeapGraph(nodes, succ, labels)
+
+
+class TestBasics:
+    def test_empty(self):
+        g = HeapGraph.empty(["x", "y"])
+        assert g.node_of("x") == NULL
+        assert not g.word_nodes()
+
+    def test_null_cannot_have_successor(self):
+        with pytest.raises(ShapeError):
+            HeapGraph(["a"], {NULL: "a"}, {})
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(ShapeError):
+            HeapGraph(["a"], {"a": "zz"}, {})
+
+    def test_label_on_missing_node(self):
+        with pytest.raises(ShapeError):
+            HeapGraph([], {}, {"x": "zz"})
+
+    def test_preds_and_vars(self):
+        g = chain({"x": 0, "y": 1})
+        assert g.preds(g.node_of("y")) == [g.node_of("x")]
+        assert g.vars_of(g.node_of("x")) == ["x"]
+
+    def test_crucial_by_label(self):
+        g = chain({"x": 0, "y": 1})
+        assert g.is_crucial(g.node_of("x"))
+        assert g.is_crucial(g.node_of("y"))
+
+    def test_simple_interior(self):
+        g = chain({"x": 0, "y": 2})
+        simple = g.simple_nodes()
+        assert simple == ["c1"]
+
+    def test_crucial_by_sharing(self):
+        g = HeapGraph(
+            ["a", "b", "m"],
+            {"a": "m", "b": "m", "m": NULL},
+            {"x": "a", "y": "b"},
+        )
+        assert g.is_crucial("m")
+
+    def test_reachability(self):
+        g = chain({"x": 0, "y": 2})
+        reach = g.reachable_from_vars(["y"]) - {NULL}
+        assert reach == {"c2"}
+        assert g.reachable_from_vars(["x"]) - {NULL} == {"c0", "c1", "c2"}
+
+    def test_garbage(self):
+        g = HeapGraph(["a", "b"], {"a": NULL, "b": NULL}, {"x": "a"})
+        assert g.garbage() == {"b"}
+
+
+class TestMutation:
+    def test_with_label(self):
+        g = chain({"x": 0}).with_label("y", "c0")
+        assert g.node_of("y") == "c0"
+
+    def test_without_nodes_refuses_labeled(self):
+        g = chain({"x": 0})
+        with pytest.raises(ShapeError):
+            g.without_nodes(["c0"])
+
+    def test_without_nodes(self):
+        g = HeapGraph(["a", "b"], {"a": NULL, "b": NULL}, {"x": "a"})
+        g2 = g.without_nodes(["b"])
+        assert "b" not in g2.nodes
+
+    def test_rename(self):
+        g = chain({"x": 0}).rename_nodes({"c0": "z9"})
+        assert g.node_of("x") == "z9"
+
+    def test_fresh_name_avoids_taken(self):
+        g = chain({"x": 0})
+        name = g.fresh_node_name(taken=["n0"])
+        assert name not in g.nodes and name != "n0"
+
+
+class TestCanonical:
+    def test_isomorphic_chains(self):
+        g1 = chain({"x": 0, "y": 1})
+        g2 = HeapGraph(
+            ["p", "q"], {"p": "q", "q": NULL}, {"x": "p", "y": "q"}
+        )
+        assert g1.isomorphic(g2)
+        assert g1.key() == g2.key()
+
+    def test_label_placement_distinguishes(self):
+        g1 = chain({"x": 0, "y": 1})
+        g2 = chain({"x": 0, "y": 0})
+        assert not g1.isomorphic(g2)
+
+    def test_shared_tail_canonical(self):
+        g1 = HeapGraph(
+            ["a", "b", "m"],
+            {"a": "m", "b": "m", "m": NULL},
+            {"x": "a", "y": "b"},
+        )
+        g2 = HeapGraph(
+            ["u", "v", "w"],
+            {"u": "w", "v": "w", "w": NULL},
+            {"x": "u", "y": "v"},
+        )
+        assert g1.isomorphic(g2)
+
+    def test_canonical_renaming_is_bijective(self):
+        g = chain({"x": 0, "y": 2})
+        renaming = g.canonical_renaming()
+        assert len(set(renaming.values())) == len(renaming)
+        assert set(renaming) == set(g.nodes) - {NULL}
+
+
+@st.composite
+def graph_st(draw):
+    n = draw(st.integers(min_value=0, max_value=4))
+    nodes = [f"g{i}" for i in range(n)]
+    succ = {}
+    for i, node in enumerate(nodes):
+        target = draw(
+            st.sampled_from(nodes[i + 1 :] + [NULL]) if i + 1 < n else st.just(NULL)
+        )
+        succ[node] = target
+    labels = {}
+    for v in ["x", "y"]:
+        labels[v] = draw(st.sampled_from(nodes + [NULL])) if nodes else NULL
+    g = HeapGraph(nodes, succ, labels)
+    return g.without_nodes(g.garbage())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_st())
+def test_property_canonical_idempotent(g):
+    c1, _ = g.canonical()
+    c2, _ = c1.canonical()
+    assert c1 == c2
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_st())
+def test_property_canonical_preserves_key(g):
+    c, _ = g.canonical()
+    assert c.key() == g.key()
+    assert g.isomorphic(c)

@@ -1,0 +1,236 @@
+"""Unit tests for the statement transformers (post#, paper §4)."""
+
+import pytest
+
+from repro.core.transfer import Transfer, data_expr_to_linexpr
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain
+from repro.datawords.patterns import pattern_set
+from repro.datawords.universal import UniversalDomain, UniversalValue
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    OpAssignData,
+    OpAssignPtr,
+    OpAssumeData,
+    OpAssumePtr,
+    OpStoreData,
+    OpStoreNext,
+)
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.graph import NULL, HeapGraph
+
+
+def v(name):
+    return LinExpr.var(name)
+
+
+@pytest.fixture
+def au():
+    return UniversalDomain(pattern_set("P=", "P1"))
+
+
+def one_node_heap(domain, var="x", length=None):
+    g = HeapGraph(["a"], {"a": NULL}, {var: "a", "p": "a"})
+    E = Polyhedron.top()
+    if length is not None:
+        E = Polyhedron.of(Constraint.eq(v(T.length("a")), length))
+    return AbstractHeap(g, UniversalValue(E))
+
+
+class TestAssignPtr:
+    def test_assign_null(self, au):
+        heap = one_node_heap(au)
+        tr = Transfer(au)
+        (out,) = tr.post(OpAssignPtr("p", "null"), heap)
+        assert out.graph.node_of("p") == NULL
+        assert out.graph.node_of("x") != NULL
+
+    def test_assign_null_collects_garbage(self, au):
+        g = HeapGraph(["a"], {"a": NULL}, {"x": "a"})
+        heap = AbstractHeap(g, UniversalValue())
+        tr = Transfer(au)
+        (out,) = tr.post(OpAssignPtr("x", "null"), heap)
+        assert not out.graph.word_nodes()
+
+    def test_assign_var_aliases(self, au):
+        heap = one_node_heap(au)
+        tr = Transfer(au)
+        g2 = heap.graph.with_label("q", NULL)
+        (out,) = tr.post(OpAssignPtr("q", "var", "x"), AbstractHeap(g2, heap.value))
+        assert out.graph.node_of("q") == out.graph.node_of("x")
+
+    def test_new_cell(self, au):
+        heap = AbstractHeap(HeapGraph.empty(["p"]), UniversalValue())
+        tr = Transfer(au)
+        (out,) = tr.post(OpAssignPtr("p", "new"), heap)
+        node = out.graph.node_of("p")
+        assert node != NULL
+        assert out.value.E.entails(Constraint.eq(v(T.length(node)), 1))
+
+    def test_next_of_null_is_dead(self, au):
+        heap = AbstractHeap(HeapGraph.empty(["p", "q"]), UniversalValue())
+        tr = Transfer(au)
+        assert tr.post(OpAssignPtr("q", "next", "p"), heap) == []
+
+    def test_next_materializes_both_cases(self, au):
+        g = HeapGraph(["a"], {"a": NULL}, {"x": "a", "q": "a"})
+        heap = AbstractHeap(g, UniversalValue())
+        tr = Transfer(au)
+        outs = tr.post(OpAssignPtr("q", "next", "x"), heap)
+        shapes = {len(o.graph.word_nodes()) for o in outs}
+        # len==1 case: q -> NULL (one node); len>1: x -> q chain (two nodes)
+        assert shapes == {1, 2}
+
+    def test_next_respects_known_length(self, au):
+        heap = one_node_heap(au, length=1)
+        tr = Transfer(au)
+        g2 = heap.graph.with_label("q", NULL)
+        outs = tr.post(OpAssignPtr("q", "next", "x"), AbstractHeap(g2, heap.value))
+        assert len(outs) == 1
+        assert outs[0].graph.node_of("q") == NULL
+
+    def test_cursor_advance_folds(self, au):
+        # x and c on the same node; c = c->next leaves x's node extended.
+        g = HeapGraph(
+            ["a", "b"], {"a": "b", "b": NULL}, {"x": "a", "c": "b"}
+        )
+        E = Polyhedron.of(
+            Constraint.eq(v(T.length("a")), 1),
+            Constraint.ge(v(T.length("b")), 2),
+        )
+        heap = AbstractHeap(g, UniversalValue(E))
+        tr = Transfer(au)
+        outs = tr.post(OpAssignPtr("c", "next", "c"), heap)
+        two_node = [o for o in outs if len(o.graph.word_nodes()) == 2]
+        assert two_node
+        out = two_node[0]
+        x_node = out.graph.node_of("x")
+        assert out.value.E.entails(Constraint.eq(v(T.length(x_node)), 2))
+
+
+class TestStoreOps:
+    def test_store_data_updates_head(self, au):
+        heap = one_node_heap(au)
+        tr = Transfer(au)
+        (out,) = tr.post(
+            OpStoreData("p", A.IntLit(7)), heap
+        )
+        node = out.graph.node_of("p")
+        assert out.value.E.entails(Constraint.eq(v(T.hd(node)), 7))
+
+    def test_store_data_null_is_dead(self, au):
+        heap = AbstractHeap(HeapGraph.empty(["p"]), UniversalValue())
+        tr = Transfer(au)
+        assert tr.post(OpStoreData("p", A.IntLit(7)), heap) == []
+
+    def test_store_next_null_truncates(self, au):
+        g = HeapGraph(["a", "b"], {"a": "b", "b": NULL}, {"p": "a"})
+        E = Polyhedron.of(Constraint.eq(v(T.length("a")), 1))
+        heap = AbstractHeap(g, UniversalValue(E))
+        tr = Transfer(au)
+        outs = tr.post(OpStoreNext("p", None), heap)
+        assert outs
+        for out in outs:
+            node = out.graph.node_of("p")
+            assert out.graph.succ.get(node) == NULL
+            assert len(out.graph.word_nodes()) == 1  # b was collected
+
+    def test_store_next_links(self, au):
+        g = HeapGraph(["a", "b"], {"a": NULL, "b": NULL}, {"p": "a", "q": "b"})
+        E = Polyhedron.of(Constraint.eq(v(T.length("a")), 1))
+        heap = AbstractHeap(g, UniversalValue(E))
+        tr = Transfer(au)
+        outs = tr.post(OpStoreNext("p", "q"), heap)
+        assert outs
+        out = outs[0]
+        p_node = out.graph.node_of("p")
+        # after folding, q may have merged into p's word
+        q_node = out.graph.node_of("q")
+        assert out.graph.succ.get(p_node) in (q_node, NULL)
+
+    def test_store_next_unfolds_long_word(self, au):
+        # p's word longer than 1: the cell must be exposed first.
+        g = HeapGraph(["a"], {"a": NULL}, {"p": "a"})
+        E = Polyhedron.of(Constraint.eq(v(T.length("a")), 3))
+        heap = AbstractHeap(g, UniversalValue(E))
+        tr = Transfer(au)
+        outs = tr.post(OpStoreNext("p", None), heap)
+        assert outs
+        for out in outs:
+            node = out.graph.node_of("p")
+            assert out.value.E.entails(Constraint.eq(v(T.length(node)), 1))
+
+
+class TestAssumes:
+    def test_ptr_eq_exact(self, au):
+        g = HeapGraph(["a", "b"], {"a": NULL, "b": NULL}, {"x": "a", "y": "b"})
+        heap = AbstractHeap(g, UniversalValue())
+        tr = Transfer(au)
+        assert tr.post(OpAssumePtr("x", "y", True), heap) == []
+        assert tr.post(OpAssumePtr("x", "y", False), heap) == [heap]
+
+    def test_ptr_null_test(self, au):
+        heap = AbstractHeap(HeapGraph.empty(["x"]), UniversalValue())
+        tr = Transfer(au)
+        assert tr.post(OpAssumePtr("x", None, True), heap) == [heap]
+        assert tr.post(OpAssumePtr("x", None, False), heap) == []
+
+    def test_data_assume_filters(self, au):
+        heap = one_node_heap(au)
+        tr = Transfer(au)
+        outs = tr.post(
+            OpAssumeData("<", A.DataOf(A.Var("p")), A.IntLit(0)), heap
+        )
+        assert len(outs) == 1
+        node = outs[0].graph.node_of("p")
+        assert outs[0].value.E.entails(
+            Constraint.le(v(T.hd(node)), -1)
+        )
+
+    def test_data_assume_contradiction(self, au):
+        g = HeapGraph(["a"], {"a": NULL}, {"p": "a"})
+        E = Polyhedron.of(Constraint.eq(v(T.hd("a")), 5))
+        heap = AbstractHeap(g, UniversalValue(E))
+        tr = Transfer(au)
+        outs = tr.post(
+            OpAssumeData("<", A.DataOf(A.Var("p")), A.IntLit(0)), heap
+        )
+        assert outs == []
+
+    def test_assign_data_increment(self, au):
+        heap = AbstractHeap(
+            HeapGraph.empty(["p"]),
+            UniversalValue(Polyhedron.of(Constraint.eq(v("i"), 3))),
+        )
+        tr = Transfer(au)
+        (out,) = tr.post(OpAssignData("i", A.BinOp("+", A.Var("i"), A.IntLit(1))), heap)
+        assert out.value.E.entails(Constraint.eq(v("i"), 4))
+
+
+class TestDataExprTranslation:
+    def test_data_of(self):
+        g = HeapGraph(["a"], {"a": NULL}, {"p": "a"})
+        expr = data_expr_to_linexpr(A.DataOf(A.Var("p")), g)
+        assert expr == v(T.hd("a"))
+
+    def test_affine(self):
+        g = HeapGraph.empty([])
+        ast = A.BinOp("-", A.BinOp("*", A.IntLit(2), A.Var("a")), A.IntLit(3))
+        expr = data_expr_to_linexpr(ast, g)
+        assert expr.coeff("a") == 2
+        assert expr.const == -3
+
+    def test_am_domain_transfers_run(self):
+        am = MultisetDomain()
+        g = HeapGraph(["a"], {"a": NULL}, {"p": "a", "x": "a"})
+        heap = AbstractHeap(g, am.top())
+        tr = Transfer(am)
+        (out,) = tr.post(OpStoreData("p", A.Var("d")), heap)
+        from fractions import Fraction
+
+        node = out.graph.node_of("p")
+        assert am.entails_row(
+            out.value, {T.mhd(node): Fraction(1), "d": Fraction(-1)}
+        )
