@@ -57,4 +57,5 @@ def test_multiset_equivalence_of_sorts(benchmark, analyzer):
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  summary cache after sweep: {analyzer.cache.stats()}")
     assert all(results.values()), results

@@ -56,10 +56,22 @@ def analyze_main(source):
     return analyzer.analyze("main", domain="au")
 
 
+def _print_engine_stats(label, stats):
+    sched = stats.get("scheduler", {})
+    cache = stats.get("cache", {})
+    print(
+        f"\n  {label}: records={stats.get('records')} steps={stats.get('steps')} "
+        f"reanalyzed={stats.get('records.reanalyzed', 0)} "
+        f"sched[{sched.get('policy')}] pops={sched.get('pops')} "
+        f"cache hits={cache.get('hits', 0)}/{cache.get('hits', 0) + cache.get('misses', 0)}"
+    )
+
+
 def test_interproc_reuses_summary(benchmark):
     result = benchmark.pedantic(
         analyze_main, args=(_call_program(CALLS),), rounds=1, iterations=1
     )
+    _print_engine_stats("interproc", result.stats)
     # one init record per entry shape, not one per call site
     init_records = [k for k in result.engine.records if k[0] == "init"]
     assert len(init_records) <= 2
@@ -69,7 +81,21 @@ def test_inline_baseline(benchmark):
     result = benchmark.pedantic(
         analyze_main, args=(_inline_program(CALLS),), rounds=1, iterations=1
     )
+    _print_engine_stats("inline", result.stats)
     assert result.summaries
+
+
+def test_repeated_analysis_hits_cache():
+    """Re-analysis through the same analyzer is a summary-cache lookup."""
+    analyzer = Analyzer.from_source(_call_program(3))
+    cold = analyzer.analyze("main", domain="au")
+    t0 = time.perf_counter()
+    warm = analyzer.analyze("main", domain="au")
+    warm_time = time.perf_counter() - t0
+    _print_engine_stats(f"warm rerun ({warm_time:.4f}s)", warm.stats)
+    assert warm.stats["from_cache"]
+    assert warm.stats["cache"]["hit_rate"] > 0
+    assert len(warm.summaries) == len(cold.summaries)
 
 
 def test_speedup_factor():

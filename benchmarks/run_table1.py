@@ -34,6 +34,7 @@ def _run_one(name, domain, queue):
             "ok": row.summary_ok,
             "note": row.note,
             "patterns": row.patterns,
+            "engine": row.engine_summary(),
         }
     )
 
@@ -47,9 +48,15 @@ def run_with_budget(name, domain, budget):
     if proc.is_alive():
         proc.terminate()
         proc.join()
-        return {"time": None, "ok": None, "note": "timeout", "patterns": ()}
+        return {
+            "time": None, "ok": None, "note": "timeout", "patterns": (),
+            "engine": "",
+        }
     if queue.empty():
-        return {"time": None, "ok": None, "note": "crash", "patterns": ()}
+        return {
+            "time": None, "ok": None, "note": "crash", "patterns": (),
+            "engine": "",
+        }
     return queue.get()
 
 
@@ -74,9 +81,9 @@ def main():
     print(
         f"{'class':<6} {'fun':<12} {'patterns':<22} "
         f"{'AM t(s)':>8} {'paper':>6}  {'AU t(s)':>8} {'paper':>7} "
-        f"{'summary':>7}"
+        f"{'summary':>7}  engine"
     )
-    print("-" * 88)
+    print("-" * 112)
     for e in rows:
         am = run_with_budget(e.name, "am", args.budget)
         if args.skip_au:
@@ -86,11 +93,12 @@ def main():
         pats = ",".join(sorted(au["patterns"] or am["patterns"])) or "-"
         ok = au["ok"] if au["ok"] is not None else am["ok"]
         note = au["note"] or am["note"]
+        engine = au.get("engine") or am.get("engine") or ""
         print(
             f"{e.cls:<6} {e.paper_name:<12} {pats:<22} "
             f"{fmt_time(am['time'])} {e.paper_am_time:6.3f}  "
             f"{fmt_time(au['time'])} {e.paper_au_time:7.3f} "
-            f"{fmt_ok(ok):>7}"
+            f"{fmt_ok(ok):>7}  {engine}"
             + (f"  [{note}]" if note else ""),
             flush=True,
         )

@@ -33,6 +33,23 @@ class RowResult:
     patterns: Tuple[str, ...]
     summary_ok: Optional[bool]  # None = no check defined
     note: str = ""
+    # Engine telemetry for the analysis run (records, steps, widenings,
+    # scheduler and cache counters) -- printed next to the timings.
+    stats: Optional[dict] = None
+
+    def engine_summary(self) -> str:
+        """One-line engine accounting for table printing."""
+        if not self.stats:
+            return ""
+        sched = self.stats.get("scheduler", {})
+        cache = self.stats.get("cache", {})
+        return (
+            f"rec={self.stats.get('records', 0)} "
+            f"steps={self.stats.get('steps', 0)} "
+            f"rerun={self.stats.get('records.reanalyzed', 0)} "
+            f"pops={sched.get('pops', 0)} "
+            f"hits={cache.get('hits', 0)}"
+        )
 
 
 def _first_list(params):
@@ -267,13 +284,18 @@ def analyze_row(
     start = time.perf_counter()
     note = ""
     summary_ok: Optional[bool] = None
+    stats: Optional[dict] = None
     try:
         result = analyzer.analyze(entry.name, domain=domain, max_steps=max_steps)
         elapsed = time.perf_counter() - start
-        check = (AM_CHECKS if domain == "am" else AU_CHECKS).get(entry.name)
-        if check is not None:
-            summary_ok = check(analyzer, entry.name, result)
-    except Exception as exc:  # budget exceeded or unsupported
+        stats = result.stats
+        if result.diagnostics:  # budget exhausted -> partial summaries
+            note = result.diagnostics[0].kind
+        else:
+            check = (AM_CHECKS if domain == "am" else AU_CHECKS).get(entry.name)
+            if check is not None:
+                summary_ok = check(analyzer, entry.name, result)
+    except Exception as exc:  # cutpoints or unsupported constructs
         elapsed = time.perf_counter() - start
         note = f"{type(exc).__name__}"
     patterns = tuple(sorted(choose_patterns(analyzer.icfg, entry.name)))
@@ -284,6 +306,7 @@ def analyze_row(
         patterns=patterns,
         summary_ok=summary_ok,
         note=note,
+        stats=stats,
     )
 
 

@@ -25,8 +25,17 @@ Quick start::
     print(a.analyze("inc", domain="au").describe())
 """
 
-from repro.core.api import Analyzer, AnalysisResult, choose_patterns
+from repro.core.api import Analyzer, AnalysisResult, Diagnostic, choose_patterns
+from repro.engine import EngineOptions, SummaryCache
 
 __version__ = "0.1.0"
 
-__all__ = ["Analyzer", "AnalysisResult", "choose_patterns", "__version__"]
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Diagnostic",
+    "EngineOptions",
+    "SummaryCache",
+    "choose_patterns",
+    "__version__",
+]

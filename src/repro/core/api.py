@@ -16,19 +16,21 @@ calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.datawords.multiset import MultisetDomain
 from repro.datawords.patterns import PatternSet, pattern_set
 from repro.datawords.universal import UniversalDomain
+from repro.engine import EngineOptions, SummaryCache
 from repro.lang.cfg import ICFG, build_icfg
 from repro.lang.normalize import normalize_program
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import typecheck_program
 from repro.shape.abstract_heap import AbstractHeap
 from repro.shape.heap_set import HeapSet
-from repro.core.interproc import Engine
+from repro.core.interproc import AnalysisBudgetExceeded, Engine
 
 
 def choose_patterns(icfg: ICFG, proc: str) -> PatternSet:
@@ -58,17 +60,58 @@ def choose_patterns(icfg: ICFG, proc: str) -> PatternSet:
 
 
 @dataclass
+class Diagnostic:
+    """A structured analysis problem surfaced instead of a traceback."""
+
+    kind: str  # e.g. "record_iterations" | "entry_widenings" | "global_steps"
+    message: str
+    proc: Optional[str] = None
+    record_key: Optional[Tuple] = None
+    steps: Optional[int] = None
+    limit: Optional[int] = None
+
+    @staticmethod
+    def from_budget(exc: AnalysisBudgetExceeded) -> "Diagnostic":
+        return Diagnostic(
+            kind=exc.kind,
+            message=str(exc),
+            proc=exc.proc,
+            record_key=exc.record_key,
+            steps=exc.steps,
+            limit=exc.limit,
+        )
+
+    def __str__(self) -> str:
+        where = f" in {self.proc}" if self.proc else ""
+        return f"[{self.kind}{where}] {self.message}"
+
+
+@dataclass
 class AnalysisResult:
-    """Summaries of one procedure in one domain."""
+    """Summaries of one procedure in one domain.
+
+    ``stats`` carries the engine's telemetry for the run (record,
+    widening, step, scheduler and cache counters); ``diagnostics`` is
+    non-empty when the analysis hit a budget and the summaries are
+    partial (see :meth:`ok`).
+    """
 
     proc: str
     domain_name: str  # "au" or "am"
     domain: object
     summaries: List[Tuple[AbstractHeap, HeapSet]]
     engine: Engine
+    stats: Dict[str, object] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
 
     def describe(self) -> str:
         lines = [f"== {self.proc} ({self.domain_name}) =="]
+        for diag in self.diagnostics:
+            lines.append(f"diagnostic: {diag}")
         for entry, summary in self.summaries:
             lines.append(f"entry: {entry.graph!r}")
             lines.append(summary.describe(self.domain))
@@ -82,16 +125,26 @@ class AnalysisResult:
 
 
 class Analyzer:
-    """Parses a program once; runs per-procedure analyses on demand."""
+    """Parses a program once; runs per-procedure analyses on demand.
 
-    def __init__(self, program):
+    Every analyzer owns a :class:`SummaryCache` shared by all of its
+    ``analyze`` calls, so repeated analyses of the same procedure in the
+    same domain (benchmarks, equivalence checks, the AM pass that
+    ``analyze_strengthened`` repeats) are dictionary lookups.  Pass
+    ``engine_opts=EngineOptions(use_cache=False)`` to bypass it, or an
+    ``EngineOptions(cache=...)`` to share a cache (possibly disk-backed)
+    across analyzers.
+    """
+
+    def __init__(self, program, cache: Optional[SummaryCache] = None):
         self.program = program
         self.icfg = build_icfg(program)
+        self.cache = cache if cache is not None else SummaryCache()
 
     @staticmethod
-    def from_source(source: str) -> "Analyzer":
+    def from_source(source: str, cache: Optional[SummaryCache] = None) -> "Analyzer":
         program = normalize_program(typecheck_program(parse_program(source)))
-        return Analyzer(program)
+        return Analyzer(program, cache=cache)
 
     def make_domain(self, domain: str, proc: Optional[str] = None, patterns=None):
         if domain == "am":
@@ -114,11 +167,15 @@ class Analyzer:
         k: int = 0,
         strengthen_hook=None,
         assume_handler=None,
-        max_steps: int = 200_000,
+        max_steps: Optional[int] = None,
+        engine_opts: Optional[EngineOptions] = None,
     ) -> AnalysisResult:
         ldw = self.make_domain(domain, proc, patterns)
         if strengthen_hook is not None and hasattr(strengthen_hook, "au_domain"):
             strengthen_hook.au_domain = ldw
+        opts = engine_opts if engine_opts is not None else EngineOptions()
+        if opts.cache is None and opts.use_cache:
+            opts = dataclasses.replace(opts, cache=self.cache)
         engine = Engine(
             self.icfg,
             ldw,
@@ -126,14 +183,23 @@ class Analyzer:
             strengthen_hook=strengthen_hook,
             assume_handler=assume_handler,
             max_steps=max_steps,
+            opts=opts,
         )
-        engine.analyze(proc)
+        diagnostics: List[Diagnostic] = []
+        try:
+            engine.analyze(proc)
+        except AnalysisBudgetExceeded as exc:
+            diagnostics.append(Diagnostic.from_budget(exc))
+        finally:
+            engine.telemetry.close()
         return AnalysisResult(
             proc=proc,
             domain_name=domain,
             domain=ldw,
             summaries=engine.summaries_of(proc),
             engine=engine,
+            stats=engine.stats(),
+            diagnostics=diagnostics,
         )
 
     def analyze_strengthened(
@@ -142,11 +208,14 @@ class Analyzer:
         patterns=None,
         k: int = 0,
         assume_handler=None,
-        max_steps: int = 200_000,
+        max_steps: Optional[int] = None,
+        engine_opts: Optional[EngineOptions] = None,
     ) -> AnalysisResult:
         """The paper's combined analysis (§6.2): AHS(AM) first, then
         AHS(AU) with strengthen_M applied at every procedure return."""
-        am_result = self.analyze(proc, domain="am", max_steps=max_steps)
+        am_result = self.analyze(
+            proc, domain="am", max_steps=max_steps, engine_opts=engine_opts
+        )
         hook = make_am_strengthen_hook(am_result.engine)
         result = self.analyze(
             proc,
@@ -156,8 +225,10 @@ class Analyzer:
             strengthen_hook=hook,
             assume_handler=assume_handler,
             max_steps=max_steps,
+            engine_opts=engine_opts,
         )
         result.am_result = am_result
+        result.diagnostics = am_result.diagnostics + result.diagnostics
         return result
 
 
@@ -179,7 +250,7 @@ def make_am_strengthen_hook(am_engine: Engine):
     def hook(callee, info, exit_heap, combined_value, node_rename, data_rename):
         if hook.au_domain is None:  # pragma: no cover - defensive
             return combined_value
-        record = am_engine.records.get((callee, info.entry_heap.graph.key()))
+        record = am_engine.record_for(callee, info.entry_heap)
         if record is None:
             return combined_value
         for am_exit in record.summary:
@@ -197,4 +268,8 @@ def make_am_strengthen_hook(am_engine: Engine):
         return combined_value
 
     hook.au_domain = None
+    # The hook is a pure function of the AM engine's tabulated records,
+    # which are themselves determined by (program, root proc, domain) --
+    # all part of the summary-cache key -- so runs using it are cacheable.
+    hook.cache_tag = "strengthen-am"
     return hook

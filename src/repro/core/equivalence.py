@@ -40,6 +40,9 @@ class EquivalenceResult:
     proc2: str
     equivalent: bool  # verified equivalence (False = could not verify)
     detail: str = ""
+    # Engine accounting aggregated over the underlying analyses (record /
+    # cache counters); filled by check_equivalence.
+    stats: Optional[dict] = None
 
 
 def equal_from_sorted_ms(max_len: int = 0) -> bool:
@@ -114,6 +117,7 @@ def check_equivalence(
     proc1: str,
     proc2: str,
     max_steps: int = 400_000,
+    engine_opts=None,
 ) -> EquivalenceResult:
     """Sound equivalence check for two sorting-like procedures.
 
@@ -121,34 +125,49 @@ def check_equivalence(
     shared input (``equal(i1, i2)``), and checks that the outputs are
     provably equal: either directly (the AU summaries relate output and
     input pointwise) or via the sorted+multiset argument of formula (C).
+
+    The check analyzes each procedure in both domains and repeats the AM
+    pass inside the strengthened analysis; the analyzer's summary cache
+    collapses the repeats, and the resulting cache accounting is reported
+    on ``EquivalenceResult.stats``.
     """
-    su1 = _sort_summary(analyzer, proc1, max_steps)
-    su2 = _sort_summary(analyzer, proc2, max_steps)
+
+    def done(equivalent: bool, detail: str) -> EquivalenceResult:
+        cache = getattr(analyzer, "cache", None)
+        stats = {"cache": cache.stats()} if cache is not None else None
+        return EquivalenceResult(proc1, proc2, equivalent, detail, stats=stats)
+
+    su1 = _sort_summary(analyzer, proc1, max_steps, engine_opts)
+    su2 = _sort_summary(analyzer, proc2, max_steps, engine_opts)
     if su1 is None or su2 is None:
-        return EquivalenceResult(proc1, proc2, False, "missing summaries")
+        return done(False, "missing summaries")
     sorted1, preserves1 = su1
     sorted2, preserves2 = su2
     if not (preserves1 and preserves2):
-        return EquivalenceResult(
-            proc1, proc2, False, "multiset preservation not derived"
-        )
+        return done(False, "multiset preservation not derived")
     if not (sorted1 and sorted2):
-        return EquivalenceResult(proc1, proc2, False, "sortedness not derived")
+        return done(False, "sortedness not derived")
     # equal(i1,i2) ∧ ms(i1)=ms(o1) ∧ ms(i2)=ms(o2) gives ms(o1)=ms(o2);
     # with sorted(o1) ∧ sorted(o2), formula (C) closes the argument.
     if check_formula_c():
-        return EquivalenceResult(proc1, proc2, True, "via formula (C)")
-    return EquivalenceResult(proc1, proc2, False, "formula (C) not derived")
+        return done(True, "via formula (C)")
+    return done(False, "formula (C) not derived")
 
 
-def _sort_summary(analyzer, proc: str, max_steps: int) -> Optional[Tuple[bool, bool]]:
+def _sort_summary(
+    analyzer, proc: str, max_steps: int, engine_opts=None
+) -> Optional[Tuple[bool, bool]]:
     """(output sorted?, multiset preserved?) from the two analyses."""
-    am = analyzer.analyze(proc, domain="am", max_steps=max_steps)
+    am = analyzer.analyze(
+        proc, domain="am", max_steps=max_steps, engine_opts=engine_opts
+    )
+    if not am.ok:
+        return None
     cfg = analyzer.icfg.cfg(proc)
     out_var = next(p.name for p in cfg.outputs if p.type == "list")
     in_var = next(p.name for p in cfg.inputs if p.type == "list")
     preserved = _check_ms_preserved(am, in_var, out_var)
-    sorted_ok = _check_sorted_summary(analyzer, proc, out_var, max_steps)
+    sorted_ok = _check_sorted_summary(analyzer, proc, out_var, max_steps, engine_opts)
     return (sorted_ok, preserved)
 
 
@@ -175,12 +194,16 @@ def _check_ms_preserved(am_result, in_var: str, out_var: str) -> bool:
     return True
 
 
-def _check_sorted_summary(analyzer, proc: str, out_var: str, max_steps: int) -> bool:
+def _check_sorted_summary(
+    analyzer, proc: str, out_var: str, max_steps: int, engine_opts=None
+) -> bool:
     """Does the AU (AM-strengthened) analysis derive a sorted output?"""
     from repro.core.assertions import _check_sorted
     from repro.shape.graph import NULL
 
-    result = analyzer.analyze_strengthened(proc, max_steps=max_steps)
+    result = analyzer.analyze_strengthened(
+        proc, max_steps=max_steps, engine_opts=engine_opts
+    )
     found_any = False
     for entry, summary in result.summaries:
         for heap in summary:

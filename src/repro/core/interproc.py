@@ -11,6 +11,13 @@ Widening is applied at intra-procedural loop heads and, for recursive
 procedures, at the entry (the tabulated entry configuration is widened
 when a new call brings a larger one) and at the exit (summaries are
 widened instead of joined), exactly the three widening points of §4.
+
+The *mechanics* of the fixpoint live in :mod:`repro.engine`: records are
+keyed by stable canonical hashes (:mod:`repro.engine.canon`), scheduled
+SCC-bottom-up (:mod:`repro.engine.scheduler`), reused across runs through
+the summary cache (:mod:`repro.engine.cache`), and instrumented with
+counters/timers/events (:mod:`repro.engine.telemetry`).  All of it is
+controlled by one :class:`repro.engine.EngineOptions` bundle.
 """
 
 from __future__ import annotations
@@ -19,6 +26,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.datawords.base import LDWDomain
+from repro.engine import EngineOptions, FifoScheduler, Scheduler, SummaryCache
+from repro.engine.canon import (
+    domain_descriptor,
+    graph_hash,
+    icfg_fingerprint,
+)
 from repro.lang import ast as A
 from repro.lang.cfg import CFG, ICFG, OpAssert, OpAssume, OpCall
 from repro.shape.abstract_heap import AbstractHeap
@@ -35,10 +48,45 @@ from repro.core.transfer import Transfer
 
 
 class AnalysisBudgetExceeded(Exception):
-    pass
+    """An analysis budget was exhausted.
+
+    Carries structured fields so callers can surface a diagnostic instead
+    of parsing the message: ``kind`` is one of ``"record_iterations"``,
+    ``"entry_widenings"`` or ``"global_steps"``; ``proc``/``record_key``
+    identify the offending record when applicable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "budget",
+        proc: Optional[str] = None,
+        record_key: Optional[Tuple] = None,
+        steps: Optional[int] = None,
+        limit: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.proc = proc
+        self.record_key = record_key
+        self.steps = steps
+        self.limit = limit
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "message": str(self),
+            "kind": self.kind,
+            "proc": self.proc,
+            "record_key": self.record_key,
+            "steps": self.steps,
+            "limit": self.limit,
+        }
 
 
-RecordKey = Tuple[str, Tuple]
+# A record key is (procedure name, stable hash of the canonical entry
+# backbone) -- see repro.engine.canon.graph_hash.
+RecordKey = Tuple[str, str]
 
 
 @dataclass
@@ -51,6 +99,12 @@ class Record:
     summary: HeapSet = field(default_factory=HeapSet.bottom)
     dependents: Set[RecordKey] = field(default_factory=set)
     iterations: int = 0
+    # Monotone count of entry-configuration growths; unlike ``iterations``
+    # it is never reset, bounding entry-widening livelocks.
+    entry_widenings: int = 0
+    # Dependency depth at creation (roots are 0, callee records one more
+    # than their caller); orders records inside a call-graph SCC.
+    depth: int = 0
 
 
 # A hook called when composing a return:
@@ -69,20 +123,40 @@ class Engine:
         k: int = 0,
         strengthen_hook: Optional[StrengthenHook] = None,
         assume_handler=None,
-        max_record_iterations: int = 60,
-        max_steps: int = 200_000,
+        max_record_iterations: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        opts: Optional[EngineOptions] = None,
     ):
+        self.opts = opts if opts is not None else EngineOptions()
         self.icfg = icfg
         self.domain = domain
         self.transfer = Transfer(domain, k)
         self.records: Dict[RecordKey, Record] = {}
-        self.worklist: List[RecordKey] = []
         self.strengthen_hook = strengthen_hook
         self.assume_handler = assume_handler
-        self.max_record_iterations = max_record_iterations
-        self.max_steps = max_steps
+        self.max_record_iterations = (
+            max_record_iterations
+            if max_record_iterations is not None
+            else self.opts.max_record_iterations
+        )
+        self.max_entry_widenings = self.opts.max_entry_widenings
+        self.max_steps = max_steps if max_steps is not None else self.opts.max_steps
         self.steps = 0
         self.recursive = icfg.recursive_procs()
+        self.telemetry = self.opts.make_telemetry()
+        if self.opts.scheduler == "fifo":
+            self.worklist = FifoScheduler()
+        elif self.opts.scheduler == "scc":
+            self.worklist = Scheduler(icfg.call_graph())
+        else:
+            raise ValueError(
+                f"unknown scheduler policy {self.opts.scheduler!r} "
+                "(expected 'scc' or 'fifo')"
+            )
+        self.cache: Optional[SummaryCache] = (
+            self.opts.cache if self.opts.use_cache else None
+        )
+        self.from_cache = False  # did the last analyze() restore a cached run?
 
     # -- entry configurations -----------------------------------------------------------
 
@@ -135,55 +209,148 @@ class Engine:
     # -- records ---------------------------------------------------------------------------
 
     def _record_key(self, proc: str, entry: AbstractHeap) -> RecordKey:
-        return (proc, entry.graph.key())
+        return (proc, graph_hash(entry.graph))
 
-    def get_record(self, proc: str, entry: AbstractHeap) -> Record:
+    def record_for(self, proc: str, entry: AbstractHeap) -> Optional[Record]:
+        """Look up the tabulated record for an entry configuration (by
+        canonical backbone), without creating or enqueueing one."""
+        return self.records.get(self._record_key(proc, entry))
+
+    def get_record(self, proc: str, entry: AbstractHeap, depth: int = 0) -> Record:
         """Find or create the record; widen its entry if the new one is larger."""
         entry = entry.canonicalize(self.domain)
         key = self._record_key(proc, entry)
         record = self.records.get(key)
         if record is None:
-            record = Record(proc=proc, entry=entry)
+            record = Record(proc=proc, entry=entry, depth=depth)
             self.records[key] = record
-            self._enqueue(key)
+            self.telemetry.count("records.created")
+            self.telemetry.event("record.created", proc=proc, key=key[1], depth=depth)
+            self._enqueue(key, record)
             return record
+        if depth < record.depth:
+            record.depth = depth
         if not entry.leq(record.entry, self.domain):
+            record.entry_widenings += 1
+            if record.entry_widenings > self.max_entry_widenings:
+                raise AnalysisBudgetExceeded(
+                    f"record {proc} widened its entry "
+                    f"{record.entry_widenings} times "
+                    f"(limit {self.max_entry_widenings}); "
+                    "the entry widening is not stabilizing",
+                    kind="entry_widenings",
+                    proc=proc,
+                    record_key=key,
+                    steps=record.entry_widenings,
+                    limit=self.max_entry_widenings,
+                )
             joined = record.entry.join(entry, self.domain)
             if proc in self.recursive:
                 record.entry = record.entry.widen(joined, self.domain)
             else:
                 record.entry = joined
             record.states = {}
+            # The iteration budget is per entry configuration; growth of the
+            # entry starts a fresh intra-procedural fixpoint.  Livelock with
+            # a non-stabilizing widening is caught by ``entry_widenings``,
+            # which is monotone and bounded separately.
             record.iterations = 0
-            self._enqueue(key)
+            self.telemetry.count("records.entry_widened")
+            self.telemetry.event(
+                "entry.widened",
+                proc=proc,
+                key=key[1],
+                count=record.entry_widenings,
+            )
+            self._enqueue(key, record)
         return record
 
-    def _enqueue(self, key: RecordKey) -> None:
-        if key not in self.worklist:
-            self.worklist.append(key)
+    def _enqueue(self, key: RecordKey, record: Record) -> None:
+        self.worklist.push(key, record.proc, record.depth)
 
     # -- main loop ----------------------------------------------------------------------------
 
     def run(self) -> None:
-        while self.worklist:
-            key = self.worklist.pop(0)
-            self._analyze_record(key)
+        with self.telemetry.phase("fixpoint"):
+            while self.worklist:
+                key = self.worklist.pop()
+                self._analyze_record(key)
 
     def analyze(self, proc: str) -> List[Record]:
         """Analyze a procedure from its most-general entries; returns the
-        records (one per entry shape)."""
+        records (one per entry shape).
+
+        When a summary cache is configured and holds this exact run
+        (program, procedure, domain, patterns, fold bound, hooks), the
+        whole record table is restored from it and no fixpoint runs.
+        """
+        self.from_cache = False
+        cache_key = self._cache_key(proc)
+        if cache_key is not None and self.cache is not None:
+            payload = self.cache.get(cache_key)
+            if payload is not None:
+                self.telemetry.count("cache.hits")
+                self.telemetry.event("cache.hit", proc=proc)
+                return self._restore_run(payload, proc)
+            self.telemetry.count("cache.misses")
+            self.telemetry.event("cache.miss", proc=proc)
         records = [self.get_record(proc, e) for e in self.generic_entries(proc)]
         self.run()
+        if cache_key is not None and self.cache is not None:
+            self.cache.put(cache_key, self._run_payload())
         return records
+
+    # -- run-level caching --------------------------------------------------------------------
+
+    def _cache_key(self, proc: str) -> Optional[Tuple]:
+        """The cache key for a root analysis, or None when the run is not
+        cacheable (a hook without a declared ``cache_tag`` may close over
+        arbitrary state, e.g. a stateful assertion checker)."""
+        hook_tag = _hook_tag(self.strengthen_hook)
+        assume_tag = _hook_tag(self.assume_handler)
+        if hook_tag is None or assume_tag is None:
+            return None
+        return (
+            icfg_fingerprint(self.icfg),
+            proc,
+            domain_descriptor(self.domain),
+            self.transfer.k,
+            hook_tag,
+            assume_tag,
+        )
+
+    def _run_payload(self) -> List[Tuple[str, AbstractHeap, HeapSet]]:
+        return [
+            (record.proc, record.entry, record.summary)
+            for record in self.records.values()
+        ]
+
+    def _restore_run(self, payload, proc: str) -> List[Record]:
+        self.from_cache = True
+        for callee, entry, summary in payload:
+            key = self._record_key(callee, entry)
+            self.records[key] = Record(proc=callee, entry=entry, summary=summary)
+        self.telemetry.count("records.restored", len(payload))
+        return [record for record in self.records.values() if record.proc == proc]
 
     # -- intra-procedural fixpoint ----------------------------------------------------------------
 
     def _analyze_record(self, key: RecordKey) -> None:
         record = self.records[key]
         record.iterations += 1
+        if record.iterations > 1:
+            self.telemetry.count("records.reanalyzed")
+            self.telemetry.event(
+                "record.rerun", proc=record.proc, key=key[1], run=record.iterations
+            )
         if record.iterations > self.max_record_iterations:
             raise AnalysisBudgetExceeded(
-                f"record {key[0]} exceeded {self.max_record_iterations} runs"
+                f"record {key[0]} exceeded {self.max_record_iterations} runs",
+                kind="record_iterations",
+                proc=record.proc,
+                record_key=key,
+                steps=record.iterations,
+                limit=self.max_record_iterations,
             )
         cfg = self.icfg.cfg(record.proc)
         domain = self.domain
@@ -201,7 +368,14 @@ class Engine:
         while pending:
             self.steps += 1
             if self.steps > self.max_steps:
-                raise AnalysisBudgetExceeded("global step budget exhausted")
+                raise AnalysisBudgetExceeded(
+                    f"global step budget exhausted while analyzing {record.proc}",
+                    kind="global_steps",
+                    proc=record.proc,
+                    record_key=key,
+                    steps=self.steps,
+                    limit=self.max_steps,
+                )
             node = pending.pop(0)
             state = states.get(node)
             if state is None or state.is_bottom():
@@ -220,6 +394,13 @@ class Engine:
                 # can stabilize instead of being dropped.
                 if edge.dst in cfg.widen_points and visits[edge.dst] > 3:
                     new = old.widen(out.join(old, domain), domain)
+                    self.telemetry.count("widenings.loop")
+                    self.telemetry.event(
+                        "widening.applied",
+                        proc=record.proc,
+                        node=edge.dst,
+                        visit=visits[edge.dst],
+                    )
                 else:
                     new = old.join(out, domain)
                 states[edge.dst] = new
@@ -241,10 +422,20 @@ class Engine:
                 record.summary = record.summary.widen(
                     summary.join(record.summary, domain), domain
                 )
+                self.telemetry.count("widenings.summary")
             else:
                 record.summary = record.summary.join(summary, domain)
+            self.telemetry.count("summaries.grew")
+            self.telemetry.event(
+                "summary.grew",
+                proc=record.proc,
+                key=key[1],
+                dependents=len(record.dependents),
+            )
             for dep in list(record.dependents):
-                self._enqueue(dep)
+                dep_record = self.records.get(dep)
+                if dep_record is not None:
+                    self._enqueue(dep, dep_record)
 
     # -- edges -------------------------------------------------------------------------------------
 
@@ -269,7 +460,9 @@ class Engine:
         results: List[AbstractHeap] = []
         for heap in state:
             info = build_call_entry(domain, heap, callee_cfg, op)
-            callee_record = self.get_record(op.proc, info.entry_heap)
+            callee_record = self.get_record(
+                op.proc, info.entry_heap, depth=record.depth + 1
+            )
             callee_record.dependents.add(key)
             for exit_heap in callee_record.summary:
                 strengthen = None
@@ -292,7 +485,31 @@ class Engine:
 
     def summaries_of(self, proc: str) -> List[Tuple[AbstractHeap, HeapSet]]:
         out = []
-        for (name, _), record in sorted(self.records.items()):
-            if name == proc:
+        for record in self.records.values():
+            if record.proc == proc:
                 out.append((record.entry, record.summary))
+        # Deterministic order independent of hash values: sort on the
+        # canonical backbone key (matches the seed engine's ordering).
+        out.sort(key=lambda pair: pair[0].graph.key())
         return out
+
+    def stats(self) -> Dict[str, object]:
+        """Counters, timers, scheduler and cache accounting for this run."""
+        out: Dict[str, object] = {
+            "records": len(self.records),
+            "steps": self.steps,
+            "from_cache": self.from_cache,
+        }
+        out.update(self.telemetry.report())
+        out["scheduler"] = self.worklist.stats()
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+
+def _hook_tag(hook) -> Optional[str]:
+    """Cache tag of an engine hook: "" for no hook, the hook's declared
+    ``cache_tag`` otherwise, or None (uncacheable) for anonymous hooks."""
+    if hook is None:
+        return ""
+    return getattr(hook, "cache_tag", None)

@@ -1,0 +1,83 @@
+"""The analysis engine subsystem: scheduling, caching, observability.
+
+The tabulating fixpoint of :mod:`repro.core.interproc` is the *semantics*
+of the inter-procedural analysis (paper §4); this package is its
+*machinery* — the parts that decide in which order records are analyzed,
+which results can be reused, and what the engine reports about its own
+work:
+
+- :mod:`repro.engine.canon` — canonical labeling and stable content
+  hashing of backbone graphs, abstract heaps and heap sets (cached on the
+  objects), plus program fingerprints for cache keys;
+- :mod:`repro.engine.cache` — a summary cache keyed by
+  ``(program, procedure, domain, patterns, k, hooks)`` with hit/miss/
+  eviction accounting and an optional on-disk JSON store;
+- :mod:`repro.engine.scheduler` — a priority worklist that condenses the
+  call graph into SCCs (Tarjan) and analyzes the condensation bottom-up,
+  ordering records within an SCC by dependency depth;
+- :mod:`repro.engine.telemetry` — counters, phase timers and an opt-in
+  JSONL event trace with a ``report()`` summary.
+
+:class:`EngineOptions` is the single knob bundle threaded from
+``Analyzer.analyze(..., engine_opts=...)`` down to the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.cache import SummaryCache
+from repro.engine.canon import (
+    domain_descriptor,
+    graph_hash,
+    heap_hash,
+    heapset_hash,
+    icfg_fingerprint,
+    stable_digest,
+)
+from repro.engine.scheduler import FifoScheduler, Scheduler, condensation, tarjan_scc
+from repro.engine.telemetry import Telemetry
+
+
+@dataclass
+class EngineOptions:
+    """Tuning and observability knobs for the tabulating engine.
+
+    ``scheduler`` selects the worklist policy: ``"scc"`` (default) is the
+    SCC-condensation priority worklist, ``"fifo"`` the seed engine's flat
+    FIFO (kept for differential testing).  ``cache`` is a shared
+    :class:`SummaryCache`; ``use_cache=False`` bypasses it for one run.
+    ``trace_path``/``collect_events`` opt into the JSONL event trace.
+    """
+
+    scheduler: str = "scc"
+    cache: Optional[SummaryCache] = None
+    use_cache: bool = True
+    trace_path: Optional[str] = None
+    collect_events: bool = False
+    max_record_iterations: int = 60
+    max_entry_widenings: int = 25
+    max_steps: int = 200_000
+
+    def make_telemetry(self) -> Telemetry:
+        return Telemetry(
+            trace_path=self.trace_path, collect_events=self.collect_events
+        )
+
+
+__all__ = [
+    "EngineOptions",
+    "SummaryCache",
+    "Scheduler",
+    "FifoScheduler",
+    "Telemetry",
+    "condensation",
+    "tarjan_scc",
+    "stable_digest",
+    "graph_hash",
+    "heap_hash",
+    "heapset_hash",
+    "icfg_fingerprint",
+    "domain_descriptor",
+]

@@ -1,0 +1,154 @@
+"""Hash-keyed summary cache with optional on-disk persistence.
+
+The engine tabulates one record per ``(procedure, entry configuration)``
+*within* a run, but the seed threw all of that work away between runs —
+and the workloads re-run constantly: ``analyze_strengthened`` re-analyzes
+the AM domain that ``check_equivalence`` just computed, equivalence checks
+analyze both programs in both domains, and benchmarks repeat analyses for
+timing.  This cache keys a whole run's record table by
+
+    (program fingerprint, root procedure, domain descriptor,
+     pattern set, fold bound k, hook tags)
+
+so a repeated analysis is a dictionary lookup.  Caching whole record
+tables (every ``(proc, entry, summary)`` of the run, not only the root's)
+keeps the AM-strengthening hook exact: it looks up callee records of the
+AM engine by entry key, and those must all be present on a hit.
+
+The optional on-disk store is a JSON file mapping cache keys to metadata
+plus a base64-pickled record payload (summaries contain domain values —
+exact rationals, polyhedra — with no faithful pure-JSON form).  Corrupt or
+incompatible files are discarded, never trusted.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+# Bump when the pickled payload layout changes; old stores are discarded.
+STORE_VERSION = 1
+
+
+CacheKey = Tuple  # (program_fp, proc, domain_desc, k, hook_tag, assume_tag)
+
+
+class SummaryCache:
+    """An LRU cache of analysis-run payloads with accounting.
+
+    A payload is whatever the engine wants to reuse — the engine stores a
+    list of ``(proc, entry_heap, summary)`` triples covering every record
+    of the run.  The cache treats payloads as opaque.
+    """
+
+    def __init__(self, max_entries: int = 128, store_path: Optional[str] = None):
+        self.max_entries = max_entries
+        self.store_path = store_path
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.disk_loads = 0
+        self.disk_errors = 0
+        if store_path is not None and os.path.exists(store_path):
+            self._load(store_path)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, payload: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = payload
+        self.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- accounting -------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate(), 4),
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
+            "disk_errors": self.disk_errors,
+        }
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> int:
+        """Write all entries to the JSON store; returns the entry count."""
+        path = path or self.store_path
+        if path is None:
+            raise ValueError("no store path configured")
+        entries: List[Dict[str, Any]] = []
+        for key, payload in self._entries.items():
+            try:
+                blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self.disk_errors += 1
+                continue
+            entries.append(
+                {
+                    "key": list(key),
+                    "payload": base64.b64encode(blob).decode("ascii"),
+                }
+            )
+        doc = {"version": STORE_VERSION, "entries": entries}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if doc.get("version") != STORE_VERSION:
+                return
+            for entry in doc.get("entries", []):
+                key = _freeze(entry["key"])
+                blob = base64.b64decode(entry["payload"])
+                self._entries[key] = pickle.loads(blob)
+                self.disk_loads += 1
+        except Exception:
+            self.disk_errors += 1
+
+
+def _freeze(obj: Any) -> Any:
+    """JSON round-trips tuples as lists; restore hashability."""
+    if isinstance(obj, list):
+        return tuple(_freeze(item) for item in obj)
+    return obj

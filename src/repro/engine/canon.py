@@ -1,0 +1,101 @@
+"""Canonical labeling and stable hashing for engine keys.
+
+The backbone graph already carries a canonical form (:meth:`HeapGraph.
+canonical`: BFS renaming from the sorted label set, so isomorphic graphs
+have equal canonical keys).  This module turns those canonical forms into
+short *stable digests* — hex strings that are deterministic across
+processes (unlike ``hash()``, which is salted per interpreter) — so that
+records, summary lookups and the on-disk cache can key on a compact hash
+instead of nested tuples or repeated isomorphism searches.
+
+Digests are cached on the hashed objects (``HeapGraph._stable_hash``,
+``AbstractHeap._stable_hash``); graphs and heaps are immutable, so the
+cache never invalidates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.graph import HeapGraph
+from repro.shape.heap_set import HeapSet
+
+_DIGEST_SIZE = 16  # bytes; 32 hex chars
+
+
+def stable_digest(*parts: object) -> str:
+    """A process-stable blake2b digest of the reprs of ``parts``."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+# -- graphs ------------------------------------------------------------------
+
+
+def graph_hash(graph: HeapGraph) -> str:
+    """Stable digest of the canonical key; equal iff graphs isomorphic."""
+    cached = getattr(graph, "_stable_hash", None)
+    if cached is None:
+        cached = stable_digest(graph.key())
+        graph._stable_hash = cached
+    return cached
+
+
+# -- heaps and heap sets -----------------------------------------------------
+
+
+def heap_hash(heap: AbstractHeap, domain) -> str:
+    """Stable digest of a heap modulo isomorphism: canonical graph plus the
+    (canonically renamed) value's description."""
+    cached = getattr(heap, "_stable_hash", None)
+    if cached is None:
+        canon = heap.canonicalize(domain)
+        cached = stable_digest(canon.graph.key(), domain.describe(canon.value))
+        heap._stable_hash = cached
+        if canon is not heap:
+            canon._stable_hash = cached
+    return cached
+
+
+def heapset_hash(heaps: HeapSet, domain) -> str:
+    """Stable digest of a heap set: order-independent over member heaps."""
+    cached = getattr(heaps, "_stable_hash", None)
+    if cached is None:
+        cached = stable_digest(tuple(sorted(heap_hash(h, domain) for h in heaps)))
+        heaps._stable_hash = cached
+    return cached
+
+
+# -- programs and domains ----------------------------------------------------
+
+
+def icfg_fingerprint(icfg) -> str:
+    """Stable digest of a whole program's ICFG (procedure CFGs with their
+    edge operations), used to key summary caches across processes."""
+    cached = getattr(icfg, "_fingerprint", None)
+    if cached is None:
+        parts = []
+        for name in sorted(icfg.cfgs):
+            cfg = icfg.cfg(name)
+            parts.append((name, str(cfg), tuple(sorted(cfg.widen_points))))
+        cached = stable_digest(tuple(parts))
+        icfg._fingerprint = cached
+    return cached
+
+
+def domain_descriptor(domain) -> Tuple:
+    """A hashable, process-stable descriptor of an LDW domain instance.
+
+    AM has no parameters; AU is determined by its (closed) pattern set.
+    Unknown domains fall back to their class name.
+    """
+    patterns = getattr(domain, "patterns", None)
+    name = type(domain).__name__
+    if patterns is not None:
+        return (name, tuple(sorted(patterns)))
+    return (name,)

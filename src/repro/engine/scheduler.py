@@ -1,0 +1,204 @@
+"""Worklist scheduling for the tabulating engine.
+
+The seed engine used a flat FIFO over records, which interleaves callers
+and callees arbitrarily: a caller record is frequently re-analyzed several
+times while its callees' summaries are still growing.  The classic remedy
+(IFDS/summary-based engines) is to exploit call-graph structure:
+
+1. condense the call graph into strongly connected components (Tarjan);
+2. analyze the condensation DAG bottom-up — a procedure's record is only
+   taken from the worklist when no record of a *callee SCC* is pending, so
+   summaries are complete before callers consume them;
+3. inside an SCC (mutual recursion), prefer records created deeper in the
+   call chain: they are the dependencies of the shallower ones.
+
+:class:`Scheduler` implements this as a priority worklist (heap on
+``(scc_rank, -depth, seq)``); :class:`FifoScheduler` reproduces the seed
+behavior behind the same interface for differential testing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+
+def tarjan_scc(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components of a directed graph, iteratively.
+
+    Components are returned in reverse topological order of the
+    condensation: every component appears *before* any component that can
+    reach it — i.e. callees before callers for a call graph.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def condensation(graph: Dict[str, Set[str]]) -> Dict[str, int]:
+    """Map each node to its SCC rank: rank 0 components have no callees
+    outside themselves; callers always have a strictly larger rank than
+    the procedures they (transitively) call, unless mutually recursive."""
+    return {
+        node: rank
+        for rank, component in enumerate(tarjan_scc(graph))
+        for node in component
+    }
+
+
+class Scheduler:
+    """SCC-aware priority worklist over record keys.
+
+    Keys are pushed with the procedure they belong to and the dependency
+    depth at which the record was created (root analyses are depth 0, a
+    record created for a call edge is one deeper than its caller).  Pops
+    return the pending key with the smallest SCC rank — callees first —
+    breaking ties by larger depth, then FIFO order.
+    """
+
+    name = "scc"
+
+    def __init__(self, call_graph: Dict[str, Set[str]]):
+        self._rank = condensation(call_graph)
+        self._heap: List = []
+        self._pending: Set[Hashable] = set()
+        self._seq = 0
+        self.pushes = 0
+        self.pops = 0
+        self.requeues = 0
+        self.max_size = 0
+        self._seen: Set[Hashable] = set()
+
+    def rank(self, proc: str) -> int:
+        return self._rank.get(proc, len(self._rank))
+
+    def push(self, key: Hashable, proc: str, depth: int = 0) -> None:
+        if key in self._pending:
+            return
+        self.pushes += 1
+        if key in self._seen:
+            self.requeues += 1
+        self._seen.add(key)
+        self._pending.add(key)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.rank(proc), -depth, self._seq, key))
+        self.max_size = max(self.max_size, len(self._pending))
+
+    def pop(self) -> Hashable:
+        while True:
+            _, _, _, key = heapq.heappop(self._heap)
+            if key in self._pending:
+                self._pending.discard(key)
+                self.pops += 1
+                return key
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pending
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "policy": self.name,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "requeues": self.requeues,
+            "max_size": self.max_size,
+            "sccs": 1 + max(self._rank.values(), default=-1),
+        }
+
+
+class FifoScheduler:
+    """The seed engine's flat FIFO, behind the Scheduler interface."""
+
+    name = "fifo"
+
+    def __init__(self, call_graph: Optional[Dict[str, Set[str]]] = None):
+        self._queue: List[Hashable] = []
+        self.pushes = 0
+        self.pops = 0
+        self.requeues = 0
+        self.max_size = 0
+        self._seen: Set[Hashable] = set()
+
+    def push(self, key: Hashable, proc: str = "", depth: int = 0) -> None:
+        if key in self._queue:
+            return
+        self.pushes += 1
+        if key in self._seen:
+            self.requeues += 1
+        self._seen.add(key)
+        self._queue.append(key)
+        self.max_size = max(self.max_size, len(self._queue))
+
+    def pop(self) -> Hashable:
+        self.pops += 1
+        return self._queue.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._queue
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "policy": self.name,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "requeues": self.requeues,
+            "max_size": self.max_size,
+        }

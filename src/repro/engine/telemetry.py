@@ -1,0 +1,109 @@
+"""Engine observability: counters, phase timers, and an event trace.
+
+Telemetry is always on for counters and timers (they are a dict update and
+two clock reads — negligible next to a single ``post#``), while the event
+trace is opt-in: ``collect_events=True`` buffers structured events in
+memory, ``trace_path=...`` appends them as JSON Lines to a file.  Events
+cover the record lifecycle (created, re-run, entry widened), widening
+applications, summary growth, and cache hits/misses, so a slow analysis
+can be replayed from its trace.
+
+``report()`` returns a plain dict (counters + timers + event count);
+``format_report()`` renders it for benchmark drivers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, List, Optional
+
+
+class Telemetry:
+    """Counters, phase timers, and an optional JSONL event trace."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        collect_events: bool = False,
+        clock=time.perf_counter,
+    ):
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self._clock = clock
+        self._collect = collect_events
+        self._trace_path = trace_path
+        self._trace_file: Optional[IO[str]] = None
+        self._seq = 0
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.timers[name] = self.timers.get(name, 0.0) + self._clock() - start
+
+    # -- events --------------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        return self._collect or self._trace_path is not None
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Record one structured trace event (no-op unless tracing)."""
+        if not self.tracing:
+            return
+        self._seq += 1
+        record = {"seq": self._seq, "event": kind}
+        record.update(fields)
+        if self._collect:
+            self.events.append(record)
+        if self._trace_path is not None:
+            if self._trace_file is None:
+                self._trace_file = open(self._trace_path, "a", encoding="utf-8")
+            json.dump(record, self._trace_file, default=repr)
+            self._trace_file.write("\n")
+
+    def close(self) -> None:
+        if self._trace_file is not None:
+            self._trace_file.close()
+            self._trace_file = None
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = dict(sorted(self.counters.items()))
+        for name, total in sorted(self.timers.items()):
+            out[f"time.{name}"] = round(total, 6)
+        if self.tracing:
+            out["events"] = self._seq
+        return out
+
+    def format_report(self) -> str:
+        report = self.report()
+        if not report:
+            return "telemetry: (empty)"
+        width = max(len(k) for k in report)
+        lines = ["telemetry:"]
+        for key, value in report.items():
+            lines.append(f"  {key:<{width}}  {value}")
+        return "\n".join(lines)
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -20,11 +20,12 @@ from repro.shape.graph import NULL, HeapGraph, ShapeError
 class AbstractHeap:
     """An immutable (graph, LDW value) pair."""
 
-    __slots__ = ("graph", "value")
+    __slots__ = ("graph", "value", "_stable_hash")
 
     def __init__(self, graph: HeapGraph, value):
         self.graph = graph
         self.value = value
+        self._stable_hash = None  # filled by repro.engine.canon.heap_hash
 
     # -- basics -------------------------------------------------------------------
 

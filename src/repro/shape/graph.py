@@ -28,7 +28,7 @@ class ShapeError(Exception):
 class HeapGraph:
     """An immutable backbone: nodes, successor map, variable labels."""
 
-    __slots__ = ("nodes", "succ", "labels", "_key")
+    __slots__ = ("nodes", "succ", "labels", "_key", "_stable_hash")
 
     def __init__(
         self,
@@ -40,6 +40,7 @@ class HeapGraph:
         self.succ: Dict[str, str] = dict(succ)
         self.labels: Dict[str, str] = dict(labels)
         self._key = None
+        self._stable_hash = None  # filled by repro.engine.canon.graph_hash
         if NULL in self.succ:
             raise ShapeError("NULL has no successor")
         for n, m in self.succ.items():

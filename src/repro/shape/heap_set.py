@@ -17,10 +17,11 @@ from repro.shape.abstract_heap import AbstractHeap
 class HeapSet:
     """An immutable set of abstract heaps keyed by canonical graph."""
 
-    __slots__ = ("heaps",)
+    __slots__ = ("heaps", "_stable_hash")
 
     def __init__(self, heaps: Dict[Tuple, AbstractHeap]):
         self.heaps: Dict[Tuple, AbstractHeap] = heaps
+        self._stable_hash = None  # filled by repro.engine.canon.heapset_hash
 
     # -- constructors -------------------------------------------------------------
 

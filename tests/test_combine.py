@@ -2,6 +2,8 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.core.combine import (
     convert_value,
     infer_via_traversal,
@@ -182,6 +184,7 @@ class TestConvert:
 
 
 class TestTraversalInfer:
+    @pytest.mark.slow  # ~3 min: full Fig. 7 product-domain traversal analysis
     def test_traversal_matches_direct_sigma(self):
         """The Fig. 7 program re-derives the quicksort strengthening."""
         domain = UniversalDomain(pattern_set("P=", "P1"))

@@ -111,7 +111,15 @@ def test_am_summaries_hold_concretely(analyzer, interp, proc):
     _differential(analyzer, interp, proc, result, seed=hash(proc) % 1000)
 
 
-FAST_AU_PROCS = ["create", "addfst", "delfst", "init", "mapadd", "clone"]
+FAST_AU_PROCS = [
+    "create",
+    "addfst",
+    "delfst",
+    "init",
+    "mapadd",
+    # clone's AU analysis alone takes >1 min; slow lane only.
+    pytest.param("clone", marks=pytest.mark.slow),
+]
 
 
 @pytest.mark.parametrize("proc", FAST_AU_PROCS)
