@@ -168,6 +168,7 @@ class Analyzer:
         strengthen_hook=None,
         assume_handler=None,
         max_steps: Optional[int] = None,
+        max_seconds: Optional[float] = None,
         engine_opts: Optional[EngineOptions] = None,
     ) -> AnalysisResult:
         ldw = self.make_domain(domain, proc, patterns)
@@ -183,6 +184,7 @@ class Analyzer:
             strengthen_hook=strengthen_hook,
             assume_handler=assume_handler,
             max_steps=max_steps,
+            max_seconds=max_seconds,
             opts=opts,
         )
         diagnostics: List[Diagnostic] = []

@@ -22,6 +22,7 @@ controlled by one :class:`repro.engine.EngineOptions` bundle.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -52,8 +53,8 @@ class AnalysisBudgetExceeded(Exception):
 
     Carries structured fields so callers can surface a diagnostic instead
     of parsing the message: ``kind`` is one of ``"record_iterations"``,
-    ``"entry_widenings"`` or ``"global_steps"``; ``proc``/``record_key``
-    identify the offending record when applicable.
+    ``"entry_widenings"``, ``"global_steps"`` or ``"wall_clock"``;
+    ``proc``/``record_key`` identify the offending record when applicable.
     """
 
     def __init__(
@@ -125,6 +126,7 @@ class Engine:
         assume_handler=None,
         max_record_iterations: Optional[int] = None,
         max_steps: Optional[int] = None,
+        max_seconds: Optional[float] = None,
         opts: Optional[EngineOptions] = None,
     ):
         self.opts = opts if opts is not None else EngineOptions()
@@ -141,6 +143,10 @@ class Engine:
         )
         self.max_entry_widenings = self.opts.max_entry_widenings
         self.max_steps = max_steps if max_steps is not None else self.opts.max_steps
+        self.max_seconds = (
+            max_seconds if max_seconds is not None else self.opts.max_seconds
+        )
+        self._deadline: Optional[float] = None
         self.steps = 0
         self.recursive = icfg.recursive_procs()
         self.telemetry = self.opts.make_telemetry()
@@ -271,6 +277,8 @@ class Engine:
     # -- main loop ----------------------------------------------------------------------------
 
     def run(self) -> None:
+        if self.max_seconds is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.max_seconds
         with self.telemetry.phase("fixpoint"):
             while self.worklist:
                 key = self.worklist.pop()
@@ -375,6 +383,19 @@ class Engine:
                     record_key=key,
                     steps=self.steps,
                     limit=self.max_steps,
+                )
+            # A step bound does not bound time: a single AU step can sink
+            # minutes into exact-LP fallbacks, so fuzzing and other batch
+            # drivers additionally cap wall-clock.
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                raise AnalysisBudgetExceeded(
+                    f"wall-clock budget exhausted while analyzing "
+                    f"{record.proc}",
+                    kind="wall_clock",
+                    proc=record.proc,
+                    record_key=key,
+                    steps=self.steps,
+                    limit=self.max_seconds,
                 )
             node = pending.pop(0)
             state = states.get(node)

@@ -97,6 +97,19 @@ def build_call_entry(
     reattach = {
         f: not _callee_reassigns(callee_cfg, f) for f in ptr_formals
     }
+    # A reassigned formal loses track of the entry cell: the caller's
+    # actual still points at it after the call (by-value parameters), but
+    # the callee's exit heap no longer delimits it with a node, so the
+    # return composition cannot re-attach the caller's pointer soundly.
+    # ``normalize_program`` rewrites every procedure so this never happens
+    # (assigned list formals are renamed to locals); reject rather than
+    # silently corrupt callers of un-normalized procedures.
+    for f, a in zip(ptr_formals, ptr_actuals):
+        if not reattach[f] and graph.node_of(a) != NULL:
+            raise CutpointError(
+                f"callee {op.proc} reassigns list formal {f}; the entry "
+                f"cell of actual {a} cannot be tracked through the return"
+            )
     actual_set = set(ptr_actuals)
     for node in local:
         external_preds = [p for p in graph.preds(node) if p not in local]
@@ -352,9 +365,12 @@ def _reattach_target(
     for f, a in zip(info.ptr_formals, info.ptr_actuals):
         if caller_graph.node_of(a) == node and info.reattach[f]:
             return exit_node_of_actual[a]
-    # Stale pointer into a consumed region: becomes NULL (dead).  The
-    # cutpoint check at call time already rejected the dangerous cases.
-    return NULL
+    # Unreachable for engine-built calls: build_call_entry rejects every
+    # call whose consumed entry node could not re-attach.  Fail loudly
+    # rather than corrupt the caller's heap.
+    raise CutpointError(
+        f"label {var} on consumed node {node} has no re-attachment point"
+    )
 
 
 def _reattach_edge(

@@ -59,6 +59,7 @@ class EngineOptions:
     max_record_iterations: int = 60
     max_entry_widenings: int = 25
     max_steps: int = 200_000
+    max_seconds: Optional[float] = None  # wall-clock cap on the fixpoint
 
     def make_telemetry(self) -> Telemetry:
         return Telemetry(

@@ -1,0 +1,221 @@
+"""Fuzzing CLI: ``python -m repro.fuzz --seed N --iters K --corpus DIR``.
+
+Two phases:
+
+1. **Corpus replay** (when ``--corpus`` is given): every ``*.lisl`` entry
+   under the corpus directory is re-checked by the oracle.  Entries are
+   plain LISL source files with a ``// key: value`` header recording the
+   root procedure, the failure kind/domain they once exhibited, and the
+   input views to replay.  A replayed entry fails the run iff the oracle
+   reports any finding on it today (regressions resurface here).
+2. **Fresh fuzzing**: ``--iters`` programs are generated from ``--seed``
+   and checked.  Each failure is minimized by the shrinker and, with
+   ``--corpus``, saved as a new corpus entry; the run exits non-zero.
+
+``--time-budget S`` stops fresh fuzzing after ~S seconds (used by the CI
+slow lane); the seed corpus is always replayed in full.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.fuzz.oracle import Finding, Oracle, OracleConfig
+from repro.fuzz.progen import GenConfig, generate_program
+from repro.fuzz.shrink import shrink_finding
+
+
+@dataclass
+class CorpusEntry:
+    root: str
+    kind: str
+    domain: str
+    inputs: List[List]  # one views-list per recorded observation
+    source: str
+    path: Optional[Path] = None
+
+
+def load_corpus_entry(path: Path) -> CorpusEntry:
+    text = path.read_text()
+    meta = {"root": "", "kind": "", "domain": ""}
+    inputs: List[List] = []
+    for line in text.splitlines():
+        if not line.startswith("//"):
+            continue
+        body = line[2:].strip()
+        if ":" not in body:
+            continue
+        key, _, value = body.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "inputs":
+            inputs.append(json.loads(value))
+        elif key in meta:
+            meta[key] = value
+    if not meta["root"]:
+        raise ValueError(f"{path}: corpus entry lacks a '// root:' header")
+    return CorpusEntry(
+        root=meta["root"],
+        kind=meta["kind"],
+        domain=meta["domain"],
+        inputs=inputs,
+        source=text,
+        path=path,
+    )
+
+
+def save_corpus_entry(directory: Path, finding: Finding) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"{finding.kind}_{finding.domain}_{finding.seed}"
+    path = directory / f"{stem}.lisl"
+    n = 1
+    while path.exists():
+        path = directory / f"{stem}_{n}.lisl"
+        n += 1
+    header = [
+        "// fuzz-corpus",
+        f"// root: {finding.root}",
+        f"// kind: {finding.kind}",
+        f"// domain: {finding.domain}",
+    ]
+    if finding.inputs is not None:
+        header.append(f"// inputs: {json.dumps(finding.inputs)}")
+    header.append(f"// message: {finding.message.splitlines()[0][:200]}")
+    path.write_text("\n".join(header) + "\n\n" + finding.source)
+    return path
+
+
+def replay_corpus(directory: Path, oracle: Oracle) -> Tuple[int, int]:
+    """Re-check every corpus entry; returns (entries, failures)."""
+    entries = sorted(directory.glob("*.lisl"))
+    failures = 0
+    for path in entries:
+        entry = load_corpus_entry(path)
+        findings = oracle.check_source(entry.source, entry.root, entry.inputs)
+        if findings:
+            failures += 1
+            print(f"CORPUS FAIL {path}:")
+            for f in findings:
+                print("  " + f.describe().replace("\n", "\n  "))
+        else:
+            print(f"corpus ok   {path}")
+    return len(entries), failures
+
+
+def fuzz(
+    seed: int,
+    iters: int,
+    oracle: Oracle,
+    gen_config: GenConfig,
+    corpus_dir: Optional[Path],
+    time_budget: Optional[float],
+    shrink_checks: int,
+) -> List[Finding]:
+    deadline = None if time_budget is None else time.monotonic() + time_budget
+    failures: List[Finding] = []
+    seen_signatures = set()
+    for i in range(iters):
+        if deadline is not None and time.monotonic() > deadline:
+            print(f"time budget reached after {i} iterations")
+            break
+        iter_seed = seed * 1_000_003 + i
+        program, root = generate_program(iter_seed, gen_config)
+        findings = oracle.check_program(program, root, iter_seed)
+        if (i + 1) % 20 == 0:
+            print(f".. {i + 1}/{iters} programs checked")
+        for finding in findings:
+            finding.seed = iter_seed
+            print(f"FAIL (iter {i}, seed {iter_seed}):")
+            print("  " + finding.describe().replace("\n", "\n  "))
+            if finding.signature() not in seen_signatures:
+                print("  shrinking ...")
+                finding = shrink_finding(
+                    finding, oracle, max_checks=shrink_checks
+                )
+                print("  shrunk to:")
+                print("  " + finding.source.replace("\n", "\n  "))
+            seen_signatures.add(finding.signature())
+            failures.append(finding)
+            if corpus_dir is not None:
+                saved = save_corpus_entry(corpus_dir, finding)
+                print(f"  saved corpus entry {saved}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the list/data analysis",
+    )
+    ap.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    ap.add_argument("--iters", type=int, default=100, help="programs to generate")
+    ap.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="corpus directory: replayed first, new failures saved here",
+    )
+    ap.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop fresh fuzzing after ~S seconds (corpus always replays)",
+    )
+    ap.add_argument(
+        "--rounds", type=int, default=5, help="concrete runs per program"
+    )
+    ap.add_argument(
+        "--max-procs", type=int, default=3, help="procedures per program"
+    )
+    ap.add_argument(
+        "--skip-au",
+        action="store_true",
+        help="check only the (fast) AM domain",
+    )
+    ap.add_argument(
+        "--shrink-checks",
+        type=int,
+        default=150,
+        help="oracle evaluations the shrinker may spend per failure",
+    )
+    args = ap.parse_args(argv)
+
+    oracle = Oracle(
+        OracleConfig(
+            rounds=args.rounds,
+            domains=("am",) if args.skip_au else ("am", "au"),
+        )
+    )
+    gen_config = GenConfig(n_procs=args.max_procs)
+
+    corpus_failures = 0
+    if args.corpus is not None and args.corpus.is_dir():
+        n_entries, corpus_failures = replay_corpus(args.corpus, oracle)
+        print(f"corpus replay: {n_entries} entries, {corpus_failures} failures")
+
+    failures = fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        oracle=oracle,
+        gen_config=gen_config,
+        corpus_dir=args.corpus,
+        time_budget=args.time_budget,
+        shrink_checks=args.shrink_checks,
+    )
+    print(
+        f"fuzzing done: {len(failures)} failure(s), "
+        f"{corpus_failures} corpus regression(s); skips: "
+        f"{oracle.skips['cutpoint']} cutpoint (outside fragment), "
+        f"{oracle.skips['budget']} analysis-budget (gamma-check waived)"
+    )
+    return 1 if (failures or corpus_failures) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

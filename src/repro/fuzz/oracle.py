@@ -1,0 +1,492 @@
+"""Differential soundness oracle: concrete runs vs. abstract summaries.
+
+For one program and one root procedure the oracle
+
+1. executes the root concretely (``concrete.interp.Interpreter``) on
+   randomized inputs, recording input/output *views* (integers and lists
+   of integers);
+2. analyzes the root with :class:`repro.Analyzer` in both the AU and AM
+   domains;
+3. checks γ-membership: the summary is a *disjunction* of abstract
+   heaps, so every observed input/output pair must be covered by at
+   least one heap whose backbone matches the observed shapes and whose
+   data-word value is *satisfied* by the observed words (DESIGN.md §6);
+4. checks lattice laws on the domain values the run produced: join is an
+   upper bound, widen covers join, meet is a lower bound, widening
+   stabilizes, and γ is monotone across join/widen on the concrete
+   witnesses gathered in step 3.
+
+Failures are returned as :class:`Finding` records carrying everything the
+shrinker and the corpus need to replay them.  Runs the harness cannot
+judge are *skipped*, not failed: concrete errors (NULL dereference, step
+budget), infeasible paths, cyclic outputs (no word view), programs the
+analysis rejects (``CutpointError``: outside the supported fragment), and
+analyses that hit the engine budget (partial summaries carry no soundness
+promise).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.concrete.heap import from_cells, to_cells
+from repro.concrete.interp import (
+    AssertFailure,
+    AssumeFailure,
+    ConcreteError,
+    Interpreter,
+)
+from repro.core.api import Analyzer, AnalysisResult
+from repro.core.localheap import CutpointError
+from repro.datawords import terms as T
+from repro.lang import ast as A
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.typecheck import typecheck_program
+from repro.shape.graph import NULL
+
+
+@dataclass
+class OracleConfig:
+    """Knobs for one oracle run."""
+
+    rounds: int = 5  # concrete executions per program
+    max_interp_steps: int = 200_000
+    engine_max_steps: Optional[int] = 60_000  # per-domain analysis budget
+    # Wall-clock cap per analysis: one AU step can sink minutes into
+    # exact-LP fallbacks, so steps alone don't bound fuzzing latency.  A
+    # capped run surfaces as diagnostics (result.ok == False): γ-checks
+    # are skipped, lattice checks still run on the partial summaries.
+    engine_max_seconds: Optional[float] = 60.0
+    domains: Tuple[str, ...] = ("am", "au")
+    check_lattice: bool = True
+    max_lattice_pairs: int = 16
+    widen_chain_bound: int = 40
+    max_list_len: int = 4
+    data_lo: int = -9
+    data_hi: int = 9
+
+
+@dataclass
+class Finding:
+    """One oracle failure, self-contained for replay and shrinking."""
+
+    kind: str  # "gamma" | "no_shape" | "lattice" | "crash"
+    domain: str  # "am" | "au"
+    root: str
+    message: str
+    source: str  # pretty-printed program text
+    inputs: Optional[List] = None  # input views of the failing observation
+    seed: Optional[int] = None
+
+    def signature(self) -> Tuple[str, str]:
+        """What must be preserved while shrinking: failure kind + domain."""
+        return (self.kind, self.domain)
+
+    def describe(self) -> str:
+        lines = [f"[{self.kind}/{self.domain}] root={self.root}: {self.message}"]
+        if self.inputs is not None:
+            lines.append(f"  inputs: {self.inputs}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Observation:
+    views: List  # input views, aligned with cfg.inputs
+    in_words: Dict[str, List[int]]
+    in_data: Dict[str, int]
+    out_words: Dict[str, List[int]]
+    out_data: Dict[str, int]
+
+
+class Oracle:
+    def __init__(self, config: Optional[OracleConfig] = None):
+        self.config = config or OracleConfig()
+        # skip accounting, so capped/skipped work is never silent:
+        # cutpoint -> domain outside fragment, budget -> γ-check skipped
+        self.skips: Dict[str, int] = {"cutpoint": 0, "budget": 0}
+
+    # -- input generation ------------------------------------------------------
+
+    def random_input_views(self, rng: random.Random, cfg) -> List:
+        """One set of input views (ints and lists of ints) for a CFG."""
+        views: List = []
+        for p in cfg.inputs:
+            if p.type == A.INT:
+                views.append(rng.randint(self.config.data_lo, self.config.data_hi))
+            else:
+                views.append(
+                    [
+                        rng.randint(self.config.data_lo, self.config.data_hi)
+                        for _ in range(rng.randint(0, self.config.max_list_len))
+                    ]
+                )
+        return views
+
+    # -- entry points ----------------------------------------------------------
+
+    def check_program(
+        self, program: A.Program, root: str, seed: int
+    ) -> List[Finding]:
+        """Fuzz one program: random inputs derived from ``seed``."""
+        try:
+            norm = normalize_program(typecheck_program(program))
+            analyzer = Analyzer(norm)
+            cfg = analyzer.icfg.cfg(root)
+        except Exception as exc:  # generator guarantees this never happens
+            return [
+                Finding(
+                    kind="crash",
+                    domain="frontend",
+                    root=root,
+                    message=f"{type(exc).__name__}: {exc}",
+                    source=pretty_program(program),
+                    seed=seed,
+                )
+            ]
+        rng = random.Random(seed)
+        views_list = [
+            self.random_input_views(rng, cfg) for _ in range(self.config.rounds)
+        ]
+        return self.check_views(program, root, views_list, seed=seed)
+
+    def check_source(
+        self,
+        source: str,
+        root: str,
+        views_list: Sequence[List],
+        seed: Optional[int] = None,
+    ) -> List[Finding]:
+        """Replay a corpus entry: parse source, then :meth:`check_views`."""
+        program = typecheck_program(parse_program(source))
+        return self.check_views(program, root, views_list, seed=seed)
+
+    def check_views(
+        self,
+        program: A.Program,
+        root: str,
+        views_list: Sequence[List],
+        seed: Optional[int] = None,
+    ) -> List[Finding]:
+        """Deterministic check of one program on explicit input views."""
+        norm = normalize_program(typecheck_program(program))
+        source = pretty_program(program)
+        analyzer = Analyzer(norm)
+        cfg = analyzer.icfg.cfg(root)
+        interp = Interpreter(analyzer.icfg, max_steps=self.config.max_interp_steps)
+
+        observations = [
+            obs
+            for views in views_list
+            if (obs := self._observe(interp, cfg, root, views)) is not None
+        ]
+
+        findings: List[Finding] = []
+        for domain in self.config.domains:
+            findings.extend(
+                self._check_domain(
+                    analyzer, cfg, root, domain, observations, source, seed
+                )
+            )
+        return findings
+
+    # -- concrete side -----------------------------------------------------------
+
+    def _observe(self, interp, cfg, root: str, views: List) -> Optional[_Observation]:
+        args = [
+            to_cells(list(v)) if isinstance(v, list) else v for v in views
+        ]
+        try:
+            outputs = interp.run(root, args)
+        except (ConcreteError, AssumeFailure, AssertFailure, RecursionError):
+            return None  # the run itself is out of scope; not a finding
+        in_words: Dict[str, List[int]] = {}
+        in_data: Dict[str, int] = {}
+        for p, view in zip(cfg.inputs, views):
+            if p.type == A.LIST:
+                in_words[T.entry_copy(p.name)] = list(view)
+            else:
+                # only the entry snapshot: the program may overwrite p.name
+                in_data[T.entry_copy(p.name)] = view
+        out_words: Dict[str, List[int]] = {}
+        out_data: Dict[str, int] = {}
+        for p, value in zip(cfg.outputs, outputs):
+            if p.type == A.LIST:
+                try:
+                    out_words[p.name] = from_cells(value)
+                except ValueError:
+                    return None  # cyclic output: no word view exists
+            else:
+                out_data[p.name] = value
+        return _Observation(views, in_words, in_data, out_words, out_data)
+
+    # -- abstract side -------------------------------------------------------------
+
+    def _check_domain(
+        self,
+        analyzer: Analyzer,
+        cfg,
+        root: str,
+        domain: str,
+        observations: Sequence[_Observation],
+        source: str,
+        seed: Optional[int],
+    ) -> List[Finding]:
+        config = self.config
+        try:
+            result = analyzer.analyze(
+                root,
+                domain=domain,
+                max_steps=config.engine_max_steps,
+                max_seconds=config.engine_max_seconds,
+            )
+        except CutpointError:
+            self.skips["cutpoint"] += 1
+            return []  # program is outside the supported fragment
+        except Exception as exc:
+            return [
+                Finding(
+                    kind="crash",
+                    domain=domain,
+                    root=root,
+                    message=f"{type(exc).__name__}: {exc}",
+                    source=source,
+                    seed=seed,
+                )
+            ]
+        findings: List[Finding] = []
+        witnesses: List[Tuple[str, object, Dict, Dict]] = []
+        if result.ok:  # partial summaries carry no soundness promise
+            for obs in observations:
+                findings.extend(
+                    self._gamma_check(result, root, domain, obs, source, seed, witnesses)
+                )
+        else:
+            self.skips["budget"] += 1
+        if config.check_lattice:
+            findings.extend(
+                self._lattice_check(result, root, domain, source, seed, witnesses)
+            )
+        return findings
+
+    def _gamma_check(
+        self,
+        result: AnalysisResult,
+        root: str,
+        domain: str,
+        obs: _Observation,
+        source: str,
+        seed: Optional[int],
+        witnesses: List,
+    ) -> List[Finding]:
+        """γ-membership of one observation in the summary disjunction.
+
+        A :class:`HeapSet` is a *disjunction*: the run is covered as soon
+        as one heap both matches the backbone and satisfies the words.
+        Distinct disjuncts may share a backbone under our partial binding
+        (a single abstract node matches words of any length) while their
+        values carve up the lengths between them, so a violated-but-
+        matching disjunct alone is not a bug -- only an observation no
+        disjunct covers is.
+        """
+        bindings = dict(obs.in_words)
+        bindings.update(obs.out_words)
+        data_env = dict(obs.in_data)
+        data_env.update(obs.out_data)
+        shape_matched = False
+        covered = False
+        violated: List[str] = []
+        for entry, summary in result.summaries:
+            for heap in summary:
+                words_env = _bind_words(heap.graph, bindings)
+                if words_env is None:
+                    continue
+                shape_matched = True
+                if result.domain.satisfied_by(heap.value, words_env, data_env):
+                    covered = True
+                    witnesses.append(
+                        (heap.graph.key(), heap.value, words_env, data_env)
+                    )
+                else:
+                    violated.append(heap.describe(result.domain))
+        if covered:
+            return []
+        if shape_matched:
+            details = "; ".join(violated[:3])
+            return [
+                Finding(
+                    kind="gamma",
+                    domain=domain,
+                    root=root,
+                    message=(
+                        f"no summary disjunct covers the run {obs.views} -> "
+                        f"{obs.out_words} {obs.out_data}; matching-but-"
+                        f"violated: {details}"
+                    ),
+                    source=source,
+                    inputs=obs.views,
+                    seed=seed,
+                )
+            ]
+        return [
+            Finding(
+                kind="no_shape",
+                domain=domain,
+                root=root,
+                message=(
+                    f"no summary backbone matches the run "
+                    f"{obs.views} -> {obs.out_words} {obs.out_data}"
+                ),
+                source=source,
+                inputs=obs.views,
+                seed=seed,
+            )
+        ]
+
+    # -- lattice laws ---------------------------------------------------------------
+
+    def _lattice_check(
+        self,
+        result: AnalysisResult,
+        root: str,
+        domain: str,
+        source: str,
+        seed: Optional[int],
+        witnesses: List,
+    ) -> List[Finding]:
+        ldw = result.domain
+        by_key: Dict[object, List] = {}
+        for entry, summary in result.summaries:
+            for heap in summary:
+                by_key.setdefault(heap.graph.key(), []).append(heap.value)
+
+        pairs: List[Tuple[object, object, object]] = []  # (key, a, b)
+        for key, values in by_key.items():
+            for i, a in enumerate(values):
+                pairs.append((key, a, a))
+                pairs.append((key, a, ldw.top()))
+                pairs.append((key, a, ldw.bottom()))
+                for b in values[i + 1 :]:
+                    pairs.append((key, a, b))
+        pairs = pairs[: self.config.max_lattice_pairs]
+
+        def finding(law: str, detail: str) -> Finding:
+            return Finding(
+                kind="lattice",
+                domain=domain,
+                root=root,
+                message=f"{law}: {detail}",
+                source=source,
+                seed=seed,
+            )
+
+        findings: List[Finding] = []
+        for key, a, b in pairs:
+            join = ldw.join(a, b)
+            if not (ldw.leq(a, join) and ldw.leq(b, join)):
+                findings.append(
+                    finding(
+                        "join-upper-bound",
+                        f"join({ldw.describe(a)}, {ldw.describe(b)}) = "
+                        f"{ldw.describe(join)} is not above both arguments",
+                    )
+                )
+            widen = ldw.widen(a, b)
+            if not ldw.leq(join, widen):
+                findings.append(
+                    finding(
+                        "widen-covers-join",
+                        f"widen({ldw.describe(a)}, {ldw.describe(b)}) = "
+                        f"{ldw.describe(widen)} does not cover the join "
+                        f"{ldw.describe(join)}",
+                    )
+                )
+            meet = ldw.meet(a, b)
+            if not (ldw.leq(meet, a) and ldw.leq(meet, b)):
+                findings.append(
+                    finding(
+                        "meet-lower-bound",
+                        f"meet({ldw.describe(a)}, {ldw.describe(b)}) = "
+                        f"{ldw.describe(meet)} is not below both arguments",
+                    )
+                )
+            # widening stabilizes: iterate against an (increasing) target
+            w = a
+            for _ in range(self.config.widen_chain_bound):
+                nxt = ldw.widen(w, ldw.join(w, b))
+                if ldw.leq(nxt, w):
+                    break
+                w = nxt
+            else:
+                findings.append(
+                    finding(
+                        "widen-stabilizes",
+                        f"widening chain from {ldw.describe(a)} towards "
+                        f"{ldw.describe(b)} did not stabilize within "
+                        f"{self.config.widen_chain_bound} steps",
+                    )
+                )
+
+        # γ-monotonicity on the concrete witnesses gathered by the γ-check
+        for key, value, words_env, data_env in witnesses:
+            for other in by_key.get(key, []):
+                join = ldw.join(value, other)
+                if not ldw.satisfied_by(join, words_env, data_env):
+                    findings.append(
+                        finding(
+                            "join-gamma-monotone",
+                            f"a witness of {ldw.describe(value)} violates "
+                            f"join with {ldw.describe(other)}",
+                        )
+                    )
+                widen = ldw.widen(value, other)
+                if not ldw.satisfied_by(widen, words_env, data_env):
+                    findings.append(
+                        finding(
+                            "widen-gamma-monotone",
+                            f"a witness of {ldw.describe(value)} violates "
+                            f"widen with {ldw.describe(other)}",
+                        )
+                    )
+        return findings
+
+
+def _bind_words(graph, bindings: Mapping[str, List[int]]) -> Optional[Dict]:
+    """Match a summary backbone against concrete words.
+
+    Returns a ``words_env`` for :meth:`satisfied_by` when every bound
+    variable's shape is consistent with the graph, else ``None`` (the heap
+    does not describe this run).  Only single-node chains bind their word;
+    multi-node chains would need the concrete word cut at node boundaries,
+    so they contribute no binding (vacuously sound).  A cyclic backbone
+    never binds (concrete words are finite).
+    """
+    words_env: Dict[str, List[int]] = {}
+    for var, node in graph.labels.items():
+        if var not in bindings:
+            continue
+        concrete = bindings[var]
+        if node == NULL:
+            if concrete:
+                return None  # abstract NULL vs. non-empty concrete list
+            continue
+        if not concrete:
+            return None  # abstract cell vs. empty concrete list
+        chain = []
+        cur = node
+        seen = set()
+        while cur != NULL and cur not in seen:
+            seen.add(cur)
+            chain.append(cur)
+            cur = graph.succ.get(cur, NULL)
+        if cur != NULL:
+            continue  # cyclic backbone: no finite word to bind
+        if len(chain) == 1:
+            prior = words_env.get(node)
+            if prior is not None and prior != concrete:
+                return None
+            words_env[node] = list(concrete)
+    return words_env

@@ -1,0 +1,525 @@
+"""Seeded, grammar-based generator of well-typed LISL programs.
+
+Every program this module emits is guaranteed to parse, typecheck,
+normalize, and build an ICFG (``tests/test_fuzz_progen.py`` checks this on
+hundreds of seeds, together with the pretty-print round trip).  The
+generator builds *typed* ASTs directly -- pointer/data comparisons are
+classified at construction time, so ``typecheck_program`` is the identity
+on its output.
+
+Structure of a generated program:
+
+- a handful of procedures ``p0 .. p{n-1}``; each may call the ones
+  generated before it, so the call graph is a DAG of generated bodies plus
+  self-recursive template procedures (length/sum/copy/filter style) that
+  terminate by structural descent on an acyclic argument;
+- the last procedure is the *root*: it is the one the oracle analyzes and
+  executes, and its generation is biased towards calls so interprocedural
+  summaries get exercised;
+- loops come from two templates that guarantee progress (a cursor that
+  advances down a list, or a counter that strictly decreases), so most
+  concrete runs terminate within the interpreter's step budget;
+- heap mutation uses structured idioms (push-front, insert-after,
+  delete-first, delete-after, truncate) that preserve acyclicity, plus
+  guarded data stores; occasional *unguarded* dereferences are kept so the
+  analyzer's error paths see traffic (the concrete side skips such runs).
+
+Knobs live on :class:`GenConfig`; the single entry point is
+:func:`generate_program`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang import ast as A
+
+
+@dataclass
+class GenConfig:
+    """Size/feature knobs for :class:`ProgramGen`."""
+
+    n_procs: int = 3  # procedures per program (>= 1)
+    max_stmts: int = 6  # top-level statements per body
+    max_depth: int = 2  # nesting depth of if/while
+    n_list_locals: int = 2
+    n_int_locals: int = 2
+    lit_lo: int = -9
+    lit_hi: int = 9
+    p_recursive: float = 0.3  # chance a non-root proc is a recursive template
+    p_unguarded_deref: float = 0.1  # emit a deref without a NULL guard
+    allow_loops: bool = True
+    allow_calls: bool = True
+
+    def smaller(self) -> "GenConfig":
+        """A strictly smaller configuration (used by the shrinker)."""
+        return replace(
+            self,
+            n_procs=max(1, self.n_procs - 1),
+            max_stmts=max(1, self.max_stmts - 1),
+            max_depth=max(0, self.max_depth - 1),
+        )
+
+
+@dataclass
+class _Scope:
+    """Variables visible while generating one procedure body."""
+
+    list_vars: List[str] = field(default_factory=list)
+    int_vars: List[str] = field(default_factory=list)
+    protected: set = field(default_factory=set)  # loop cursors/counters
+
+    def writable_lists(self) -> List[str]:
+        return [v for v in self.list_vars if v not in self.protected]
+
+    def writable_ints(self) -> List[str]:
+        return [v for v in self.int_vars if v not in self.protected]
+
+
+class ProgramGen:
+    """Generates one program per call to :meth:`generate`."""
+
+    def __init__(self, rng: random.Random, config: Optional[GenConfig] = None):
+        self.rng = rng
+        self.config = config or GenConfig()
+
+    # -- program level -------------------------------------------------------
+
+    def generate(self) -> Tuple[A.Program, str]:
+        """Returns ``(program, root_proc_name)``."""
+        cfg = self.config
+        procs: List[A.Procedure] = []
+        for i in range(max(1, cfg.n_procs)):
+            is_root = i == cfg.n_procs - 1
+            if not is_root and self.rng.random() < cfg.p_recursive:
+                procs.append(self._recursive_template(f"p{i}"))
+            else:
+                procs.append(self._iterative_proc(f"p{i}", procs, is_root))
+        return A.Program(procs), procs[-1].name
+
+    # -- signatures ----------------------------------------------------------
+
+    def _signature(
+        self, is_root: bool
+    ) -> Tuple[List[A.Param], List[A.Param], List[A.Param]]:
+        rng = self.rng
+        n_list_in = rng.randint(1, 2) if is_root else rng.randint(0, 2)
+        n_int_in = rng.randint(0, 2)
+        if n_list_in + n_int_in == 0:
+            n_int_in = 1
+        inputs = [A.Param(f"x{j}", A.LIST) for j in range(n_list_in)]
+        inputs += [A.Param(f"n{j}", A.INT) for j in range(n_int_in)]
+        outputs: List[A.Param] = []
+        if is_root or rng.random() < 0.85:
+            if rng.random() < 0.7:
+                outputs.append(A.Param("r0", A.LIST))
+            if rng.random() < 0.6:
+                outputs.append(A.Param("s0", A.INT))
+            if not outputs:
+                outputs.append(A.Param("s0", A.INT))
+        locals_ = [
+            A.Param(f"c{j}", A.LIST) for j in range(self.config.n_list_locals)
+        ]
+        locals_ += [
+            A.Param(f"i{j}", A.INT) for j in range(self.config.n_int_locals)
+        ]
+        return inputs, outputs, locals_
+
+    # -- iterative procedures --------------------------------------------------
+
+    def _iterative_proc(
+        self, name: str, callees: Sequence[A.Procedure], is_root: bool
+    ) -> A.Procedure:
+        inputs, outputs, locals_ = self._signature(is_root)
+        scope = _Scope(
+            list_vars=[p.name for p in inputs + outputs + locals_ if p.type == A.LIST],
+            int_vars=[p.name for p in inputs + outputs + locals_ if p.type == A.INT],
+        )
+        body = self._stmts(
+            self.rng.randint(1, self.config.max_stmts),
+            self.config.max_depth,
+            scope,
+            callees,
+            boost_calls=is_root,
+        )
+        # make every output observable: assign it once at the end
+        for out in outputs:
+            if out.type == A.LIST:
+                src = self.rng.choice(scope.list_vars + ["NULL"])
+                value = A.Null() if src == "NULL" else A.Var(src)
+                body.append(A.Assign(target=out.name, value=value))
+            else:
+                body.append(A.Assign(target=out.name, value=self._int_expr(scope)))
+        return A.Procedure(name, inputs, outputs, locals_, body)
+
+    # -- statement pool ----------------------------------------------------------
+
+    def _stmts(
+        self,
+        count: int,
+        depth: int,
+        scope: _Scope,
+        callees: Sequence[A.Procedure],
+        boost_calls: bool = False,
+    ) -> List[A.Stmt]:
+        out: List[A.Stmt] = []
+        for _ in range(count):
+            out.extend(self._stmt(depth, scope, callees, boost_calls))
+        if not out:
+            out.append(A.Skip())
+        return out
+
+    def _stmt(
+        self,
+        depth: int,
+        scope: _Scope,
+        callees: Sequence[A.Procedure],
+        boost_calls: bool,
+    ) -> List[A.Stmt]:
+        rng = self.rng
+        choices = [
+            (self._gen_assign_ptr, 3),
+            (self._gen_advance, 3),
+            (self._gen_push_front, 3),
+            (self._gen_insert_after, 2),
+            (self._gen_delete_first, 2),
+            (self._gen_delete_after, 1),
+            (self._gen_truncate, 1),
+            (self._gen_store_data, 3),
+            (self._gen_read_data, 2),
+            (self._gen_assign_int, 3),
+        ]
+        if depth > 0:
+            choices.append((self._gen_if, 3))
+            if self.config.allow_loops:
+                choices.append((self._gen_traverse_loop, 3))
+                choices.append((self._gen_count_loop, 2))
+        if callees and self.config.allow_calls:
+            choices.append((self._gen_call, 8 if boost_calls else 3))
+        total = sum(w for _, w in choices)
+        pick = rng.uniform(0, total)
+        for gen, w in choices:
+            pick -= w
+            if pick <= 0:
+                stmts = gen(depth, scope, callees)
+                if stmts is not None:
+                    return stmts
+                break
+        return [A.Skip()]
+
+    # Each _gen_* returns a list of statements or None when the scope cannot
+    # support the idiom (the caller falls back to skip).
+
+    def _gen_assign_ptr(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        if self.rng.random() < 0.3:
+            return [A.Assign(target=target, value=A.Null())]
+        return [A.Assign(target=target, value=A.Var(self.rng.choice(scope.list_vars)))]
+
+    def _gen_advance(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        source = self.rng.choice(scope.list_vars)
+        stmt = A.Assign(target=target, value=A.NextOf(A.Var(source)))
+        if self.rng.random() < self.config.p_unguarded_deref:
+            return [stmt]
+        return [self._guard(source, [stmt])]
+
+    def _gen_push_front(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if len(targets) < 2:
+            return None
+        fresh, target = self.rng.sample(targets, 2)
+        return [
+            A.Assign(target=fresh, value=A.NewCell()),
+            A.StoreData(target=fresh, value=self._int_expr(scope)),
+            A.StoreNext(target=fresh, value=A.Var(target)),
+            A.Assign(target=target, value=A.Var(fresh)),
+        ]
+
+    def _gen_insert_after(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if len(targets) < 2:
+            return None
+        fresh, rest = self.rng.sample(targets, 2)
+        anchor = self.rng.choice(scope.list_vars)
+        if anchor in (fresh, rest):
+            return None
+        body = [
+            A.Assign(target=rest, value=A.NextOf(A.Var(anchor))),
+            A.Assign(target=fresh, value=A.NewCell()),
+            A.StoreData(target=fresh, value=self._int_expr(scope)),
+            A.StoreNext(target=fresh, value=A.Var(rest)),
+            A.StoreNext(target=anchor, value=A.Var(fresh)),
+        ]
+        return [self._guard(anchor, body)]
+
+    def _gen_delete_first(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        stmt = A.Assign(target=target, value=A.NextOf(A.Var(target)))
+        return [self._guard(target, [stmt])]
+
+    def _gen_delete_after(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        rest = self.rng.choice(targets)
+        anchors = [v for v in scope.list_vars if v != rest]
+        if not anchors:
+            return None
+        anchor = self.rng.choice(anchors)
+        inner = [
+            A.Assign(target=rest, value=A.NextOf(A.Var(anchor))),
+            A.If(
+                cond=A.PtrCmp("!=", A.Var(rest), A.Null()),
+                then_body=[
+                    A.Assign(target=rest, value=A.NextOf(A.Var(rest))),
+                    A.StoreNext(target=anchor, value=A.Var(rest)),
+                ],
+                else_body=[],
+            ),
+        ]
+        return [self._guard(anchor, inner)]
+
+    def _gen_truncate(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        anchor = self.rng.choice(scope.list_vars)
+        stmt = A.StoreNext(target=anchor, value=A.Null())
+        return [self._guard(anchor, [stmt])]
+
+    def _gen_store_data(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        anchor = self.rng.choice(scope.list_vars)
+        value = self._int_expr(scope, data_of=anchor)
+        stmt = A.StoreData(target=anchor, value=value)
+        if self.rng.random() < self.config.p_unguarded_deref:
+            return [stmt]
+        return [self._guard(anchor, [stmt])]
+
+    def _gen_read_data(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_ints()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        anchor = self.rng.choice(scope.list_vars)
+        stmt = A.Assign(target=target, value=A.DataOf(A.Var(anchor)))
+        return [self._guard(anchor, [stmt])]
+
+    def _gen_assign_int(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_ints()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        return [A.Assign(target=target, value=self._int_expr(scope))]
+
+    def _gen_if(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        cond = self._condition(scope)
+        then_body = self._stmts(
+            self.rng.randint(1, 2), depth - 1, scope, callees
+        )
+        else_body: List[A.Stmt] = []
+        if self.rng.random() < 0.5:
+            else_body = self._stmts(
+                self.rng.randint(0, 2), depth - 1, scope, callees
+            )
+            if not else_body or all(isinstance(s, A.Skip) for s in else_body):
+                else_body = []
+        return [A.If(cond=cond, then_body=then_body, else_body=else_body)]
+
+    def _gen_traverse_loop(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        cursors = scope.writable_lists()
+        if not cursors:
+            return None
+        cursor = self.rng.choice(cursors)
+        source = self.rng.choice(scope.list_vars)
+        scope.protected.add(cursor)
+        try:
+            inner = self._stmts(self.rng.randint(0, 2), depth - 1, scope, callees)
+        finally:
+            scope.protected.discard(cursor)
+        inner = [s for s in inner if not isinstance(s, A.Skip)]
+        inner.append(A.Assign(target=cursor, value=A.NextOf(A.Var(cursor))))
+        return [
+            A.Assign(target=cursor, value=A.Var(source)),
+            A.While(cond=A.PtrCmp("!=", A.Var(cursor), A.Null()), body=inner),
+        ]
+
+    def _gen_count_loop(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        counters = scope.writable_ints()
+        if not counters:
+            return None
+        counter = self.rng.choice(counters)
+        bound = self.rng.randint(1, 4)
+        scope.protected.add(counter)
+        try:
+            inner = self._stmts(self.rng.randint(0, 2), depth - 1, scope, callees)
+        finally:
+            scope.protected.discard(counter)
+        inner = [s for s in inner if not isinstance(s, A.Skip)]
+        inner.append(
+            A.Assign(target=counter, value=A.BinOp("-", A.Var(counter), A.IntLit(1)))
+        )
+        return [
+            A.Assign(target=counter, value=A.IntLit(bound)),
+            A.While(cond=A.DataCmp(">", A.Var(counter), A.IntLit(0)), body=inner),
+        ]
+
+    def _gen_call(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        callee = self.rng.choice(list(callees))
+        args: List[A.Expr] = []
+        for param in callee.inputs:
+            if param.type == A.LIST:
+                src = self.rng.choice(scope.list_vars + ["NULL"])
+                args.append(A.Null() if src == "NULL" else A.Var(src))
+            else:
+                args.append(self._int_expr(scope))
+        targets: List[str] = []
+        pools = {
+            A.LIST: list(scope.writable_lists()),
+            A.INT: list(scope.writable_ints()),
+        }
+        drop_results = self.rng.random() < 0.15
+        if not drop_results:
+            for param in callee.outputs:
+                pool = pools[param.type]
+                if not pool:
+                    drop_results = True
+                    break
+                tgt = self.rng.choice(pool)
+                pool.remove(tgt)
+                targets.append(tgt)
+        if drop_results:
+            targets = []
+        return [
+            A.Call(targets=tuple(targets), proc=callee.name, args=tuple(args))
+        ]
+
+    # -- recursive templates --------------------------------------------------------
+
+    def _recursive_template(self, name: str) -> A.Procedure:
+        kind = self.rng.choice(["length", "sum", "copy", "mapadd"])
+        if kind in ("length", "sum"):
+            step = (
+                A.IntLit(1)
+                if kind == "length"
+                else A.DataOf(A.Var("x0"))
+            )
+            body = [
+                A.If(
+                    cond=A.PtrCmp("==", A.Var("x0"), A.Null()),
+                    then_body=[A.Assign(target="s0", value=A.IntLit(0))],
+                    else_body=[
+                        A.Assign(target="c0", value=A.NextOf(A.Var("x0"))),
+                        A.Call(targets=("i0",), proc=name, args=(A.Var("c0"),)),
+                        A.Assign(
+                            target="s0",
+                            value=A.BinOp("+", A.Var("i0"), step),
+                        ),
+                    ],
+                )
+            ]
+            return A.Procedure(
+                name,
+                [A.Param("x0", A.LIST)],
+                [A.Param("s0", A.INT)],
+                [A.Param("c0", A.LIST), A.Param("i0", A.INT)],
+                body,
+            )
+        # copy / mapadd: rebuild the list, optionally shifting each datum
+        delta = 0 if kind == "copy" else self.rng.randint(1, 5)
+        datum: A.Expr = A.DataOf(A.Var("x0"))
+        if delta:
+            datum = A.BinOp("+", datum, A.IntLit(delta))
+        body = [
+            A.If(
+                cond=A.PtrCmp("==", A.Var("x0"), A.Null()),
+                then_body=[A.Assign(target="r0", value=A.Null())],
+                else_body=[
+                    A.Assign(target="c0", value=A.NextOf(A.Var("x0"))),
+                    A.Call(targets=("c1",), proc=name, args=(A.Var("c0"),)),
+                    A.Assign(target="r0", value=A.NewCell()),
+                    A.StoreData(target="r0", value=datum),
+                    A.StoreNext(target="r0", value=A.Var("c1")),
+                ],
+            )
+        ]
+        return A.Procedure(
+            name,
+            [A.Param("x0", A.LIST)],
+            [A.Param("r0", A.LIST)],
+            [A.Param("c0", A.LIST), A.Param("c1", A.LIST)],
+            body,
+        )
+
+    # -- expressions and conditions -----------------------------------------------
+
+    def _int_expr(self, scope: _Scope, data_of: Optional[str] = None) -> A.Expr:
+        """Affine integer expression over literals and int variables.
+
+        ``data_of`` optionally allows one ``v->data`` leaf -- only pass a
+        variable that is non-NULL at the point of use.
+        """
+        rng = self.rng
+        leaves: List[A.Expr] = [
+            A.IntLit(rng.randint(self.config.lit_lo, self.config.lit_hi))
+        ]
+        if scope.int_vars:
+            leaves.append(A.Var(rng.choice(scope.int_vars)))
+        if data_of is not None:
+            leaves.append(A.DataOf(A.Var(data_of)))
+        expr = rng.choice(leaves)
+        for _ in range(rng.randint(0, 2)):
+            op = rng.choice(["+", "-", "*"])
+            lit = A.IntLit(rng.randint(self.config.lit_lo, self.config.lit_hi))
+            if op == "*":
+                expr = A.BinOp("*", expr, A.IntLit(rng.randint(-3, 3)))
+            elif rng.random() < 0.5 and scope.int_vars:
+                expr = A.BinOp(op, expr, A.Var(rng.choice(scope.int_vars)))
+            else:
+                expr = A.BinOp(op, expr, lit)
+        return expr
+
+    def _condition(self, scope: _Scope) -> A.Cond:
+        rng = self.rng
+        kind = rng.random()
+        if kind < 0.5 and scope.list_vars:
+            left = A.Var(rng.choice(scope.list_vars))
+            right: A.Expr = (
+                A.Null()
+                if rng.random() < 0.6
+                else A.Var(rng.choice(scope.list_vars))
+            )
+            cond: A.Cond = A.PtrCmp(rng.choice(["==", "!="]), left, right)
+        else:
+            op = rng.choice(["==", "!=", "<", "<=", ">", ">="])
+            cond = A.DataCmp(op, self._int_expr(scope), self._int_expr(scope))
+        if rng.random() < 0.15:
+            other = A.DataCmp(
+                rng.choice(["<", ">"]), self._int_expr(scope), self._int_expr(scope)
+            )
+            cond = A.BoolOp(rng.choice(["&&", "||"]), cond, other)
+        if rng.random() < 0.1:
+            cond = A.NotCond(cond)
+        return cond
+
+    def _guard(self, var: str, body: List[A.Stmt]) -> A.If:
+        return A.If(
+            cond=A.PtrCmp("!=", A.Var(var), A.Null()),
+            then_body=body,
+            else_body=[],
+        )
+
+
+def generate_program(
+    seed: int, config: Optional[GenConfig] = None
+) -> Tuple[A.Program, str]:
+    """Generate one well-typed program; returns ``(program, root_name)``."""
+    return ProgramGen(random.Random(seed), config).generate()

@@ -263,7 +263,7 @@ class Procedure:
     outputs: List[Param]
     locals: List[Param]
     body: List[Stmt]
-    line: int = 0
+    line: int = field(default=0, compare=False)
 
     def all_vars(self) -> List[Param]:
         return list(self.inputs) + list(self.outputs) + list(self.locals)

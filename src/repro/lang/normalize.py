@@ -4,6 +4,13 @@ After this pass:
 
 - call arguments are plain variables (nested expressions are lifted into
   fresh temporaries ``$a<i>``);
+- list-typed *formal parameters are never reassigned*: a procedure that
+  assigns one of its list inputs has every use renamed to a fresh local
+  (``x$in``) initialized from the formal at entry.  Parameters are passed
+  by value so this is semantics-preserving, and it is what makes the
+  local-heap return composition sound: the callee's exit label for a
+  formal is trusted to still name the *entry* cell, so the caller's
+  actual pointer can re-attach to it (see ``core/localheap.py``);
 - ``p = <complex data expr>`` stays (the transformer handles affine terms
   with ``q->data`` occurrences directly);
 - conditions keep their boolean structure; dereferences *inside* conditions
@@ -15,7 +22,7 @@ Fresh temporaries use ``$`` which cannot appear in source identifiers.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.lang import ast as A
 
@@ -80,7 +87,149 @@ class _Normalizer:
         return [stmt]
 
 
+# ---------------------------------------------------------------------------
+# Formal-parameter protection
+
+
+def _assigned_vars(body: Sequence[A.Stmt]) -> Set[str]:
+    out: Set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, A.Assign):
+            out.add(stmt.target)
+        elif isinstance(stmt, A.Call):
+            out.update(stmt.targets)
+        elif isinstance(stmt, A.If):
+            out |= _assigned_vars(stmt.then_body)
+            out |= _assigned_vars(stmt.else_body)
+        elif isinstance(stmt, A.While):
+            out |= _assigned_vars(stmt.body)
+    return out
+
+
+def _rename_expr(expr: A.Expr, ren: Dict[str, str]) -> A.Expr:
+    if isinstance(expr, A.Var):
+        return A.Var(ren.get(expr.name, expr.name))
+    if isinstance(expr, A.NextOf):
+        return A.NextOf(_rename_expr(expr.base, ren))
+    if isinstance(expr, A.DataOf):
+        return A.DataOf(_rename_expr(expr.base, ren))
+    if isinstance(expr, A.BinOp):
+        return A.BinOp(
+            expr.op, _rename_expr(expr.left, ren), _rename_expr(expr.right, ren)
+        )
+    return expr
+
+
+def _rename_cond(cond: A.Cond, ren: Dict[str, str]) -> A.Cond:
+    if isinstance(cond, (A.PtrCmp, A.DataCmp)):
+        return type(cond)(
+            cond.op, _rename_expr(cond.left, ren), _rename_expr(cond.right, ren)
+        )
+    if isinstance(cond, A.BoolOp):
+        return A.BoolOp(
+            cond.op, _rename_cond(cond.left, ren), _rename_cond(cond.right, ren)
+        )
+    if isinstance(cond, A.NotCond):
+        return A.NotCond(_rename_cond(cond.inner, ren))
+    return cond
+
+
+def _rename_formula(formula: A.SpecFormula, ren: Dict[str, str]) -> A.SpecFormula:
+    atoms = []
+    for atom in formula.atoms:
+        atoms.append(
+            A.SpecAtom(
+                atom.kind,
+                tuple(ren.get(a, a) for a in atom.args),
+                _rename_cond(atom.cmp, ren) if atom.cmp is not None else None,
+            )
+        )
+    return A.SpecFormula(tuple(atoms))
+
+
+def _rename_body(body: Sequence[A.Stmt], ren: Dict[str, str]) -> List[A.Stmt]:
+    out: List[A.Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, A.Assign):
+            out.append(
+                A.Assign(
+                    line=stmt.line,
+                    target=ren.get(stmt.target, stmt.target),
+                    value=_rename_expr(stmt.value, ren),
+                )
+            )
+        elif isinstance(stmt, (A.StoreNext, A.StoreData)):
+            out.append(
+                type(stmt)(
+                    line=stmt.line,
+                    target=ren.get(stmt.target, stmt.target),
+                    value=_rename_expr(stmt.value, ren),
+                )
+            )
+        elif isinstance(stmt, A.Call):
+            out.append(
+                A.Call(
+                    line=stmt.line,
+                    targets=tuple(ren.get(t, t) for t in stmt.targets),
+                    proc=stmt.proc,
+                    args=tuple(_rename_expr(a, ren) for a in stmt.args),
+                )
+            )
+        elif isinstance(stmt, A.If):
+            out.append(
+                A.If(
+                    line=stmt.line,
+                    cond=_rename_cond(stmt.cond, ren),
+                    then_body=_rename_body(stmt.then_body, ren),
+                    else_body=_rename_body(stmt.else_body, ren),
+                )
+            )
+        elif isinstance(stmt, A.While):
+            out.append(
+                A.While(
+                    line=stmt.line,
+                    cond=_rename_cond(stmt.cond, ren),
+                    body=_rename_body(stmt.body, ren),
+                )
+            )
+        elif isinstance(stmt, (A.Assert, A.Assume)):
+            out.append(
+                type(stmt)(line=stmt.line, formula=_rename_formula(stmt.formula, ren))
+            )
+        else:
+            out.append(stmt)
+    return out
+
+
+def _protect_formals(proc: A.Procedure) -> Tuple[List[A.Stmt], List[A.Param]]:
+    """Rename every *assigned* list formal to a fresh local, prepending
+    ``x$in = x``.  Afterwards no list input is ever the target of an
+    assignment, so a formal's exit node always names the entry cell."""
+    assigned = _assigned_vars(proc.body)
+    protected = [
+        p for p in proc.inputs if p.type == A.LIST and p.name in assigned
+    ]
+    if not protected:
+        return list(proc.body), []
+    ren = {p.name: f"{p.name}$in" for p in protected}
+    new_locals = [A.Param(ren[p.name], A.LIST) for p in protected]
+    prologue: List[A.Stmt] = [
+        A.Assign(line=proc.line, target=ren[p.name], value=A.Var(p.name))
+        for p in protected
+    ]
+    return prologue + _rename_body(proc.body, ren), new_locals
+
+
 def normalize_procedure(proc: A.Procedure) -> A.Procedure:
+    body, protect_locals = _protect_formals(proc)
+    proc = A.Procedure(
+        proc.name,
+        proc.inputs,
+        proc.outputs,
+        list(proc.locals) + protect_locals,
+        body,
+        proc.line,
+    )
     normalizer = _Normalizer(proc)
     body = normalizer.normalize_body(proc.body)
     return A.Procedure(

@@ -165,6 +165,15 @@ class _Parser:
             return A.Skip(line=tok.line)
         if tok.text == "(":
             return self.tuple_call()
+        # `p(x);` at statement level: a call whose results are discarded.
+        # Unambiguous -- an assignment continues with `=` or `->` instead.
+        if tok.kind == "id" and self.peek(1).text == "(":
+            proc = self.expect_id().text
+            self.expect("(")
+            args = self.call_args()
+            self.expect(")")
+            self.expect(";")
+            return A.Call(line=tok.line, targets=(), proc=proc, args=tuple(args))
         return self.assignment()
 
     def if_stmt(self) -> A.If:
@@ -192,10 +201,12 @@ class _Parser:
 
     def tuple_call(self) -> A.Call:
         tok = self.expect("(")
-        targets = [self.expect_id().text]
-        while self.at(","):
-            self.next()
+        targets: List[str] = []
+        if not self.at(")"):  # `() = p(x);` discards every result
             targets.append(self.expect_id().text)
+            while self.at(","):
+                self.next()
+                targets.append(self.expect_id().text)
         self.expect(")")
         self.expect("=")
         proc = self.expect_id().text
@@ -269,6 +280,11 @@ class _Parser:
         if tok.kind == "num":
             return A.IntLit(int(tok.text))
         if tok.text == "-":
+            # A negative literal is one token pair: fold it into the
+            # IntLit so `-3` round-trips through the pretty-printer
+            # (anything else keeps the explicit `0 - x` form).
+            if self.peek().kind == "num":
+                return A.IntLit(-int(self.next().text))
             inner = self.atom()
             return A.BinOp("-", A.IntLit(0), inner)
         if tok.text == "(":

@@ -1,0 +1,140 @@
+"""Pretty-printer for LISL ASTs.
+
+Produces source text that the frontend round-trips exactly::
+
+    typecheck_program(parse_program(pretty_program(p))) == p
+
+for any well-typed program ``p`` (the comparison goes through the type
+checker because the parser alone cannot reclassify ``p == q`` between
+pointer and data comparison -- declared types decide that).  The fuzzing
+harness (:mod:`repro.fuzz`) relies on this property to store corpus
+entries as plain source files, and :mod:`tests.test_fuzz_progen` checks
+it on generated programs.
+
+Printing conventions (all accepted by the parser):
+
+- every ``BinOp`` and boolean connective is parenthesized, so the tree
+  structure survives re-parsing without precedence reasoning;
+- negative integer literals print as ``-3`` (the parser folds a unary
+  minus on a literal back into one ``IntLit``);
+- calls print as ``x = p(a);`` for one target, ``(x, y) = p(a);`` for
+  several, and ``p(a);`` for none (a call whose results are discarded);
+- an ``If`` with an empty else branch omits the ``else`` block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast as A
+
+
+def pretty_expr(expr: A.Expr) -> str:
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.Null):
+        return "NULL"
+    if isinstance(expr, A.NewCell):
+        return "new"
+    if isinstance(expr, A.NextOf):
+        return f"{expr.base.name}->next"
+    if isinstance(expr, A.DataOf):
+        return f"{expr.base.name}->data"
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.BinOp):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    raise ValueError(f"cannot print expression {expr!r}")
+
+
+def pretty_cond(cond: A.Cond) -> str:
+    if isinstance(cond, (A.PtrCmp, A.DataCmp)):
+        return f"{pretty_expr(cond.left)} {cond.op} {pretty_expr(cond.right)}"
+    if isinstance(cond, A.BoolOp):
+        return f"({pretty_cond(cond.left)} {cond.op} {pretty_cond(cond.right)})"
+    if isinstance(cond, A.NotCond):
+        return f"!({pretty_cond(cond.inner)})"
+    raise ValueError(f"cannot print condition {cond!r}")
+
+
+def pretty_spec(formula: A.SpecFormula) -> str:
+    parts: List[str] = []
+    for atom in formula.atoms:
+        if atom.kind == "data":
+            parts.append(
+                f"{pretty_expr(atom.cmp.left)} {atom.cmp.op} "
+                f"{pretty_expr(atom.cmp.right)}"
+            )
+        else:
+            parts.append(f"{atom.kind}({', '.join(atom.args)})")
+    return " && ".join(parts)
+
+
+def _pretty_stmt(stmt: A.Stmt, indent: int, out: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, A.Skip):
+        out.append(f"{pad}skip;")
+        return
+    if isinstance(stmt, A.Assign):
+        out.append(f"{pad}{stmt.target} = {pretty_expr(stmt.value)};")
+        return
+    if isinstance(stmt, A.StoreNext):
+        out.append(f"{pad}{stmt.target}->next = {pretty_expr(stmt.value)};")
+        return
+    if isinstance(stmt, A.StoreData):
+        out.append(f"{pad}{stmt.target}->data = {pretty_expr(stmt.value)};")
+        return
+    if isinstance(stmt, A.Call):
+        args = ", ".join(pretty_expr(a) for a in stmt.args)
+        if not stmt.targets:
+            out.append(f"{pad}{stmt.proc}({args});")
+        elif len(stmt.targets) == 1:
+            out.append(f"{pad}{stmt.targets[0]} = {stmt.proc}({args});")
+        else:
+            lhs = ", ".join(stmt.targets)
+            out.append(f"{pad}({lhs}) = {stmt.proc}({args});")
+        return
+    if isinstance(stmt, A.If):
+        out.append(f"{pad}if ({pretty_cond(stmt.cond)}) {{")
+        for inner in stmt.then_body:
+            _pretty_stmt(inner, indent + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                _pretty_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+        return
+    if isinstance(stmt, A.While):
+        out.append(f"{pad}while ({pretty_cond(stmt.cond)}) {{")
+        for inner in stmt.body:
+            _pretty_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+        return
+    if isinstance(stmt, A.Assert):
+        out.append(f"{pad}assert {pretty_spec(stmt.formula)};")
+        return
+    if isinstance(stmt, A.Assume):
+        out.append(f"{pad}assume {pretty_spec(stmt.formula)};")
+        return
+    raise ValueError(f"cannot print statement {stmt!r}")
+
+
+def _pretty_params(params: List[A.Param]) -> str:
+    return ", ".join(f"{p.name}: {p.type}" for p in params)
+
+
+def pretty_procedure(proc: A.Procedure) -> str:
+    out: List[str] = [
+        f"proc {proc.name}({_pretty_params(proc.inputs)}) "
+        f"returns ({_pretty_params(proc.outputs)}) {{"
+    ]
+    for p in proc.locals:
+        out.append(f"  local {p.name}: {p.type};")
+    for stmt in proc.body:
+        _pretty_stmt(stmt, 1, out)
+    out.append("}")
+    return "\n".join(out)
+
+
+def pretty_program(program: A.Program) -> str:
+    return "\n\n".join(pretty_procedure(p) for p in program.procedures) + "\n"

@@ -147,7 +147,9 @@ class _ProcChecker:
                 raise TypeError_(
                     f"{stmt.proc} expects {len(callee.inputs)} argument(s)", line
                 )
-            if len(stmt.targets) != len(callee.outputs):
+            # An empty target tuple discards every result (`p(x);`); a
+            # non-empty one must match the callee's output arity.
+            if stmt.targets and len(stmt.targets) != len(callee.outputs):
                 raise TypeError_(
                     f"{stmt.proc} returns {len(callee.outputs)} value(s)", line
                 )

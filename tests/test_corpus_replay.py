@@ -1,0 +1,37 @@
+"""Every checked-in corpus entry must replay green: entries are shrunk
+reproducers of past failures (plus handcrafted sentinels for the unfold#/
+fold# suspects), so a finding here is a regression."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.__main__ import load_corpus_entry
+from repro.fuzz.oracle import Oracle, OracleConfig
+
+CORPUS = Path(__file__).parent / "corpus"
+
+# entries whose AU analysis is heavyweight run in the slow lane only
+SLOW_ENTRIES = {"gen_seed17.lisl"}
+
+
+def _entries():
+    params = []
+    for path in sorted(CORPUS.glob("*.lisl")):
+        marks = [pytest.mark.slow] if path.name in SLOW_ENTRIES else []
+        params.append(pytest.param(path, marks=marks, id=path.name))
+    return params
+
+
+def test_corpus_is_not_empty():
+    assert list(CORPUS.glob("*.lisl")), "seed corpus is missing"
+
+
+@pytest.mark.parametrize("path", _entries())
+def test_corpus_entry_replays_green(path):
+    entry = load_corpus_entry(path)
+    assert entry.root, f"{path} lacks a root header"
+    assert entry.inputs, f"{path} records no inputs"
+    oracle = Oracle(OracleConfig(rounds=4))
+    findings = oracle.check_source(entry.source, entry.root, entry.inputs)
+    assert findings == [], [f.describe() for f in findings]

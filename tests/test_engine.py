@@ -471,6 +471,18 @@ class TestBudgets:
         assert res.diagnostics[0].kind == "global_steps"
         assert res.diagnostics[0].limit == 1
 
+    def test_wall_clock_budget_is_structured(self):
+        analyzer = Analyzer.from_source(RECURSIVE_SRC)
+        res = analyzer.analyze(
+            "sumlen",
+            domain="am",
+            max_seconds=0.0,  # expires on the first step
+            engine_opts=EngineOptions(use_cache=False),
+        )
+        assert not res.ok
+        assert res.diagnostics[0].kind == "wall_clock"
+        assert res.diagnostics[0].limit == 0.0
+
     def test_entry_widening_livelock_is_bounded(self):
         """Regression: resetting record.iterations on entry growth used to
         defeat the iteration budget when the entry widening never

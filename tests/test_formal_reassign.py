@@ -1,0 +1,109 @@
+"""Regression for the fuzzer's first catch (seeds 101/140): a callee that
+reassigns its list formal must not corrupt the caller's pointer.
+
+Parameters are by-value, so after ``s = push(x)`` the caller's ``x`` still
+points at the entry cell even though ``push`` moved its own ``x0`` to a
+freshly pushed cell.  Pre-fix, ``compose_return`` re-bound the caller's
+``x`` to NULL ("stale pointer"), which made the following
+``if (x != NULL)`` falsely dead and dropped every sound exit disjunct.
+The fix is two-layered: ``normalize_program`` renames assigned list
+formals to fresh locals (``x$in``) so formals are never reassigned, and
+``build_call_entry`` raises :class:`CutpointError` if an un-normalized
+reassigning callee ever reaches composition.
+"""
+
+import pytest
+
+from repro.core.api import Analyzer
+from repro.fuzz.oracle import Oracle, OracleConfig
+from repro.lang import ast as A
+from repro.lang.normalize import normalize_procedure, normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+
+SRC = """
+proc push(x0: list) returns (s0: int) {
+  local c0: list;
+  c0 = new;
+  c0->data = 1;
+  c0->next = x0;
+  x0 = c0;
+  s0 = 0;
+}
+
+proc main(x0: list) returns (r0: list, s0: int) {
+  s0 = push(x0);
+  if (x0 != NULL) {
+    r0 = x0->next;
+  }
+}
+"""
+
+
+def _assigned(body):
+    out = set()
+    for stmt in body:
+        if isinstance(stmt, A.Assign):
+            out.add(stmt.target)
+        elif isinstance(stmt, A.Call):
+            out.update(stmt.targets)
+        elif isinstance(stmt, A.If):
+            out |= _assigned(stmt.then_body) | _assigned(stmt.else_body)
+        elif isinstance(stmt, A.While):
+            out |= _assigned(stmt.body)
+    return out
+
+
+def test_normalize_protects_assigned_list_formals():
+    program = typecheck_program(parse_program(SRC))
+    norm = normalize_program(program)
+    push = norm.proc("push")
+    list_inputs = {p.name for p in push.inputs if p.type == A.LIST}
+    assert not (_assigned(push.body) & list_inputs)
+    assert any(p.name == "x0$in" for p in push.locals)
+
+
+def test_normalize_leaves_untouched_formals_alone():
+    program = typecheck_program(parse_program(SRC))
+    main = normalize_procedure(program.proc("main"))
+    assert all(p.name != "x0$in" for p in main.locals)
+
+
+def test_caller_pointer_survives_reassigning_callee():
+    analyzer = Analyzer.from_source(SRC)
+    for domain in ("am", "au"):
+        result = analyzer.analyze("main", domain=domain)
+        assert result.ok
+        nonnull_r0 = [
+            heap
+            for _, summary in result.summaries
+            for heap in summary
+            if heap.graph.node_of("r0") != "null"
+        ]
+        # with x = [d1, d2, ...] the run reaches r0 = x->next != NULL,
+        # so a sound summary must keep a non-null-r0 disjunct
+        assert nonnull_r0, f"{domain}: every exit disjunct lost r0"
+
+
+def test_oracle_is_clean_on_the_reproducer():
+    oracle = Oracle(OracleConfig(rounds=2))
+    findings = oracle.check_source(SRC, "main", [[[1, 2]], [[5]], [[]]])
+    assert findings == [], [f.describe() for f in findings]
+
+
+def test_unnormalized_reassigning_callee_is_rejected():
+    from repro.core.localheap import CutpointError, build_call_entry
+    from repro.datawords.multiset import MultisetDomain
+    from repro.lang.cfg import OpCall, build_cfg
+    from repro.shape.abstract_heap import AbstractHeap
+    from repro.shape.graph import HeapGraph
+
+    # build the CFG from the *raw* (un-normalized) proc: push reassigns x0
+    program = typecheck_program(parse_program(SRC))
+    push_cfg = build_cfg(program.proc("push"))
+    domain = MultisetDomain()
+    graph = HeapGraph({"n0"}, {"n0": "null"}, {"x0": "n0"})
+    heap = AbstractHeap(graph, domain.top())
+    op = OpCall(targets=("s0",), proc="push", args=("x0",))
+    with pytest.raises(CutpointError):
+        build_call_entry(domain, heap, push_cfg, op)

@@ -1,0 +1,131 @@
+"""Frontend edge cases the fuzzer's generator shakes out: negative
+literals, empty blocks, discarded call results, shadowed locals, and the
+pretty-printer round trip on handwritten programs."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.benchlib import benchmark_program
+from repro.lang.cfg import build_icfg
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.typecheck import TypeError_, typecheck_program
+from repro.concrete.interp import Interpreter
+from repro.concrete.heap import from_cells, to_cells
+
+
+def _roundtrip(source: str) -> A.Program:
+    program = typecheck_program(parse_program(source))
+    reparsed = typecheck_program(parse_program(pretty_program(program)))
+    assert reparsed == program
+    return program
+
+
+def test_negative_literals_fold_to_one_intlit():
+    program = parse_program(
+        "proc f() returns (s: int) { s = -3; s = (s * -2) + -1; }"
+    )
+    body = program.procedures[0].body
+    assert body[0].value == A.IntLit(-3)
+    _roundtrip("proc f() returns (s: int) { s = -3; s = (s * -2) + -1; }")
+
+
+def test_unary_minus_on_variables_keeps_zero_minus_form():
+    program = parse_program("proc f(n: int) returns (s: int) { s = -n; }")
+    assert program.procedures[0].body[0].value == A.BinOp(
+        "-", A.IntLit(0), A.Var("n")
+    )
+
+
+def test_empty_blocks_parse_and_roundtrip():
+    src = """
+    proc f(x: list) returns () {
+      if (x == NULL) {
+      } else {
+      }
+      while (x != NULL) {
+        x = x->next;
+      }
+    }
+    """
+    program = _roundtrip(src)
+    icfg = build_icfg(normalize_program(program))
+    interp = Interpreter(icfg)
+    assert interp.run("f", [to_cells([1, 2])]) == []
+
+
+def test_discarded_call_results_both_spellings():
+    src = """
+    proc inc(n: int) returns (m: int) { m = n + 1; }
+    proc main(n: int) returns (s: int) {
+      inc(n);
+      () = inc(n);
+      s = inc(n);
+    }
+    """
+    program = _roundtrip(src)
+    main = program.proc("main")
+    assert main.body[0].targets == ()
+    assert main.body[1].targets == ()
+    icfg = build_icfg(normalize_program(program))
+    assert Interpreter(icfg).run("main", [41]) == [42]
+
+
+def test_bare_call_statement_is_not_confused_with_assignment():
+    src = """
+    proc touch(x: list) returns () { if (x != NULL) { x->data = 1; } }
+    proc main(x: list) returns (r: list) {
+      touch(x);
+      r = x;
+    }
+    """
+    program = _roundtrip(src)
+    icfg = build_icfg(normalize_program(program))
+    out = Interpreter(icfg).run("main", [to_cells([5, 6])])
+    assert from_cells(out[0]) == [1, 6]
+
+
+def test_mismatched_nonempty_call_targets_still_rejected():
+    src = """
+    proc two(n: int) returns (a: int, b: int) { a = n; b = n; }
+    proc main(n: int) returns (s: int) { s = two(n); }
+    """
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program(src))
+
+
+def test_shadowed_locals_are_rejected_cleanly():
+    src = """
+    proc f(x: list) returns (r: list) {
+      local x: list;
+      r = x;
+    }
+    """
+    with pytest.raises(TypeError_) as exc:
+        typecheck_program(parse_program(src))
+    assert "duplicate variable" in str(exc.value)
+
+
+def test_same_local_name_in_different_procs_is_fine():
+    src = """
+    proc f(n: int) returns (s: int) { local t: int; t = n; s = t; }
+    proc g(n: int) returns (s: int) { local t: int; t = n * 2; s = t; }
+    """
+    program = _roundtrip(src)
+    icfg = build_icfg(normalize_program(program))
+    interp = Interpreter(icfg)
+    assert interp.run("f", [3]) == [3]
+    assert interp.run("g", [3]) == [6]
+
+
+def test_procedure_line_numbers_do_not_affect_ast_equality():
+    a = parse_program("proc f() returns (s: int) { s = 1; }")
+    b = parse_program("\n\n\nproc f() returns (s: int) {\n s = 1; }")
+    assert a == b
+
+
+def test_benchmark_program_roundtrips():
+    program = typecheck_program(benchmark_program())
+    reparsed = typecheck_program(parse_program(pretty_program(program)))
+    assert reparsed == program

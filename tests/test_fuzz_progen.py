@@ -1,0 +1,77 @@
+"""The generator's guarantee: every program parses, typechecks, builds an
+ICFG, and round-trips through the pretty-printer."""
+
+import pytest
+
+from repro.fuzz.progen import GenConfig, generate_program
+from repro.lang import ast as A
+from repro.lang.cfg import build_icfg
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.typecheck import typecheck_program
+
+FAST_SEEDS = list(range(40))
+SLOW_SEEDS = list(range(40, 400))
+
+
+def _check_seed(seed, config=None):
+    program, root = generate_program(seed, config)
+    checked = typecheck_program(program)
+    # generate -> pretty-print -> parse -> identical AST (post-typecheck,
+    # since only declared types classify `p == q` comparisons)
+    reparsed = typecheck_program(parse_program(pretty_program(program)))
+    assert reparsed == checked, f"round-trip mismatch for seed {seed}"
+    norm = normalize_program(checked)
+    icfg = build_icfg(norm)
+    icfg.cfg(root)  # the root procedure exists in the ICFG
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_generated_program_roundtrips(seed):
+    _check_seed(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_generated_program_roundtrips_slow(seed):
+    _check_seed(seed)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generator_respects_size_knobs(seed):
+    config = GenConfig(n_procs=1, max_stmts=2, max_depth=0, allow_loops=False)
+    program, root = generate_program(seed, config)
+    assert len(program.procedures) == 1
+    assert root == "p0"
+
+    def no_loops(stmts):
+        for stmt in stmts:
+            assert not isinstance(stmt, A.While)
+            if isinstance(stmt, A.If):
+                no_loops(stmt.then_body)
+                no_loops(stmt.else_body)
+
+    no_loops(program.procedures[0].body)
+    _check_seed(seed, config)
+
+
+def test_generator_is_deterministic():
+    a = generate_program(123)
+    b = generate_program(123)
+    assert pretty_program(a[0]) == pretty_program(b[0])
+    assert a[1] == b[1]
+
+
+def test_generator_emits_calls_and_loops_somewhere():
+    saw_call = saw_loop = saw_if = False
+    for seed in range(30):
+        program, _ = generate_program(seed)
+        text = pretty_program(program)
+        saw_loop |= "while" in text
+        saw_if |= "if (" in text
+        for proc in program.procedures:
+            for other in program.procedures:
+                if f"{other.name}(" in text.replace(f"proc {other.name}", ""):
+                    saw_call = True
+    assert saw_call and saw_loop and saw_if

@@ -1,0 +1,85 @@
+"""Shrinker tests: minimized findings still reproduce, and shrinking
+actually shrinks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.fuzz.oracle import Oracle, OracleConfig
+from repro.fuzz.progen import generate_program
+from repro.fuzz.shrink import Shrinker, _stmt_paths, shrink_finding
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck_program
+
+AM_ONLY = OracleConfig(rounds=4, domains=("am",))
+
+
+def _unsound_split(self, value, word, tail):
+    if value.is_bot:
+        return value
+    rows = list(value.rows)
+    rows.append({T.mtl(word): Fraction(1)})
+    return MultisetValue(rows)
+
+
+def _first_mutant_finding(oracle):
+    for seed in range(25):
+        program, root = generate_program(seed)
+        findings = [
+            f
+            for f in oracle.check_program(program, root, seed)
+            if f.kind in ("gamma", "no_shape")
+        ]
+        if findings:
+            return findings[0]
+    pytest.fail("mutant produced no finding to shrink")
+
+
+def test_shrink_produces_smaller_reproducer(monkeypatch):
+    monkeypatch.setattr(MultisetDomain, "split", _unsound_split)
+    oracle = Oracle(AM_ONLY)
+    finding = _first_mutant_finding(oracle)
+    original = typecheck_program(parse_program(finding.source))
+    shrunk = shrink_finding(finding, oracle, max_checks=60)
+    # same failure signature survives
+    assert shrunk.signature() == finding.signature()
+    reduced = typecheck_program(parse_program(shrunk.source))
+    assert len(_stmt_paths(reduced)) <= len(_stmt_paths(original))
+    assert len(reduced.procedures) <= len(original.procedures)
+    # and the shrunk source is a genuine reproducer on its own
+    views = [shrunk.inputs] if shrunk.inputs is not None else []
+    replay = oracle.check_source(shrunk.source, shrunk.root, views)
+    assert any(f.signature() == finding.signature() for f in replay)
+
+
+def test_shrink_is_noop_on_healthy_program():
+    """A finding that does not reproduce is returned unchanged."""
+    program, root = generate_program(3)
+    from repro.fuzz.oracle import Finding
+    from repro.lang.pretty import pretty_program
+
+    fake = Finding(
+        kind="gamma",
+        domain="am",
+        root=root,
+        message="synthetic",
+        source=pretty_program(program),
+        inputs=[[1, 2]],
+    )
+    oracle = Oracle(AM_ONLY)
+    out = shrink_finding(fake, oracle, max_checks=10)
+    assert out is fake
+
+
+def test_shrinker_respects_check_budget(monkeypatch):
+    monkeypatch.setattr(MultisetDomain, "split", _unsound_split)
+    oracle = Oracle(AM_ONLY)
+    finding = _first_mutant_finding(oracle)
+    program = typecheck_program(parse_program(finding.source))
+    shrinker = Shrinker(oracle, finding.root, finding.signature(), max_checks=5)
+    views = [finding.inputs] if finding.inputs is not None else []
+    shrinker.still_fails(program, views)
+    shrinker.shrink_program(program, views)
+    assert shrinker.checks <= 5

@@ -146,7 +146,34 @@ class TestRecursion:
 
 class TestCutpoints:
     def test_cutpoint_detected(self):
+        # mid labels a *non-entry* node of the local heap passed to id():
+        # a genuine cutpoint, rejected regardless of what the callee does.
         source = """
+            proc id(x: list) returns (r: list) {
+              r = x;
+            }
+            proc main(x: list) returns (r: list) {
+              local mid: list;
+              r = NULL;
+              if (x != NULL) {
+                mid = x->next;
+                if (mid != NULL) {
+                  r = id(x);
+                }
+              }
+            }
+        """
+        with pytest.raises(CutpointError):
+            analyze(source, "main")
+
+    def test_entry_reference_fine_even_if_callee_assigns_formal(self):
+        # The caller's x->next points at the entry node of the local heap
+        # and the callee assigns its formal.  normalize_program renames the
+        # assigned formal to a local (x$in), so the formal keeps naming the
+        # entry cell and the external edge re-attaches soundly -- this used
+        # to be rejected as a cutpoint.
+        res = analyze(
+            """
             proc touch(x: list) returns (r: list) {
               r = x;
               x = x->next;
@@ -161,9 +188,11 @@ class TestCutpoints:
                 }
               }
             }
-        """
-        with pytest.raises(CutpointError):
-            analyze(source, "main")
+            """,
+            "main",
+        )
+        heaps = [h for h in res.exit_heaps() if h.graph.word_nodes()]
+        assert heaps
 
     def test_entry_alias_allowed_when_callee_keeps_formal(self):
         # x and the caller's q alias the same entry node; 'keep' never

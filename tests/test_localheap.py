@@ -116,14 +116,31 @@ class TestBuildCallEntry:
         assert info.reattach["x"]
 
     def test_external_ref_rejected_when_formal_reassigned(self):
+        # Un-normalized CFG: normalize_program renames assigned formals
+        # away, so only a raw CFG still reassigns x -- and a raw
+        # reassignment must be rejected at call time (the return
+        # composition could not track the entry cell).
+        g = HeapGraph(
+            ["P", "A"], {"P": "A", "A": NULL}, {"p": "P", "a": "A"}
+        )
+        heap = AbstractHeap(g, AU.top())
+        program = typecheck_program(parse_program(SHIFT))
+        cfg = build_cfg(program.proc("shift"))
+        op = OpCall(("out",), "shift", ("a",))
+        with pytest.raises(CutpointError):
+            build_call_entry(AU, heap, cfg, op)
+
+    def test_normalized_reassigning_formal_is_accepted(self):
+        # After normalization the same callee no longer reassigns x, so
+        # the external reference re-attaches instead of being rejected.
         g = HeapGraph(
             ["P", "A"], {"P": "A", "A": NULL}, {"p": "P", "a": "A"}
         )
         heap = AbstractHeap(g, AU.top())
         cfg = callee_cfg(SHIFT, "shift")
         op = OpCall(("out",), "shift", ("a",))
-        with pytest.raises(CutpointError):
-            build_call_entry(AU, heap, cfg, op)
+        info = build_call_entry(AU, heap, cfg, op)
+        assert info.reattach["x"]
 
 
 class TestCompose:

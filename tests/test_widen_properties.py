@@ -1,0 +1,191 @@
+"""Property-based widening audit (lattice laws, mirrors
+tests/test_multiset_properties.py).
+
+The laws under test, for both ``MultisetDomain.widen`` and
+``Interval``/``IntervalEnv.widen``:
+
+- **upper bound of join**: ``join(a, b) ⊑ widen(a, b)`` (hence also
+  ``a ⊑ widen(a, b)`` and ``b ⊑ widen(a, b)``);
+- **stabilization**: iterating ``w := widen(w, join(w, b_i))`` along any
+  increasing chain reaches a fixpoint in boundedly many steps;
+- **γ-monotonicity** (AM): any concrete witness of either argument
+  satisfies the widened value.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datawords import terms as T
+from repro.datawords.multiset import MultisetDomain, MultisetValue
+from repro.numeric.intervals import Interval, IntervalEnv
+
+AM = MultisetDomain()
+WORDS = ["a", "b", "c"]
+TERMS = [T.mhd(w) for w in WORDS] + [T.mtl(w) for w in WORDS] + ["d"]
+
+
+@st.composite
+def row_st(draw):
+    size = draw(st.integers(min_value=2, max_value=4))
+    terms = draw(
+        st.lists(st.sampled_from(TERMS), min_size=size, max_size=size, unique=True)
+    )
+    coeffs = draw(
+        st.lists(st.sampled_from([-2, -1, 1, 2]), min_size=size, max_size=size)
+    )
+    return {t: Fraction(k) for t, k in zip(terms, coeffs)}
+
+
+@st.composite
+def value_st(draw):
+    rows = draw(st.lists(row_st(), min_size=0, max_size=3))
+    return MultisetValue(rows)
+
+
+@st.composite
+def env_st(draw):
+    words = {}
+    for w in WORDS:
+        words[w] = draw(st.lists(st.integers(-3, 3), min_size=1, max_size=4))
+    data = {"d": draw(st.integers(-3, 3))}
+    return words, data
+
+
+# -- AM ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_st(), value_st())
+def test_am_widen_is_upper_bound_of_join(v1, v2):
+    w = AM.widen(v1, v2)
+    j = AM.join(v1, v2)
+    assert AM.leq(j, w)
+    assert AM.leq(v1, w)
+    assert AM.leq(v2, w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(value_st(), min_size=1, max_size=5))
+def test_am_widen_stabilizes_on_increasing_chains(values):
+    # build an increasing chain by cumulative joins, then widen along it
+    chain = []
+    acc = AM.bottom()
+    for v in values:
+        acc = AM.join(acc, v)
+        chain.append(acc)
+    w = chain[0]
+    steps = 0
+    for v in chain[1:] + chain:  # replay the chain twice: must be stable
+        nxt = AM.widen(w, AM.join(w, v))
+        if not AM.leq(nxt, w):
+            w = nxt
+            steps += 1
+    # vocabulary has <= len(TERMS) dimensions: the row space can only
+    # lose rank that many times
+    assert steps <= len(TERMS) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_st(), value_st(), env_st())
+def test_am_widen_gamma_monotone(v1, v2, env):
+    words, data = env
+    w = AM.widen(v1, v2)
+    if AM.satisfied_by(v1, words, data) or AM.satisfied_by(v2, words, data):
+        assert AM.satisfied_by(w, words, data)
+
+
+# -- intervals ------------------------------------------------------------------
+
+BOUND = st.one_of(st.none(), st.integers(-6, 6).map(Fraction))
+
+
+@st.composite
+def interval_st(draw):
+    iv = Interval(draw(BOUND), draw(BOUND))
+    return iv
+
+
+@st.composite
+def interval_env_st(draw):
+    if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+        return IntervalEnv.bottom()
+    names = draw(
+        st.lists(st.sampled_from(["x", "y", "z"]), max_size=3, unique=True)
+    )
+    return IntervalEnv({n: draw(interval_st()) for n in names})
+
+
+@settings(max_examples=80, deadline=None)
+@given(interval_st(), interval_st())
+def test_interval_widen_is_upper_bound_of_join(a, b):
+    w = a.widen(b)
+    j = a.join(b)
+    assert j.leq(w)
+    assert a.leq(w)
+    assert b.leq(w)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interval_st(), st.lists(interval_st(), min_size=1, max_size=6))
+def test_interval_widen_stabilizes(a, others):
+    w = a
+    steps = 0
+    for b in others + others:
+        nxt = w.widen(w.join(b))
+        if not nxt.leq(w):
+            w = nxt
+            steps += 1
+    # each unstable step drops at least one finite bound to infinity
+    assert steps <= 2
+
+
+@settings(max_examples=80, deadline=None)
+@given(interval_env_st(), interval_env_st())
+def test_interval_env_widen_is_upper_bound_of_join(a, b):
+    w = a.widen(b)
+    j = a.join(b)
+    assert j.leq(w)
+    assert a.leq(w)
+    assert b.leq(w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval_env_st(), st.lists(interval_env_st(), min_size=1, max_size=5))
+def test_interval_env_widen_stabilizes(a, others):
+    w = a
+    steps = 0
+    for b in others + others:
+        nxt = w.widen(w.join(b))
+        if not nxt.leq(w):
+            w = nxt
+            steps += 1
+    # <= 3 tracked variables x 2 bounds each, plus key-set shrinking
+    assert steps <= 7
+
+
+@settings(max_examples=80, deadline=None)
+@given(interval_env_st(), interval_env_st(), st.integers(-6, 6))
+def test_interval_env_widen_gamma_monotone(a, b, x):
+    """A point in γ(a) or γ(b) stays inside γ(widen(a, b))."""
+    w = a.widen(b)
+    fx = Fraction(x)
+    for env in (a, b):
+        if env.is_bottom():
+            continue
+        if env.get("x").contains(fx):
+            assert w.is_bottom() is False
+            assert w.get("x").contains(fx) or not _point_in(env, {"x": fx})
+    # stronger: if a full point satisfies a, it satisfies w
+    point = {"x": fx, "y": Fraction(0), "z": Fraction(0)}
+    if _point_in(a, point) or _point_in(b, point):
+        assert _point_in(w, point)
+
+
+def _point_in(env: IntervalEnv, point) -> bool:
+    if env.is_bottom():
+        return False
+    return all(
+        env.get(var).contains(val) for var, val in point.items()
+    )
