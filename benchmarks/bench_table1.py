@@ -14,6 +14,12 @@ The shape claims checked here (not wall-clock equality with the paper's
 - the §7 pattern heuristic picks the paper's pattern sets.
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
 import pytest
 
 from repro.lang.benchlib import TABLE1, entry
@@ -69,3 +75,108 @@ def test_pattern_heuristic_matches_paper(analyzer, name):
     # The paper's pattern choice must be contained in ours (our heuristic
     # may add P1/P2 where the paper's hand tuning did not need them).
     assert paper <= ours or ours <= paper
+
+
+def main(argv=None):
+    """Sequential-vs-parallel wall-time comparison on the bench suite.
+
+    ``python benchmarks/bench_table1.py --jobs 4`` runs the default bench
+    workload (all Table 1 AM rows plus the fast AU subset) twice on the
+    ``repro.parallel`` worker pool -- once with one worker, once with
+    ``--jobs`` workers -- and reports both wall times and the speedup.
+    ``--skip-seq`` drops the one-worker baseline (CI smoke); ``--json``
+    writes the timings as an artifact.
+    """
+    import argparse
+    import json
+
+    from table1_common import run_suite
+
+    ap = argparse.ArgumentParser(
+        prog="python benchmarks/bench_table1.py",
+        description="Table 1 bench suite: sequential vs parallel wall time",
+    )
+    ap.add_argument("--jobs", type=int, default=4, help="parallel workers")
+    ap.add_argument(
+        "--budget",
+        type=float,
+        default=240.0,
+        help="per-row wall budget (seconds)",
+    )
+    ap.add_argument(
+        "--skip-seq",
+        action="store_true",
+        help="skip the one-worker baseline run",
+    )
+    ap.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write timings to this JSON file",
+    )
+    args = ap.parse_args(argv)
+
+    pairs = [(e.name, "am") for e in TABLE1] + [(n, "au") for n in AU_FAST]
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    if args.jobs > cores:
+        print(
+            f"note: {args.jobs} jobs on {cores} usable core(s) -- "
+            "CPU-bound rows cannot speed up past the core count"
+        )
+
+    def bad_rows(results):
+        return sorted(
+            f"{name}.{domain}[{row['note']}]"
+            for (name, domain), row in results.items()
+            if row["status"] != "ok" or row["note"]
+        )
+
+    seq_wall = None
+    if not args.skip_seq:
+        print(f"sequential baseline: {len(pairs)} analyses on 1 worker ...")
+        seq_results, seq_wall = run_suite(pairs, jobs=1, budget=args.budget)
+        print(f"  jobs=1: {seq_wall:.1f}s wall")
+        if bad_rows(seq_results):
+            print(f"  NOT OK: {', '.join(bad_rows(seq_results))}")
+
+    print(f"parallel run: {len(pairs)} analyses on {args.jobs} workers ...")
+    par_results, par_wall = run_suite(pairs, jobs=args.jobs, budget=args.budget)
+    print(f"  jobs={args.jobs}: {par_wall:.1f}s wall")
+    failures = bad_rows(par_results)
+    if failures:
+        print(f"  NOT OK: {', '.join(failures)}")
+
+    speedup = (seq_wall / par_wall) if seq_wall else None
+    if speedup is not None:
+        print(f"speedup: {speedup:.2f}x ({seq_wall:.1f}s -> {par_wall:.1f}s)")
+
+    if args.json:
+        doc = {
+            "pairs": len(pairs),
+            "jobs": args.jobs,
+            "cores": cores,
+            "sequential_wall": seq_wall,
+            "parallel_wall": par_wall,
+            "speedup": speedup,
+            "rows": {
+                f"{name}.{domain}": {
+                    "time": row["time"],
+                    "status": row["status"],
+                    "note": row["note"],
+                    "retries": row["retries"],
+                }
+                for (name, domain), row in par_results.items()
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,55 +9,22 @@ AU analyses of the sorting class are expensive in pure Python on one CPU;
 set a per-function wall budget with --budget (seconds, default 240) -- a
 row that exceeds it is reported as "timeout" (see EXPERIMENTS.md).
 
+Rows run on the fault-isolated worker pool of ``repro.parallel``: with
+``--jobs N`` up to N rows analyze concurrently (each row is its own root
+analysis, so parallel results are identical to sequential ones), a row
+crashing its worker is retried once, and the budget is enforced both
+cooperatively (the engine's wall-clock diagnostic) and by a hard kill.
+
 Usage:  python benchmarks/run_table1.py [--budget 240] [--only NAME]
+                                        [--skip-au] [--jobs N]
 """
 
 import argparse
-import multiprocessing as mp
 import os
 import sys
-import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
-
-
-def _run_one(name, domain, queue):
-    from repro.lang.benchlib import entry
-    from table1_common import analyze_row, fresh_analyzer
-
-    analyzer = fresh_analyzer()
-    row = analyze_row(analyzer, entry(name), domain)
-    queue.put(
-        {
-            "time": row.am_time if domain == "am" else row.au_time,
-            "ok": row.summary_ok,
-            "note": row.note,
-            "patterns": row.patterns,
-            "engine": row.engine_summary(),
-        }
-    )
-
-
-def run_with_budget(name, domain, budget):
-    queue = mp.Queue()
-    proc = mp.Process(target=_run_one, args=(name, domain, queue))
-    start = time.perf_counter()
-    proc.start()
-    proc.join(budget)
-    if proc.is_alive():
-        proc.terminate()
-        proc.join()
-        return {
-            "time": None, "ok": None, "note": "timeout", "patterns": (),
-            "engine": "",
-        }
-    if queue.empty():
-        return {
-            "time": None, "ok": None, "note": "crash", "patterns": (),
-            "engine": "",
-        }
-    return queue.get()
 
 
 def fmt_time(t):
@@ -73,23 +40,35 @@ def main():
     parser.add_argument("--budget", type=float, default=240.0)
     parser.add_argument("--only", type=str, default=None)
     parser.add_argument("--skip-au", action="store_true")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; rows are independent root analyses",
+    )
     args = parser.parse_args()
 
     from repro.lang.benchlib import TABLE1
 
+    from table1_common import run_suite
+
     rows = [e for e in TABLE1 if args.only is None or e.name == args.only]
+    pairs = [(e.name, "am") for e in rows]
+    if not args.skip_au:
+        pairs += [(e.name, "au") for e in rows]
+
+    results, wall = run_suite(pairs, jobs=args.jobs, budget=args.budget)
+
     print(
         f"{'class':<6} {'fun':<12} {'patterns':<22} "
         f"{'AM t(s)':>8} {'paper':>6}  {'AU t(s)':>8} {'paper':>7} "
         f"{'summary':>7}  engine"
     )
     print("-" * 112)
+    empty = {"time": None, "ok": None, "note": "", "patterns": (), "engine": ""}
     for e in rows:
-        am = run_with_budget(e.name, "am", args.budget)
-        if args.skip_au:
-            au = {"time": None, "ok": None, "note": "skipped", "patterns": am["patterns"]}
-        else:
-            au = run_with_budget(e.name, "au", args.budget)
+        am = results.get((e.name, "am"), empty)
+        au = results.get((e.name, "au"), empty)
         pats = ",".join(sorted(au["patterns"] or am["patterns"])) or "-"
         ok = au["ok"] if au["ok"] is not None else am["ok"]
         note = au["note"] or am["note"]
@@ -102,6 +81,14 @@ def main():
             + (f"  [{note}]" if note else ""),
             flush=True,
         )
+    analysis_seconds = sum(
+        row["time"] for row in results.values() if row["time"] is not None
+    )
+    print("-" * 112)
+    print(
+        f"{len(pairs)} analyses in {wall:.1f}s wall with --jobs {args.jobs} "
+        f"(sum of per-row analysis times: {analysis_seconds:.1f}s)"
+    )
 
 
 if __name__ == "__main__":

@@ -18,7 +18,7 @@ from repro.core.assertions import _check_equal, _check_sorted
 from repro.datawords import terms as T
 from repro.datawords.multiset import MultisetDomain
 from repro.datawords.patterns import GuardInstance
-from repro.lang.benchlib import TABLE1, BenchEntry, benchmark_program
+from repro.lang.benchlib import TABLE1, BenchEntry, benchmark_program, entry
 from repro.numeric.linexpr import Constraint, LinExpr
 from repro.shape.graph import NULL
 
@@ -280,13 +280,19 @@ def analyze_row(
     entry: BenchEntry,
     domain: str,
     max_steps: int = 400_000,
+    max_seconds: Optional[float] = None,
 ) -> RowResult:
     start = time.perf_counter()
     note = ""
     summary_ok: Optional[bool] = None
     stats: Optional[dict] = None
     try:
-        result = analyzer.analyze(entry.name, domain=domain, max_steps=max_steps)
+        result = analyzer.analyze(
+            entry.name,
+            domain=domain,
+            max_steps=max_steps,
+            max_seconds=max_seconds,
+        )
         elapsed = time.perf_counter() - start
         stats = result.stats
         if result.diagnostics:  # budget exhausted -> partial summaries
@@ -312,3 +318,77 @@ def analyze_row(
 
 def fresh_analyzer() -> Analyzer:
     return Analyzer(benchmark_program())
+
+
+# -- pool-backed suite execution (run_table1.py / bench_table1.py --jobs) -----
+
+
+def analyze_task(name: str, domain: str, max_seconds: Optional[float] = None) -> dict:
+    """Pool worker: one Table 1 row analysis in a fresh process."""
+    analyzer = fresh_analyzer()
+    row = analyze_row(analyzer, entry(name), domain, max_seconds=max_seconds)
+    return {
+        "name": name,
+        "domain": domain,
+        "time": row.am_time if domain == "am" else row.au_time,
+        "ok": row.summary_ok,
+        "note": row.note,
+        "patterns": row.patterns,
+        "engine": row.engine_summary(),
+    }
+
+
+def run_suite(
+    pairs,
+    jobs: int,
+    budget: Optional[float] = None,
+    on_outcome=None,
+):
+    """Run ``(name, domain)`` rows on the worker pool.
+
+    Returns ``(results, wall)`` where ``results`` maps each pair to the
+    ``analyze_task`` dict extended with the pool's outcome fields
+    (``status``, ``wall``, ``retries``).  Rows that blow the wall budget
+    come back with ``note="timeout"`` — either cooperatively (the
+    engine's ``max_seconds`` diagnostic) or via the pool's hard kill when
+    a single step cannot observe the deadline.
+    """
+    from repro.parallel.pool import PoolTask, WorkerPool
+
+    start = time.perf_counter()
+    tasks = [
+        PoolTask(
+            task_id=f"{name}.{domain}",
+            fn=analyze_task,
+            args=(name, domain),
+            kwargs={"max_seconds": budget},
+            budget=budget,
+        )
+        for name, domain in pairs
+    ]
+    results = {}
+    pool = WorkerPool(jobs=jobs, hard_grace=30.0)
+    for outcome in pool.run(tasks, on_outcome=on_outcome):
+        name, _, domain = outcome.task_id.rpartition(".")
+        if outcome.status == "ok":
+            row = dict(outcome.result)
+            if row["note"] == "wall_clock":
+                row["note"] = "timeout"
+        else:
+            note = {"budget": "timeout", "crashed": "crash"}.get(
+                outcome.status, outcome.status
+            )
+            row = {
+                "name": name,
+                "domain": domain,
+                "time": None,
+                "ok": None,
+                "note": note,
+                "patterns": (),
+                "engine": "",
+            }
+        row["status"] = outcome.status
+        row["wall"] = outcome.wall_time
+        row["retries"] = outcome.retries
+        results[(name, domain)] = row
+    return results, time.perf_counter() - start

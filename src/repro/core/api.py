@@ -204,6 +204,44 @@ class Analyzer:
             diagnostics=diagnostics,
         )
 
+    def analyze_batch(
+        self,
+        procs: Optional[List[str]] = None,
+        domains=("au",),
+        jobs: int = 1,
+        k: int = 0,
+        max_steps: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        store_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        trace_path: Optional[str] = None,
+        on_outcome=None,
+    ):
+        """Analyze many procedures on a worker pool (one task per root and
+        domain, sharded along call-graph SCCs — see :mod:`repro.parallel`).
+
+        Returns a :class:`repro.parallel.batch.BatchReport` whose
+        outcomes are in deterministic (shard, root, domain) order;
+        ``jobs=0`` runs the same requests inline as a sequential
+        baseline.  Summaries of a parallel run are identical to the
+        corresponding ``analyze`` calls.
+        """
+        from repro.parallel.batch import plan_requests, run_batch
+
+        requests = plan_requests(
+            self,
+            procs=procs,
+            domains=domains,
+            k=k,
+            max_steps=max_steps,
+            max_seconds=max_seconds,
+            store_dir=store_dir,
+            trace_dir=trace_dir,
+        )
+        return run_batch(
+            requests, jobs=jobs, trace_path=trace_path, on_outcome=on_outcome
+        )
+
     def analyze_strengthened(
         self,
         proc: str,

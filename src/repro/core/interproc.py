@@ -163,6 +163,11 @@ class Engine:
             self.opts.cache if self.opts.use_cache else None
         )
         self.from_cache = False  # did the last analyze() restore a cached run?
+        # Baseline of the process-wide exact-LP memo, so stats() can
+        # report this run's hits/misses rather than cumulative totals.
+        from repro.numeric import simplex as _simplex
+
+        self._lp_stats_baseline = _simplex.cache_stats()
 
     # -- entry configurations -----------------------------------------------------------
 
@@ -525,6 +530,16 @@ class Engine:
         out["scheduler"] = self.worklist.stats()
         if self.cache is not None:
             out["cache"] = self.cache.stats()
+        from repro.numeric import simplex as _simplex
+
+        lp_now = _simplex.cache_stats()
+        out["lp_cache"] = {
+            "solve_hits": lp_now["solve_hits"]
+            - self._lp_stats_baseline["solve_hits"],
+            "solve_misses": lp_now["solve_misses"]
+            - self._lp_stats_baseline["solve_misses"],
+            "solve_entries": lp_now["solve_entries"],
+        }
         return out
 
 

@@ -37,7 +37,7 @@ from repro.engine.canon import (
     stable_digest,
 )
 from repro.engine.scheduler import FifoScheduler, Scheduler, condensation, tarjan_scc
-from repro.engine.telemetry import Telemetry
+from repro.engine.telemetry import Telemetry, merge_traces
 
 
 @dataclass
@@ -73,6 +73,7 @@ __all__ = [
     "Scheduler",
     "FifoScheduler",
     "Telemetry",
+    "merge_traces",
     "condensation",
     "tarjan_scc",
     "stable_digest",

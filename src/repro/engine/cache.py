@@ -37,6 +37,17 @@ STORE_VERSION = 1
 CacheKey = Tuple  # (program_fp, proc, domain_desc, k, hook_tag, assume_tag)
 
 
+def encode_payload(payload: Any) -> str:
+    """Base64-pickle a run payload for a JSON store (see module docstring
+    for why payloads have no faithful pure-JSON form)."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(blob).decode("ascii")
+
+
+def decode_payload(encoded: str) -> Any:
+    return pickle.loads(base64.b64decode(encoded))
+
+
 class SummaryCache:
     """An LRU cache of analysis-run payloads with accounting.
 
@@ -115,16 +126,11 @@ class SummaryCache:
         entries: List[Dict[str, Any]] = []
         for key, payload in self._entries.items():
             try:
-                blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                encoded = encode_payload(payload)
             except Exception:
                 self.disk_errors += 1
                 continue
-            entries.append(
-                {
-                    "key": list(key),
-                    "payload": base64.b64encode(blob).decode("ascii"),
-                }
-            )
+            entries.append({"key": list(key), "payload": encoded})
         doc = {"version": STORE_VERSION, "entries": entries}
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -140,8 +146,7 @@ class SummaryCache:
                 return
             for entry in doc.get("entries", []):
                 key = _freeze(entry["key"])
-                blob = base64.b64decode(entry["payload"])
-                self._entries[key] = pickle.loads(blob)
+                self._entries[key] = decode_payload(entry["payload"])
                 self.disk_loads += 1
         except Exception:
             self.disk_errors += 1

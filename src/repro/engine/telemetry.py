@@ -15,6 +15,7 @@ can be replayed from its trace.
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, IO, List, Optional
@@ -28,11 +29,14 @@ class Telemetry:
         trace_path: Optional[str] = None,
         collect_events: bool = False,
         clock=time.perf_counter,
+        cpu_clock=time.process_time,
     ):
         self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, float] = {}
+        self.timers: Dict[str, float] = {}  # wall seconds per phase
+        self.cpu_timers: Dict[str, float] = {}  # CPU seconds per phase
         self.events: List[Dict[str, Any]] = []
         self._clock = clock
+        self._cpu_clock = cpu_clock
         self._collect = collect_events
         self._trace_path = trace_path
         self._trace_file: Optional[IO[str]] = None
@@ -50,11 +54,21 @@ class Telemetry:
 
     @contextmanager
     def phase(self, name: str):
+        """Time a phase, accumulating wall and CPU seconds separately.
+
+        The split matters for parallel runs: a worker starved of a core
+        shows wall >> CPU, while an exact-LP-bound fixpoint shows them
+        equal — two very different slowdowns that one number conflates.
+        """
         start = self._clock()
+        cpu_start = self._cpu_clock()
         try:
             yield
         finally:
             self.timers[name] = self.timers.get(name, 0.0) + self._clock() - start
+            self.cpu_timers[name] = (
+                self.cpu_timers.get(name, 0.0) + self._cpu_clock() - cpu_start
+            )
 
     # -- events --------------------------------------------------------------
 
@@ -67,7 +81,10 @@ class Telemetry:
         if not self.tracing:
             return
         self._seq += 1
-        record = {"seq": self._seq, "event": kind}
+        # ``ts`` is epoch time so traces from different worker processes
+        # can be merged into one ordered run trace (perf_counter origins
+        # are per-process and incomparable).
+        record = {"seq": self._seq, "ts": round(time.time(), 6), "event": kind}
         record.update(fields)
         if self._collect:
             self.events.append(record)
@@ -88,6 +105,8 @@ class Telemetry:
         out: Dict[str, Any] = dict(sorted(self.counters.items()))
         for name, total in sorted(self.timers.items()):
             out[f"time.{name}"] = round(total, 6)
+        for name, total in sorted(self.cpu_timers.items()):
+            out[f"cpu.{name}"] = round(total, 6)
         if self.tracing:
             out["events"] = self._seq
         return out
@@ -107,3 +126,47 @@ class Telemetry:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def merge_traces(paths: List[str], out_path: str) -> int:
+    """Merge per-worker JSONL traces into one ordered run trace.
+
+    Events are ordered by their epoch timestamp (``ts``), breaking ties
+    by source label and per-source sequence number, and re-sequenced
+    with a global ``gseq``; each event is tagged with the ``task`` label
+    derived from its source file name.  Returns the merged event count.
+    The merged file is written atomically (tmp + rename), so a crashed
+    merge never leaves a half-written trace.
+    """
+    merged: List[Dict[str, Any]] = []
+    for path in paths:
+        label = os.path.basename(path)
+        for suffix in (".jsonl", ".trace"):
+            if label.endswith(suffix):
+                label = label[: -len(suffix)]
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a killed worker's trace
+                    record["task"] = label
+                    merged.append(record)
+        except OSError:
+            continue
+    merged.sort(
+        key=lambda r: (r.get("ts", 0.0), r.get("task", ""), r.get("seq", 0))
+    )
+    for gseq, record in enumerate(merged, start=1):
+        record["gseq"] = gseq
+    tmp = out_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for record in merged:
+            json.dump(record, fh, default=repr)
+            fh.write("\n")
+    os.replace(tmp, out_path)
+    return len(merged)

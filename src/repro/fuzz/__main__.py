@@ -71,13 +71,19 @@ def load_corpus_entry(path: Path) -> CorpusEntry:
 
 
 def save_corpus_entry(directory: Path, finding: Finding) -> Path:
+    """Save a shrunk failure as a corpus entry, race-free.
+
+    Pool workers save concurrently, so the exists-then-write idiom would
+    lose entries to the check/write race.  Instead the entry is written
+    to a unique temporary file and *linked* to its final name —
+    ``os.link`` is atomic and fails with ``FileExistsError`` when another
+    worker claimed the name first, in which case the suffix is bumped and
+    the link retried.
+    """
+    import os
+
     directory.mkdir(parents=True, exist_ok=True)
     stem = f"{finding.kind}_{finding.domain}_{finding.seed}"
-    path = directory / f"{stem}.lisl"
-    n = 1
-    while path.exists():
-        path = directory / f"{stem}_{n}.lisl"
-        n += 1
     header = [
         "// fuzz-corpus",
         f"// root: {finding.root}",
@@ -87,8 +93,22 @@ def save_corpus_entry(directory: Path, finding: Finding) -> Path:
     if finding.inputs is not None:
         header.append(f"// inputs: {json.dumps(finding.inputs)}")
     header.append(f"// message: {finding.message.splitlines()[0][:200]}")
-    path.write_text("\n".join(header) + "\n\n" + finding.source)
-    return path
+    content = "\n".join(header) + "\n\n" + finding.source
+
+    tmp = directory / f".tmp-{stem}-{os.getpid()}"
+    tmp.write_text(content)
+    try:
+        path = directory / f"{stem}.lisl"
+        n = 1
+        while True:
+            try:
+                os.link(tmp, path)
+                return path
+            except FileExistsError:
+                path = directory / f"{stem}_{n}.lisl"
+                n += 1
+    finally:
+        tmp.unlink()
 
 
 def replay_corpus(directory: Path, oracle: Oracle) -> Tuple[int, int]:
@@ -116,36 +136,151 @@ def fuzz(
     corpus_dir: Optional[Path],
     time_budget: Optional[float],
     shrink_checks: int,
+    start: int = 0,
+    quiet: bool = False,
 ) -> List[Finding]:
+    """Check ``iters`` generated programs starting at iteration ``start``.
+
+    Iteration ``i`` always derives the same program seed regardless of
+    how the range is chunked, so a pool run over disjoint ranges checks
+    exactly the same programs as one sequential run.
+    """
     deadline = None if time_budget is None else time.monotonic() + time_budget
     failures: List[Finding] = []
     seen_signatures = set()
-    for i in range(iters):
+
+    def say(message: str) -> None:
+        if not quiet:
+            print(message)
+
+    for i in range(start, start + iters):
         if deadline is not None and time.monotonic() > deadline:
-            print(f"time budget reached after {i} iterations")
+            say(f"time budget reached after {i - start} iterations")
             break
         iter_seed = seed * 1_000_003 + i
         program, root = generate_program(iter_seed, gen_config)
         findings = oracle.check_program(program, root, iter_seed)
-        if (i + 1) % 20 == 0:
-            print(f".. {i + 1}/{iters} programs checked")
+        if (i - start + 1) % 20 == 0:
+            say(f".. {i - start + 1}/{iters} programs checked")
         for finding in findings:
             finding.seed = iter_seed
-            print(f"FAIL (iter {i}, seed {iter_seed}):")
-            print("  " + finding.describe().replace("\n", "\n  "))
+            say(f"FAIL (iter {i}, seed {iter_seed}):")
+            say("  " + finding.describe().replace("\n", "\n  "))
             if finding.signature() not in seen_signatures:
-                print("  shrinking ...")
+                say("  shrinking ...")
                 finding = shrink_finding(
                     finding, oracle, max_checks=shrink_checks
                 )
-                print("  shrunk to:")
-                print("  " + finding.source.replace("\n", "\n  "))
+                say("  shrunk to:")
+                say("  " + finding.source.replace("\n", "\n  "))
             seen_signatures.add(finding.signature())
             failures.append(finding)
             if corpus_dir is not None:
                 saved = save_corpus_entry(corpus_dir, finding)
-                print(f"  saved corpus entry {saved}")
+                say(f"  saved corpus entry {saved}")
     return failures
+
+
+def _fuzz_chunk(
+    seed: int,
+    start: int,
+    count: int,
+    oracle_config: OracleConfig,
+    gen_config: GenConfig,
+    corpus_dir: Optional[Path],
+    time_budget: Optional[float],
+    shrink_checks: int,
+) -> dict:
+    """Pool worker: fuzz one contiguous iteration range.
+
+    Workers save their own shrunk corpus entries (``save_corpus_entry``
+    is race-free) and return findings plus skip accounting for the
+    parent to aggregate.  Signature dedup is per-chunk; duplicate
+    signatures across chunks are deduplicated by the parent.
+    """
+    oracle = Oracle(oracle_config)
+    failures = fuzz(
+        seed=seed,
+        iters=count,
+        oracle=oracle,
+        gen_config=gen_config,
+        corpus_dir=corpus_dir,
+        time_budget=time_budget,
+        shrink_checks=shrink_checks,
+        start=start,
+        quiet=True,
+    )
+    return {"failures": failures, "skips": dict(oracle.skips)}
+
+
+def fuzz_parallel(
+    seed: int,
+    iters: int,
+    jobs: int,
+    oracle_config: OracleConfig,
+    gen_config: GenConfig,
+    corpus_dir: Optional[Path],
+    time_budget: Optional[float],
+    shrink_checks: int,
+) -> Tuple[List[Finding], dict]:
+    """Fan iteration ranges out over the worker pool.
+
+    Returns (failures, aggregated skip counters).  The same ``seed``
+    checks the same programs as a sequential run; only wall-clock-budget
+    stops and cross-chunk shrink dedup may differ.
+    """
+    from repro.parallel.pool import PoolTask, WorkerPool
+
+    chunk = (iters + jobs - 1) // jobs
+    tasks = []
+    for worker in range(jobs):
+        start = worker * chunk
+        count = min(chunk, iters - start)
+        if count <= 0:
+            break
+        tasks.append(
+            PoolTask(
+                task_id=f"fuzz[{start}:{start + count}]",
+                fn=_fuzz_chunk,
+                args=(
+                    seed,
+                    start,
+                    count,
+                    oracle_config,
+                    gen_config,
+                    corpus_dir,
+                    time_budget,
+                    shrink_checks,
+                ),
+            )
+        )
+    pool = WorkerPool(jobs=jobs)
+    failures: List[Finding] = []
+    skips = {"cutpoint": 0, "budget": 0}
+    for outcome in pool.run(tasks):
+        print(f"  {outcome.describe()}", flush=True)
+        if outcome.status != "ok":
+            # A crashed/failed chunk is itself a finding: the fuzzer or
+            # oracle died. Surface it as a synthetic crash failure.
+            failures.append(
+                Finding(
+                    kind="crash",
+                    domain="-",
+                    root="-",
+                    message=f"fuzz chunk {outcome.task_id} {outcome.status}: "
+                    f"{(outcome.error or {}).get('message', '')}",
+                    source="",
+                )
+            )
+            continue
+        failures.extend(outcome.result["failures"])
+        for key, value in outcome.result["skips"].items():
+            skips[key] = skips.get(key, 0) + value
+    for finding in failures:
+        if finding.source:
+            print(f"FAIL (seed {finding.seed}):")
+            print("  " + finding.describe().replace("\n", "\n  "))
+    return failures, skips
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -184,14 +319,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=150,
         help="oracle evaluations the shrinker may spend per failure",
     )
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for fresh fuzzing (seeds are identical "
+        "to a sequential run; corpus saves are race-free)",
+    )
     args = ap.parse_args(argv)
 
-    oracle = Oracle(
-        OracleConfig(
-            rounds=args.rounds,
-            domains=("am",) if args.skip_au else ("am", "au"),
-        )
+    oracle_config = OracleConfig(
+        rounds=args.rounds,
+        domains=("am",) if args.skip_au else ("am", "au"),
     )
+    oracle = Oracle(oracle_config)
     gen_config = GenConfig(n_procs=args.max_procs)
 
     corpus_failures = 0
@@ -199,20 +340,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_entries, corpus_failures = replay_corpus(args.corpus, oracle)
         print(f"corpus replay: {n_entries} entries, {corpus_failures} failures")
 
-    failures = fuzz(
-        seed=args.seed,
-        iters=args.iters,
-        oracle=oracle,
-        gen_config=gen_config,
-        corpus_dir=args.corpus,
-        time_budget=args.time_budget,
-        shrink_checks=args.shrink_checks,
-    )
+    skips = oracle.skips
+    if args.jobs > 1 and args.iters > 0:
+        failures, fuzz_skips = fuzz_parallel(
+            seed=args.seed,
+            iters=args.iters,
+            jobs=args.jobs,
+            oracle_config=oracle_config,
+            gen_config=gen_config,
+            corpus_dir=args.corpus,
+            time_budget=args.time_budget,
+            shrink_checks=args.shrink_checks,
+        )
+        skips = {
+            key: skips.get(key, 0) + fuzz_skips.get(key, 0)
+            for key in set(skips) | set(fuzz_skips)
+        }
+    else:
+        failures = fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            oracle=oracle,
+            gen_config=gen_config,
+            corpus_dir=args.corpus,
+            time_budget=args.time_budget,
+            shrink_checks=args.shrink_checks,
+        )
     print(
         f"fuzzing done: {len(failures)} failure(s), "
         f"{corpus_failures} corpus regression(s); skips: "
-        f"{oracle.skips['cutpoint']} cutpoint (outside fragment), "
-        f"{oracle.skips['budget']} analysis-budget (gamma-check waived)"
+        f"{skips['cutpoint']} cutpoint (outside fragment), "
+        f"{skips['budget']} analysis-budget (gamma-check waived)"
     )
     return 1 if (failures or corpus_failures) else 0
 

@@ -120,6 +120,35 @@ def _simplex_phase(
         _pivot(tableau, basis, leaving, entering)
 
 
+# Memo for exact solves: one AU transfer step can issue thousands of
+# entailment checks whose ambiguous cases all fall back to the exact
+# simplex, and the same canonical system recurs across join/widen/leq
+# chains — the PR-2 fuzzing oracle measured single steps sinking minutes
+# here.  Keyed on the *canonical* constraint system (order-independent
+# frozenset of constraint keys) plus objective and sense; LPResult values
+# are immutable, so sharing them is safe.
+_SOLVE_CACHE: dict = {}
+_SOLVE_CACHE_MAX = 200_000
+_SOLVE_STATS = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict:
+    """Hit/miss counters of the exact-LP memo (cumulative per process);
+    the engine reports per-run deltas in its ``stats()['lp_cache']``."""
+    return {
+        "solve_hits": _SOLVE_STATS["hits"],
+        "solve_misses": _SOLVE_STATS["misses"],
+        "solve_entries": len(_SOLVE_CACHE),
+        "entails_entries": len(_ENTAILS_CACHE),
+    }
+
+
+def clear_caches() -> None:
+    _SOLVE_CACHE.clear()
+    _ENTAILS_CACHE.clear()
+    _SOLVE_STATS["hits"] = _SOLVE_STATS["misses"] = 0
+
+
 def solve_lp(
     constraints: Iterable[Constraint],
     objective: LinExpr,
@@ -130,12 +159,36 @@ def solve_lp(
     Variables are free; internally every free variable ``x`` is split into
     ``x+ - x-`` with both parts non-negative, inequalities get slack
     variables, and a two-phase simplex with artificial variables decides
-    feasibility and optimizes.
+    feasibility and optimizes.  Results are memoized on the canonical
+    constraint system (see ``_SOLVE_CACHE``).
     """
     cons = [c for c in constraints if not c.is_trivial()]
     for c in cons:
         if c.is_contradiction():
             return LPResult(INFEASIBLE)
+
+    memo_key = (
+        frozenset(c.key() for c in cons),
+        objective.key(),
+        maximize,
+    )
+    cached = _SOLVE_CACHE.get(memo_key)
+    if cached is not None:
+        _SOLVE_STATS["hits"] += 1
+        return cached
+    _SOLVE_STATS["misses"] += 1
+    result = _solve_lp_uncached(cons, objective, maximize)
+    if len(_SOLVE_CACHE) > _SOLVE_CACHE_MAX:
+        _SOLVE_CACHE.clear()
+    _SOLVE_CACHE[memo_key] = result
+    return result
+
+
+def _solve_lp_uncached(
+    cons: List[Constraint],
+    objective: LinExpr,
+    maximize: bool,
+) -> LPResult:
 
     variables = sorted(set().union(*[c.support() for c in cons], objective.support()) or set())
     var_index = {v: i for i, v in enumerate(variables)}

@@ -1,0 +1,155 @@
+"""Batch-analysis CLI: fan programs and procedures out over a worker pool.
+
+Examples::
+
+    # analyze every procedure of a program, 4 workers, both domains
+    python -m repro.parallel prog.lisl --jobs 4 --domains am,au
+
+    # the paper's Table 1 program, AM only, with a persistent store
+    python -m repro.parallel --table1 --domains am --jobs 4 --store .stores/t1
+
+    # specific procedures, per-task wall budget, merged telemetry trace
+    python -m repro.parallel prog.lisl --procs quicksort,qsplit \\
+        --budget 120 --trace run.trace.jsonl
+
+Exit status is non-zero when any task crashed or failed (budget-capped
+tasks report partial summaries and count as degraded, not failed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.core.api import Analyzer
+from repro.parallel.batch import plan_requests, run_batch
+from repro.parallel.shard import plan_shards
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description="parallel batch analysis over call-graph SCC shards",
+    )
+    ap.add_argument("files", nargs="*", help="LISL program files")
+    ap.add_argument(
+        "--table1",
+        action="store_true",
+        help="analyze the paper's Table 1 benchmark program",
+    )
+    ap.add_argument(
+        "--procs",
+        type=str,
+        default=None,
+        help="comma-separated root procedures (default: all)",
+    )
+    ap.add_argument(
+        "--domains",
+        type=str,
+        default="am",
+        help="comma-separated domains to run (am, au)",
+    )
+    ap.add_argument("--jobs", type=int, default=1, help="worker processes")
+    ap.add_argument("--k", type=int, default=0, help="fold bound k")
+    ap.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-task wall-clock budget in seconds",
+    )
+    ap.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="persistent summary store directory (shared across runs)",
+    )
+    ap.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="write a merged JSONL telemetry trace of all workers here",
+    )
+    ap.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the shard plan and exit without analyzing",
+    )
+    args = ap.parse_args(argv)
+
+    analyzers: List[tuple] = []  # (label, Analyzer)
+    if args.table1:
+        from repro.lang.benchlib import benchmark_program
+
+        analyzers.append(("table1", Analyzer(benchmark_program())))
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as fh:
+            analyzers.append((path, Analyzer.from_source(fh.read())))
+    if not analyzers:
+        ap.error("no programs given (pass files or --table1)")
+
+    procs = args.procs.split(",") if args.procs else None
+    domains = tuple(args.domains.split(","))
+
+    if args.plan:
+        for label, analyzer in analyzers:
+            print(f"== {label} ==")
+            print(plan_shards(analyzer.icfg, procs).describe())
+        return 0
+
+    trace_dir = None
+    if args.trace is not None:
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+
+    requests = []
+    for label, analyzer in analyzers:
+        prog_requests = plan_requests(
+            analyzer,
+            procs=procs,
+            domains=domains,
+            k=args.k,
+            max_seconds=args.budget,
+            store_dir=args.store,
+            trace_dir=trace_dir,
+        )
+        if len(analyzers) > 1:  # qualify ids across programs
+            for request in prog_requests:
+                request.task_id = f"{label}:{request.task_id}"
+        requests.extend(prog_requests)
+
+    report = run_batch(
+        requests,
+        jobs=args.jobs,
+        trace_path=args.trace,
+        on_outcome=lambda outcome: print(outcome.describe(), flush=True),
+    )
+    print()
+    print(report.format_table())
+    if args.store is not None:
+        from repro.parallel.store import PersistentSummaryStore
+
+        # Hit/miss counters live in the workers; what the parent can
+        # report is the store size and how many tasks answered from it.
+        cached = sum(
+            1
+            for outcome in report.outcomes
+            if outcome.status == "ok"
+            and outcome.result.stats.get("from_cache")
+        )
+        print(
+            f"store: {len(PersistentSummaryStore(args.store))} entries, "
+            f"{cached}/{len(report.outcomes)} task(s) answered from store"
+        )
+    if report.trace_path is not None:
+        print(f"merged trace: {report.trace_path}")
+    bad = [
+        outcome
+        for outcome in report.outcomes
+        if outcome.status in ("crashed", "failed")
+    ]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

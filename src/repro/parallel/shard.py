@@ -1,0 +1,130 @@
+"""SCC sharding of a program's analysis.
+
+The unit of parallel work is a *shard*: one strongly connected component
+of the call graph, carrying every requested root procedure that lives in
+it.  Shards inherit the condensation's dependency structure (a shard
+depends on the shards of the SCCs it calls into), so a scheduler can run
+independent shards concurrently and dependent shards callees-first —
+when shards publish their run payloads to a shared
+:class:`~repro.parallel.store.PersistentSummaryStore`, a caller shard
+that repeats a callee-rooted analysis finds it already published.
+
+Each shard's analysis is *self-contained*: analyzing a root tabulates
+every callee record it needs inside its own engine run, exactly as the
+sequential engine does.  That is what makes the parallel join trivially
+deterministic — per-root results do not depend on which other shards ran,
+or in which order, so parallel and sequential runs produce identical
+summaries (see DESIGN.md §9 for the argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.scheduler import tarjan_scc
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One SCC of the call graph, as a schedulable unit of analysis."""
+
+    shard_id: str
+    procs: Tuple[str, ...]  # SCC members, sorted
+    roots: Tuple[str, ...]  # requested roots inside this SCC, sorted
+    rank: int  # condensation rank (callees have smaller ranks)
+    deps: Tuple[str, ...]  # shard_ids of the SCCs this one calls into
+
+
+@dataclass
+class ShardPlan:
+    """Shards in deterministic bottom-up (callees-first) order."""
+
+    shards: List[Shard] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def roots(self) -> List[str]:
+        return [root for shard in self.shards for root in shard.roots]
+
+    def levels(self) -> List[List[Shard]]:
+        """Kahn layering of the shard DAG: every shard of a level is
+        independent of the others, so a whole level can run concurrently."""
+        depth: Dict[str, int] = {}
+        by_id = {shard.shard_id: shard for shard in self.shards}
+        for shard in self.shards:  # deps precede in the bottom-up order
+            depth[shard.shard_id] = 1 + max(
+                (depth[d] for d in shard.deps if d in by_id), default=-1
+            )
+        out: List[List[Shard]] = []
+        for shard in self.shards:
+            level = depth[shard.shard_id]
+            while len(out) <= level:
+                out.append([])
+            out[level].append(shard)
+        return out
+
+    def describe(self) -> str:
+        lines = [f"shard plan: {len(self.shards)} shard(s)"]
+        for level_no, level in enumerate(self.levels()):
+            names = ", ".join(
+                "{" + ",".join(shard.procs) + "}" for shard in level
+            )
+            lines.append(f"  level {level_no}: {names}")
+        return "\n".join(lines)
+
+
+def plan_shards(icfg, procs: Optional[Sequence[str]] = None) -> ShardPlan:
+    """Shard the analysis of ``procs`` (default: every procedure).
+
+    Returns the shards holding at least one requested root, plus their
+    dependency closure restricted to other *returned* shards, in
+    bottom-up order.  Mutually recursive procedures always land in the
+    same shard, so the per-shard analyses never race on a shared
+    fixpoint.
+    """
+    graph = icfg.call_graph()
+    requested = set(graph) if procs is None else set(procs)
+    unknown = requested - set(graph)
+    if unknown:
+        raise ValueError(f"unknown procedures: {sorted(unknown)}")
+
+    components = tarjan_scc(graph)  # callees-first
+    rank_of: Dict[str, int] = {}
+    for rank, component in enumerate(components):
+        for proc in component:
+            rank_of[proc] = rank
+
+    # Direct dependencies between SCCs.
+    dep_ranks: Dict[int, Set[int]] = {rank: set() for rank in range(len(components))}
+    for caller, callees in graph.items():
+        for callee in callees:
+            if callee not in rank_of:
+                continue
+            if rank_of[caller] != rank_of[callee]:
+                dep_ranks[rank_of[caller]].add(rank_of[callee])
+
+    shards: List[Shard] = []
+    for rank, component in enumerate(components):
+        roots = tuple(sorted(requested & set(component)))
+        if not roots:
+            continue
+        shards.append(
+            Shard(
+                shard_id=f"scc{rank}",
+                procs=tuple(component),
+                roots=roots,
+                rank=rank,
+                deps=tuple(
+                    f"scc{dep}"
+                    for dep in sorted(dep_ranks[rank])
+                    # only keep deps on shards that are part of the plan
+                    if any(requested & set(components[dep]))
+                ),
+            )
+        )
+    return ShardPlan(shards)

@@ -1,0 +1,203 @@
+"""Cross-run persistent summary store, shareable between worker processes.
+
+:class:`~repro.engine.cache.SummaryCache` keeps one JSON file for a whole
+cache and rewrites it wholesale on ``save()`` — fine for a single
+process, unusable for a worker pool where many processes publish results
+concurrently.  This store keeps **one file per cache key** under a
+directory, so:
+
+- writes are atomic and race-free: an entry is written to a unique
+  temporary file in the same directory and ``os.replace``-d into place
+  (readers see either the old entry or the new one, never a torn write);
+- workers need no locks — the engine's cache keys are content hashes of
+  ``(program, procedure, domain, patterns, k, hooks)``, so two workers
+  racing on the same key are writing byte-identical payloads;
+- entries self-invalidate: every entry records a *schema fingerprint*
+  hashing the store layout version, the Python/pickle versions, and the
+  source of the classes inside pickled payloads.  When any of those
+  change, old entries silently miss (and are unlinked) instead of being
+  unpickled into a wrong or crashing shape.
+
+Payload encoding is shared with :mod:`repro.engine.cache` (base64 pickle
+inside JSON), and the store exposes the same ``get``/``put``/``stats``
+surface, so it can be passed directly as ``EngineOptions(cache=...)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import sys
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.engine.cache import CacheKey, decode_payload, encode_payload
+from repro.engine.canon import stable_digest
+
+# Bump when the on-disk entry layout (not the payload classes) changes.
+SCHEMA_VERSION = 1
+
+_fingerprint_cache: Optional[str] = None
+
+
+def schema_fingerprint() -> str:
+    """Fingerprint of everything a pickled payload's validity depends on.
+
+    Payloads are pickles of ``(proc, AbstractHeap, HeapSet)`` triples
+    whose values are domain objects (polyhedra, words, rationals); a
+    change to any of those class definitions can make old pickles load
+    into stale or undefined states.  Hashing their module sources makes
+    entries written by different code versions miss instead.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro.datawords.multiset
+        import repro.datawords.universal
+        import repro.numeric.polyhedra
+        import repro.shape.abstract_heap
+        import repro.shape.graph
+        import repro.shape.heap_set
+
+        parts = [
+            SCHEMA_VERSION,
+            sys.version_info[:2],
+            pickle.HIGHEST_PROTOCOL,
+        ]
+        for module in (
+            repro.shape.graph,
+            repro.shape.abstract_heap,
+            repro.shape.heap_set,
+            repro.numeric.polyhedra,
+            repro.datawords.multiset,
+            repro.datawords.universal,
+        ):
+            source = inspect.getsource(module).encode("utf-8")
+            parts.append(hashlib.blake2b(source, digest_size=8).hexdigest())
+        _fingerprint_cache = stable_digest(*parts)
+    return _fingerprint_cache
+
+
+class PersistentSummaryStore:
+    """A directory of one-file-per-key analysis payloads.
+
+    API-compatible with :class:`SummaryCache` where the engine needs it
+    (``get``/``put``/``stats``/``__len__``/``__contains__``), so a store
+    can be handed to ``EngineOptions(cache=...)`` and shared by every
+    worker of a pool and by later runs of the same program.
+    """
+
+    def __init__(self, directory: str, fingerprint: Optional[str] = None):
+        self.directory = directory
+        self.fingerprint = fingerprint or schema_fingerprint()
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.stale_discards = 0
+        self.disk_errors = 0
+
+    # -- paths -----------------------------------------------------------------
+
+    def _path(self, key: CacheKey) -> str:
+        return os.path.join(self.directory, stable_digest(key) + ".json")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.disk_errors += 1
+            self.misses += 1
+            return None
+        if doc.get("fingerprint") != self.fingerprint:
+            self.stale_discards += 1
+            self.misses += 1
+            try:  # self-invalidate: a stale entry will never hit again
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        try:
+            payload = decode_payload(doc["payload"])
+        except Exception:
+            self.disk_errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: CacheKey, payload: Any) -> None:
+        try:
+            doc = {
+                "fingerprint": self.fingerprint,
+                "key": repr(key),
+                "payload": encode_payload(payload),
+            }
+        except Exception:
+            self.disk_errors += 1
+            return
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)  # atomic on POSIX: no torn reads
+        except Exception:
+            self.disk_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.directory)
+                if name.endswith(".json") and not name.startswith(".tmp-")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    # -- accounting ------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate(), 4),
+            "stores": self.stores,
+            "stale_discards": self.stale_discards,
+            "disk_errors": self.disk_errors,
+        }
