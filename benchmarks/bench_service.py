@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Cold vs warm-resubmit latency of the incremental analysis service.
+
+Runs the Table 1 suite (paper §7, AM domain — every row completes fast)
+through an incremental session three times:
+
+- **cold**: empty store, every root analyzed from scratch;
+- **warm noop**: resubmit the identical program — everything should be
+  answered from retained results, near-zero work;
+- **warm edit**: a scripted single-procedure edit — only the edited
+  procedure's upward call-graph cone re-analyzes, the rest is reused.
+
+The warm-edit hashes are checked against a cold run of the edited
+program (the service's core invariant), so the benchmark doubles as an
+end-to-end correctness smoke.
+
+Usage:  python benchmarks/bench_service.py [--json PATH] [--edit PROC]
+                                           [--domain am]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.api import Analyzer
+from repro.lang.benchlib import TABLE1, BENCHMARK_SOURCE
+
+
+def edit_procedure(source, proc):
+    """Declare a fresh local at the top of ``proc`` and assign it at the
+    end of the body (same scripted edit as tests/test_service.py)."""
+    at = source.index(f"proc {proc}(")
+    open_brace = source.index("{", at)
+    depth, close_brace = 0, -1
+    for i in range(open_brace, len(source)):
+        if source[i] == "{":
+            depth += 1
+        elif source[i] == "}":
+            depth -= 1
+            if depth == 0:
+                close_brace = i
+                break
+    return (
+        source[: open_brace + 1]
+        + " local __edit: int; "
+        + source[open_brace + 1 : close_brace]
+        + " __edit = 1; "
+        + source[close_brace:]
+    )
+
+
+def hashes(report):
+    return {t: out.summary_hashes for t, out in report.outputs.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the timing artifact to this path")
+    parser.add_argument("--edit", type=str, default="init",
+                        help="procedure for the scripted edit")
+    parser.add_argument("--domain", type=str, default="am",
+                        choices=("am", "au"))
+    parser.add_argument("--store", type=str, default=None,
+                        help="store directory (default: a temporary one)")
+    args = parser.parse_args()
+
+    roots = sorted({entry.name for entry in TABLE1})
+    analyzer = Analyzer.from_source(BENCHMARK_SOURCE)
+    session = analyzer.open_session(store_dir=args.store)
+
+    t0 = time.perf_counter()
+    cold = session.analyze(procs=roots, domains=(args.domain,))
+    cold_s = time.perf_counter() - t0
+    assert cold.ok, "cold run failed"
+    print(f"cold          {cold_s:7.2f}s  "
+          f"analyzed={len(cold.analyzed)} reused={len(cold.reused)}")
+
+    t0 = time.perf_counter()
+    noop = session.analyze(procs=roots, domains=(args.domain,))
+    noop_s = time.perf_counter() - t0
+    print(f"warm (no-op)  {noop_s:7.2f}s  "
+          f"analyzed={len(noop.analyzed)} reused={len(noop.reused)}")
+
+    edited = edit_procedure(BENCHMARK_SOURCE, args.edit)
+    t0 = time.perf_counter()
+    delta = session.update_source(edited)
+    warm = session.analyze(procs=roots, domains=(args.domain,))
+    warm_s = time.perf_counter() - t0
+    assert warm.ok, "warm run failed"
+    print(f"warm (edit)   {warm_s:7.2f}s  "
+          f"analyzed={len(warm.analyzed)} reused={len(warm.reused)}  "
+          f"dirty={sorted(delta.dirty)}")
+
+    baseline = Analyzer.from_source(edited).open_session().analyze(
+        procs=roots, domains=(args.domain,)
+    )
+    assert hashes(warm) == hashes(baseline), (
+        "warm-resubmit hashes differ from a cold run of the edited program"
+    )
+    print("warm hashes identical to cold run of the edited program: OK")
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"warm-edit speedup over cold: {speedup:.1f}x")
+
+    if args.json:
+        artifact = {
+            "suite": "table1",
+            "domain": args.domain,
+            "roots": roots,
+            "edited_proc": args.edit,
+            "cold_s": round(cold_s, 4),
+            "warm_noop_s": round(noop_s, 4),
+            "warm_edit_s": round(warm_s, 4),
+            "speedup": round(speedup, 2),
+            "cold_analyzed": len(cold.analyzed),
+            "warm_analyzed": len(warm.analyzed),
+            "warm_reused": len(warm.reused),
+            "dirty_cone": sorted(delta.dirty),
+            "sccs_total": warm.incremental["sccs_total"],
+            "sccs_analyzed": warm.incremental["sccs_analyzed"],
+            "hashes_identical": True,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    session.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

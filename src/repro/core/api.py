@@ -242,6 +242,31 @@ class Analyzer:
             requests, jobs=jobs, trace_path=trace_path, on_outcome=on_outcome
         )
 
+    def open_session(
+        self,
+        store_dir: Optional[str] = None,
+        jobs: int = 0,
+        max_seconds: Optional[float] = None,
+    ):
+        """Open an incremental analysis session on this program.
+
+        A session (:class:`repro.service.session.Session`) tracks the
+        program's call-graph dependency structure; after
+        ``session.update_source(edited)`` the next ``session.analyze()``
+        re-analyzes only the dirty cone, answering clean roots from
+        retained results and the cone-keyed persistent store
+        (``store_dir``; a session-private temporary store when None).
+        Warm results are hash-identical to a cold run by construction.
+        """
+        from repro.service.session import Session
+
+        return Session(
+            self.program,
+            store_dir=store_dir,
+            jobs=jobs,
+            max_seconds=max_seconds,
+        )
+
     def analyze_strengthened(
         self,
         proc: str,

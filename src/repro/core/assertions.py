@@ -35,6 +35,8 @@ class AssertionOutcome:
     formula: str
     verified: bool
     heap_count: int
+    proc: Optional[str] = None  # procedure owning the assert edge
+    line: Optional[int] = None  # source line of the assert statement
 
 
 class AssertionChecker:
@@ -43,8 +45,23 @@ class AssertionChecker:
     def __init__(self, strengthen_with_am=None):
         self.outcomes: List[AssertionOutcome] = []
         self.strengthen_with_am = strengthen_with_am  # optional hook
+        self._proc: Optional[str] = None
+        self._line: Optional[int] = None
 
     # -- engine hook -------------------------------------------------------------
+
+    def set_context(self, proc: Optional[str] = None, line: Optional[int] = None) -> None:
+        """Called by the engine just before the handler, with the procedure
+        and source line of the assume/assert edge being evaluated."""
+        self._proc = proc
+        self._line = line
+
+    def diagnostics(self):
+        """The recorded verdicts as structured diagnostic records
+        (:mod:`repro.service.diagnostics`), aggregated per assertion."""
+        from repro.service.diagnostics import from_assertions
+
+        return from_assertions(self.outcomes)
 
     def __call__(self, op, state: HeapSet, domain) -> HeapSet:
         if isinstance(op, OpAssume):
@@ -62,7 +79,10 @@ class AssertionChecker:
             if not check_formula(domain, check_heap, op.formula):
                 verified = False
         self.outcomes.append(
-            AssertionOutcome(str(op.formula), verified, len(state))
+            AssertionOutcome(
+                str(op.formula), verified, len(state),
+                proc=self._proc, line=self._line,
+            )
         )
         return state
 

@@ -475,6 +475,12 @@ class Engine:
         if isinstance(op, (OpAssume, OpAssert)):
             if self.assume_handler is None:
                 return state  # treated as skip when no assertion layer
+            # Handlers that want source context (procedure, line) for
+            # structured diagnostics opt in via a ``set_context`` method;
+            # plain callables keep the bare (op, state, domain) protocol.
+            set_context = getattr(self.assume_handler, "set_context", None)
+            if set_context is not None:
+                set_context(proc=record.proc, line=edge.line)
             return self.assume_handler(op, state, domain)
         return state.map(domain, lambda h: self.transfer.post(op, h))
 

@@ -34,6 +34,7 @@ class Telemetry:
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}  # wall seconds per phase
         self.cpu_timers: Dict[str, float] = {}  # CPU seconds per phase
+        self.gauges: Dict[str, float] = {}  # point-in-time values (last wins)
         self.events: List[Dict[str, Any]] = []
         self._clock = clock
         self._cpu_clock = cpu_clock
@@ -49,6 +50,14 @@ class Telemetry:
 
     def __getitem__(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time measurement (queue depth, dirty-cone
+        size, hit rate); unlike counters, later values replace earlier
+        ones.  Used by the service layer for per-request telemetry."""
+        self.gauges[name] = value
 
     # -- timers --------------------------------------------------------------
 
@@ -107,6 +116,8 @@ class Telemetry:
             out[f"time.{name}"] = round(total, 6)
         for name, total in sorted(self.cpu_timers.items()):
             out[f"cpu.{name}"] = round(total, 6)
+        for name, value in sorted(self.gauges.items()):
+            out[f"gauge.{name}"] = value
         if self.tracing:
             out["events"] = self._seq
         return out

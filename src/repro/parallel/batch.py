@@ -56,6 +56,12 @@ class AnalysisRequest:
     store_dir: Optional[str] = None
     trace_dir: Optional[str] = None
     deps: Tuple[str, ...] = ()
+    # How store entries are keyed: "program" uses the whole-program
+    # fingerprint (any edit invalidates everything); "cone" rewrites it to
+    # the root's call-graph cone fingerprint, so entries survive edits
+    # outside the cone (the incremental service's mode — see
+    # repro.service.depindex.ConeKeyedStore).
+    key_mode: str = "program"
 
 
 @dataclass
@@ -80,9 +86,15 @@ def run_analysis_request(request: AnalysisRequest) -> AnalysisOutput:
     from repro.parallel.store import PersistentSummaryStore
 
     cache = None
+    analyzer = Analyzer(request.program)
     if request.store_dir is not None:
         cache = PersistentSummaryStore(request.store_dir)
-    analyzer = Analyzer(request.program, cache=cache)
+        if request.key_mode == "cone":
+            from repro.service.depindex import ConeKeyedStore, DependencyIndex
+
+            index = DependencyIndex.build(analyzer.icfg)
+            cache = ConeKeyedStore(cache, index.cone_fingerprints())
+        analyzer.cache = cache
     trace_path = None
     if request.trace_dir is not None:
         os.makedirs(request.trace_dir, exist_ok=True)
@@ -106,6 +118,20 @@ def run_analysis_request(request: AnalysisRequest) -> AnalysisOutput:
             max_seconds=request.max_seconds,
             engine_opts=opts,
         )
+    stats = {
+        key: result.stats.get(key)
+        for key in (
+            "records",
+            "steps",
+            "from_cache",
+            "records.reanalyzed",
+            "time.fixpoint",
+            "cpu.fixpoint",
+        )
+        if key in result.stats
+    }
+    if cache is not None:
+        stats["store"] = cache.stats()
     return AnalysisOutput(
         proc=request.proc,
         domain=request.domain,
@@ -124,18 +150,7 @@ def run_analysis_request(request: AnalysisRequest) -> AnalysisOutput:
             }
             for diag in result.diagnostics
         ],
-        stats={
-            key: result.stats.get(key)
-            for key in (
-                "records",
-                "steps",
-                "from_cache",
-                "records.reanalyzed",
-                "time.fixpoint",
-                "cpu.fixpoint",
-            )
-            if key in result.stats
-        },
+        stats=stats,
     )
 
 
@@ -295,6 +310,7 @@ def plan_requests(
     max_seconds: Optional[float] = None,
     store_dir: Optional[str] = None,
     trace_dir: Optional[str] = None,
+    key_mode: str = "program",
 ) -> List[AnalysisRequest]:
     """Shard a program's analysis into requests, callee SCCs first.
 
@@ -323,6 +339,7 @@ def plan_requests(
                         max_seconds=max_seconds,
                         store_dir=store_dir,
                         trace_dir=trace_dir,
+                        key_mode=key_mode,
                         deps=tuple(
                             f"{dep_root}.{domain}"
                             for dep in shard.deps

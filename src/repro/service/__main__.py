@@ -1,0 +1,259 @@
+"""Service CLI: ``python -m repro.service <command>`` (also ``repro-serve``).
+
+Commands::
+
+    serve     start the daemon
+    submit    submit one program for (incremental) analysis / assertions
+    watch     re-submit a file whenever its mtime changes
+    status    print daemon status
+    flush     drop retained session outputs
+    shutdown  graceful daemon shutdown
+
+Examples::
+
+    # start a daemon with a persistent store, 2 pool workers
+    python -m repro.service serve --tcp 127.0.0.1:7341 --store .stores/svc --jobs 2
+
+    # submit; the second submit after an edit re-analyzes only the dirty cone
+    python -m repro.service submit prog.lisl --addr 127.0.0.1:7341 --domains am,au
+    python -m repro.service watch prog.lisl --addr 127.0.0.1:7341
+
+    # assertion verdicts as structured diagnostics
+    python -m repro.service submit prog.lisl --addr 127.0.0.1:7341 --check-asserts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.server import AnalysisServer, ServerConfig
+
+
+def _add_addr(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--addr",
+        type=str,
+        default="127.0.0.1:7341",
+        help="daemon address: host:port or a Unix socket path",
+    )
+
+
+def _connect(args) -> ServiceClient:
+    return ServiceClient.connect(parse_address(args.addr))
+
+
+def _print_response(response, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(response, indent=2, default=repr))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(f"error [{error.get('kind')}]: {error.get('message')}")
+        _print_diagnostics(response.get("diagnostics"))
+        return 1
+    result = response.get("result", {})
+    if response.get("verb") == "analyze":
+        inc = result.get("incremental", {})
+        print(
+            f"analyze: {inc.get('roots', 0)} root task(s) — "
+            f"{inc.get('analyzed', 0)} analyzed, {inc.get('reused', 0)} reused "
+            f"(SCC shards {inc.get('sccs_analyzed', 0)}/{inc.get('sccs_total', 0)}, "
+            f"generation {inc.get('generation', 0)})"
+        )
+        if inc.get("dirty_cone"):
+            print(f"  dirty cone: {', '.join(inc['dirty_cone'])}")
+        for task_id in sorted(result.get("summary_hashes", {})):
+            hashes = result["summary_hashes"][task_id]
+            print(f"  {task_id}: {len(hashes)} summarie(s)")
+        _print_diagnostics(result.get("diagnostics"))
+    elif response.get("verb") in ("status", "flush", "shutdown"):
+        print(json.dumps(result, indent=2, default=repr))
+    else:
+        _print_diagnostics(result)
+    telemetry = response.get("telemetry", {})
+    if telemetry:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(telemetry.items()))
+        print(f"telemetry: {parts}")
+    return 0
+
+
+def _print_diagnostics(envelope) -> None:
+    from repro.service.diagnostics import envelope_records
+
+    if not envelope:
+        return
+    for record in envelope_records(envelope):
+        where = record.get("procedure", "?")
+        if record.get("line") is not None:
+            where += f":{record['line']}"
+        print(
+            f"  [{record['verdict']}] {record['ruleId']} {where}: "
+            f"{record['message']}"
+        )
+
+
+def cmd_serve(args) -> int:
+    address = parse_address(args.tcp) if args.tcp else None
+    config = ServerConfig(
+        host=address[0] if isinstance(address, tuple) else "127.0.0.1",
+        port=address[1] if isinstance(address, tuple) else 0,
+        socket_path=args.unix,
+        jobs=args.jobs,
+        store_dir=args.store,
+        queue_limit=args.queue_limit,
+        default_max_seconds=args.budget,
+    )
+    server = AnalysisServer(config)
+    server.start()
+    kind, where = server.address
+    print(f"repro service listening on {kind}:{where}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("repro service stopped", flush=True)
+    return 0
+
+
+def _submit_once(client: ServiceClient, args, source: str) -> int:
+    if args.check_asserts:
+        response = client.check_asserts(
+            source,
+            procs=args.procs.split(",") if args.procs else None,
+            domain=args.domains.split(",")[0],
+            max_seconds=args.budget,
+        )
+    else:
+        response = client.analyze(
+            source,
+            procs=args.procs.split(",") if args.procs else None,
+            domains=tuple(args.domains.split(",")),
+            k=args.k,
+            program_id=args.program_id,
+            max_seconds=args.budget,
+        )
+    return _print_response(response, args.json)
+
+
+def cmd_submit(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    with _connect(args) as client:
+        return _submit_once(client, args, source)
+
+
+def cmd_watch(args) -> int:
+    last_mtime = None
+    print(f"watching {args.file} (interval {args.interval}s; ctrl-c stops)")
+    try:
+        with _connect(args) as client:
+            while True:
+                try:
+                    mtime = os.stat(args.file).st_mtime
+                except OSError:
+                    time.sleep(args.interval)
+                    continue
+                if mtime != last_mtime:
+                    last_mtime = mtime
+                    with open(args.file, "r", encoding="utf-8") as fh:
+                        source = fh.read()
+                    stamp = time.strftime("%H:%M:%S")
+                    print(f"-- {stamp} submit {args.file}")
+                    _submit_once(client, args, source)
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_status(args) -> int:
+    with _connect(args) as client:
+        return _print_response(client.status(), args.json)
+
+
+def cmd_flush(args) -> int:
+    with _connect(args) as client:
+        return _print_response(client.flush(args.program_id), args.json)
+
+
+def cmd_shutdown(args) -> int:
+    with _connect(args) as client:
+        return _print_response(client.shutdown(), args.json)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="incremental analysis service (daemon + client)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="start the daemon")
+    serve.add_argument("--tcp", type=str, default="127.0.0.1:7341",
+                       help="TCP listen address host:port")
+    serve.add_argument("--unix", type=str, default=None,
+                       help="Unix socket path (wins over --tcp)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="pool worker processes per job (0 = inline)")
+    serve.add_argument("--store", type=str, default=None,
+                       help="persistent summary store directory")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="bounded request queue size")
+    serve.add_argument("--budget", type=float, default=None,
+                       help="default per-request wall budget (seconds)")
+    serve.set_defaults(fn=cmd_serve)
+
+    for name, fn, takes_file in (
+        ("submit", cmd_submit, True),
+        ("watch", cmd_watch, True),
+    ):
+        cp = sub.add_parser(name, help=f"{name} a program")
+        cp.add_argument("file", help="LISL program file")
+        _add_addr(cp)
+        cp.add_argument("--procs", type=str, default=None,
+                        help="comma-separated root procedures (default: all)")
+        cp.add_argument("--domains", type=str, default="am",
+                        help="comma-separated domains (am, au)")
+        cp.add_argument("--k", type=int, default=0, help="fold bound k")
+        cp.add_argument("--program-id", type=str, default=None,
+                        help="session id (default: the file path)")
+        cp.add_argument("--budget", type=float, default=None,
+                        help="per-request wall budget (seconds)")
+        cp.add_argument("--check-asserts", action="store_true",
+                        help="run assertion checking instead of summaries")
+        cp.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
+        if name == "watch":
+            cp.add_argument("--interval", type=float, default=1.0,
+                            help="mtime poll interval (seconds)")
+        cp.set_defaults(fn=fn)
+
+    for name, fn in (("status", cmd_status), ("flush", cmd_flush),
+                     ("shutdown", cmd_shutdown)):
+        cp = sub.add_parser(name, help=f"{name} the daemon")
+        _add_addr(cp)
+        cp.add_argument("--json", action="store_true")
+        if name == "flush":
+            cp.add_argument("--program-id", type=str, default=None)
+        cp.set_defaults(fn=fn)
+
+    args = ap.parse_args(argv)
+    if getattr(args, "program_id", None) is None and hasattr(args, "file"):
+        args.program_id = args.file
+    try:
+        return args.fn(args)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

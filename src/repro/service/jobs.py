@@ -1,0 +1,97 @@
+"""Picklable job payloads the daemon dispatches onto the worker pool.
+
+``analyze`` jobs reuse :func:`repro.parallel.batch.run_analysis_request`
+through the incremental :class:`~repro.service.session.Session`; this
+module adds the two verdict-producing jobs — assertion checking and
+procedure equivalence — as self-contained request dataclasses plus
+worker entry points that return plain JSON-ready dicts (diagnostic
+records per :mod:`repro.service.diagnostics`, never live engine
+objects).  Running them in pool workers gives the daemon the same fault
+isolation analyze jobs get: a crash or hard budget kill loses one
+request, not the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class AssertRequest:
+    """Check the spec assertions of (some procedures of) a program."""
+
+    program: Any  # normalized repro.lang.ast.Program
+    procs: Tuple[str, ...] = ()  # () = every procedure with an assert edge
+    domain: str = "au"
+    k: int = 0
+    max_seconds: Optional[float] = None
+
+
+@dataclass
+class EquivalenceRequest:
+    """Prove two sorting-like procedures equivalent (paper §6.4)."""
+
+    program: Any
+    proc1: str = ""
+    proc2: str = ""
+    max_seconds: Optional[float] = None
+
+
+def _procs_with_asserts(icfg) -> List[str]:
+    from repro.lang.cfg import OpAssert
+
+    out = []
+    for name in sorted(icfg.cfgs):
+        cfg = icfg.cfg(name)
+        if any(isinstance(edge.op, OpAssert) for edge in cfg.edges):
+            out.append(name)
+    return out
+
+
+def run_assert_request(request: AssertRequest) -> Dict[str, Any]:
+    """Worker entry point: assertion verdicts as diagnostic records."""
+    from repro.core.api import Analyzer
+    from repro.core.assertions import AssertionChecker
+    from repro.service import diagnostics as D
+
+    analyzer = Analyzer(request.program)
+    procs = list(request.procs) or _procs_with_asserts(analyzer.icfg)
+    records: List[D.DiagnosticRecord] = []
+    stats: Dict[str, Any] = {"procs": procs, "domain": request.domain}
+    for proc in procs:
+        checker = AssertionChecker()
+        result = analyzer.analyze(
+            proc,
+            domain=request.domain,
+            k=request.k,
+            assume_handler=checker,
+            max_seconds=request.max_seconds,
+        )
+        records.extend(checker.diagnostics())
+        records.extend(
+            D.from_engine_diagnostics(result.diagnostics, proc=proc)
+        )
+    return {
+        "results": [record.to_json() for record in records],
+        "stats": stats,
+    }
+
+
+def run_equivalence_request(request: EquivalenceRequest) -> Dict[str, Any]:
+    """Worker entry point: one equivalence verdict as a diagnostic record."""
+    from repro.core.api import Analyzer
+    from repro.core.equivalence import check_equivalence
+    from repro.engine import EngineOptions
+    from repro.service import diagnostics as D
+
+    analyzer = Analyzer(request.program)
+    opts = EngineOptions(max_seconds=request.max_seconds)
+    result = check_equivalence(
+        analyzer, request.proc1, request.proc2, engine_opts=opts
+    )
+    record = D.from_equivalence(result)
+    return {
+        "results": [record.to_json()],
+        "stats": result.stats or {},
+    }

@@ -1,0 +1,131 @@
+"""Wire protocol of the analysis service: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, stdlib only.  A
+request is a JSON object with a ``verb`` and an optional client ``id``
+(echoed back verbatim so clients can pipeline).  Responses always carry
+``ok`` plus either the verb's payload or a structured ``error``:
+
+.. code-block:: text
+
+    -> {"id": 1, "verb": "analyze", "source": "proc f() ...", "domains": ["am"]}
+    <- {"id": 1, "ok": true, "verb": "analyze", "result": {...}, "telemetry": {...}}
+    -> {"id": 2, "verb": "nope"}
+    <- {"id": 2, "ok": false, "error": {"kind": "bad_request", "message": ...}}
+
+Grammar (see DESIGN.md §10 for the full field tables)::
+
+    request   := line( { "verb": VERB, "id"?: any, ...fields } )
+    VERB      := "analyze" | "assert" | "equivalence"
+               | "status" | "flush" | "shutdown" | "ping"
+    response  := line( { "ok": bool, "id"?: any, "verb": VERB,
+                         "result"?: object, "telemetry"?: object,
+                         "error"?: { "kind": str, "message": str } } )
+
+Oversized lines (> ``MAX_LINE_BYTES``) and malformed JSON yield a
+``bad_request`` error response rather than a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+PROTOCOL_VERSION = 1
+
+# Job verbs go through the bounded queue; control verbs answer inline.
+JOB_VERBS = ("analyze", "assert", "equivalence")
+CONTROL_VERBS = ("status", "flush", "shutdown", "ping")
+VERBS = JOB_VERBS + CONTROL_VERBS
+
+MAX_LINE_BYTES = 8 * 1024 * 1024  # one request line; programs are small
+
+# Error kinds.
+E_BAD_REQUEST = "bad_request"
+E_QUEUE_FULL = "queue_full"
+E_SHUTTING_DOWN = "shutting_down"
+E_INTERNAL = "internal"
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request line."""
+
+    def __init__(self, message: str, kind: str = E_BAD_REQUEST):
+        super().__init__(message)
+        self.kind = kind
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON plus the terminating newline."""
+    return (json.dumps(message, separators=(",", ":"), default=repr) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed request line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def validate_request(message: Dict[str, Any]) -> str:
+    """Returns the verb; raises :class:`ProtocolError` otherwise."""
+    verb = message.get("verb")
+    if not isinstance(verb, str) or verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}"
+        )
+    if verb in ("analyze", "assert") and not isinstance(
+        message.get("source"), str
+    ):
+        raise ProtocolError(f"verb {verb!r} requires a string 'source'")
+    if verb == "equivalence":
+        if not isinstance(message.get("source"), str):
+            raise ProtocolError("verb 'equivalence' requires a string 'source'")
+        for fld in ("proc1", "proc2"):
+            if not isinstance(message.get(fld), str):
+                raise ProtocolError(f"verb 'equivalence' requires a string {fld!r}")
+    return verb
+
+
+def response(
+    request: Optional[Dict[str, Any]],
+    verb: str,
+    result: Optional[Dict[str, Any]] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"ok": True, "verb": verb}
+    if request is not None and "id" in request:
+        out["id"] = request["id"]
+    if result is not None:
+        out["result"] = result
+    if telemetry is not None:
+        out["telemetry"] = telemetry
+    return out
+
+
+def error_response(
+    request: Optional[Dict[str, Any]],
+    kind: str,
+    message: str,
+    verb: Optional[str] = None,
+    diagnostics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+    if verb is not None:
+        out["verb"] = verb
+    if request is not None and "id" in request:
+        out["id"] = request["id"]
+    if diagnostics is not None:
+        out["diagnostics"] = diagnostics
+    return out

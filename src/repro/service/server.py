@@ -1,0 +1,519 @@
+"""The long-running analysis daemon.
+
+Architecture (stdlib only)::
+
+    listener (accept loop, one thread)
+        └─ connection threads: read NDJSON lines
+             ├─ control verbs (status/flush/shutdown/ping): answered inline
+             └─ job verbs (analyze/assert/equivalence): bounded queue
+                   └─ dispatcher thread: executes one job at a time
+                        ├─ analyze  -> incremental Session -> parallel pool
+                        └─ assert / equivalence -> one pool worker each
+
+The bounded queue is the backpressure mechanism: when ``queue_limit``
+jobs are pending, new job requests are answered immediately with a
+``queue_full`` error instead of stacking unbounded work.  Every job
+reply carries per-request telemetry — queue wait, execution wall time,
+dirty-cone size and store hit counters for analyze — and the server
+aggregates counters/gauges into a :class:`~repro.engine.telemetry.
+Telemetry` readable via ``status``.
+
+Fault containment: jobs run in worker *processes* (the PR 3 pool), so a
+SIGKILLed worker or a hard budget kill produces a structured error
+diagnostic on that one request; the daemon itself never dies with a
+request.  With ``jobs=0`` jobs run inline in the dispatcher thread
+(deterministic test mode), guarded by a catch-all that converts
+exceptions into ``internal`` error responses.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.telemetry import Telemetry
+from repro.service import diagnostics as D
+from repro.service import protocol as P
+from repro.service.jobs import (
+    AssertRequest,
+    EquivalenceRequest,
+    run_assert_request,
+    run_equivalence_request,
+)
+from repro.service.session import Session
+
+
+@dataclass
+class ServerConfig:
+    """Daemon knobs; ``socket_path`` (Unix) wins over host/port (TCP)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off server.address
+    socket_path: Optional[str] = None
+    jobs: int = 1  # worker processes per job; 0 = inline (test mode)
+    store_dir: Optional[str] = None  # shared persistent summary store
+    queue_limit: int = 16
+    default_max_seconds: Optional[float] = None
+    hard_grace: float = 10.0
+
+
+@dataclass
+class _Job:
+    request: Dict[str, Any]
+    verb: str
+    reply: Callable[[Dict[str, Any]], None]
+    enqueued: float = field(default_factory=time.monotonic)
+
+
+class AnalysisServer:
+    """One daemon instance: sessions, queue, dispatcher, listener."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self.queue: "queue.Queue[Optional[_Job]]" = queue.Queue(
+            maxsize=max(1, self.config.queue_limit)
+        )
+        self.telemetry = Telemetry()
+        self.started = time.monotonic()
+        self.shutting_down = threading.Event()
+        self.stopped = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self.address: Optional[Tuple[str, Any]] = None  # ("tcp",(h,p)) | ("unix",path)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen, and run accept + dispatcher threads (non-blocking)."""
+        if self.config.socket_path is not None:
+            path = self.config.socket_path
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(path)
+            self.address = ("unix", path)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.config.host, self.config.port))
+            self.address = ("tcp", sock.getsockname())
+        sock.listen(32)
+        sock.settimeout(0.25)  # poll the shutdown flag between accepts
+        self._listener = sock
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-acceptor", daemon=True
+        )
+        self._threads = [dispatcher, acceptor]
+        dispatcher.start()
+        acceptor.start()
+
+    def serve_forever(self) -> None:
+        """``start()`` then block until a ``shutdown`` request lands."""
+        if self._listener is None:
+            self.start()
+        self.stopped.wait()
+
+    def stop(self) -> None:
+        """Graceful stop: refuse new jobs, drain the queue, close up."""
+        self.shutting_down.set()
+        self._wake_dispatcher()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self.address is not None and self.address[0] == "unix":
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+        with self._sessions_lock:
+            for session in self.sessions.values():
+                session.close()
+            self.sessions.clear()
+        self.stopped.set()
+
+    def _wake_dispatcher(self) -> None:
+        """Nudge the dispatcher out of a blocking get during shutdown.
+        A full queue needs no nudge — the dispatcher re-checks the flag
+        after every job it drains."""
+        try:
+            self.queue.put_nowait(None)
+        except queue.Full:
+            pass
+
+    # -- listener ----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self.shutting_down.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+
+        def reply(message: Dict[str, Any]) -> None:
+            try:
+                with write_lock:
+                    conn.sendall(P.encode(message))
+            except OSError:
+                pass  # client went away; the job result is dropped
+
+        fh = conn.makefile("rb")
+        try:
+            while True:
+                line = fh.readline(P.MAX_LINE_BYTES + 1)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = P.decode_line(line)
+                    verb = P.validate_request(request)
+                except P.ProtocolError as exc:
+                    self.telemetry.count("requests.bad")
+                    reply(P.error_response(None, exc.kind, str(exc)))
+                    continue
+                self.telemetry.count(f"requests.{verb}")
+                if verb in P.CONTROL_VERBS:
+                    reply(self._control(request, verb))
+                    if verb == "shutdown":
+                        break
+                else:
+                    self._enqueue(request, verb, reply)
+        finally:
+            try:
+                fh.close()
+                conn.close()
+            except OSError:
+                pass
+
+    # -- queueing ----------------------------------------------------------------
+
+    def _enqueue(
+        self,
+        request: Dict[str, Any],
+        verb: str,
+        reply: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        if self.shutting_down.is_set():
+            reply(
+                P.error_response(
+                    request, P.E_SHUTTING_DOWN, "server is shutting down", verb
+                )
+            )
+            return
+        job = _Job(request=request, verb=verb, reply=reply)
+        try:
+            self.queue.put_nowait(job)
+        except queue.Full:
+            self.telemetry.count("requests.rejected")
+            record = D.DiagnosticRecord(
+                rule_id=D.RULE_QUEUE_REJECTED,
+                verdict=D.ERROR,
+                message=f"request queue full ({self.config.queue_limit} pending)",
+            )
+            reply(
+                P.error_response(
+                    request,
+                    P.E_QUEUE_FULL,
+                    f"request queue full ({self.config.queue_limit} pending)",
+                    verb,
+                    diagnostics=D.run_envelope([record]),
+                )
+            )
+            return
+        self.telemetry.gauge("queue.depth", self.queue.qsize())
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                if self.shutting_down.is_set() and self.queue.empty():
+                    break
+                continue
+            queue_wait = time.monotonic() - job.enqueued
+            start = time.monotonic()
+            try:
+                message = self._execute(job)
+            except Exception as exc:  # never let a job kill the dispatcher
+                self.telemetry.count("requests.internal_error")
+                message = P.error_response(
+                    job.request,
+                    P.E_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    job.verb,
+                )
+            telemetry = message.setdefault("telemetry", {})
+            telemetry["queue_wait_s"] = round(queue_wait, 6)
+            telemetry["exec_s"] = round(time.monotonic() - start, 6)
+            self.telemetry.gauge("queue.wait_s", round(queue_wait, 6))
+            job.reply(message)
+            if self.shutting_down.is_set() and self.queue.empty():
+                break
+
+    # -- control verbs -----------------------------------------------------------
+
+    def _control(self, request: Dict[str, Any], verb: str) -> Dict[str, Any]:
+        if verb == "ping":
+            return P.response(request, verb, {"protocol": P.PROTOCOL_VERSION})
+        if verb == "status":
+            with self._sessions_lock:
+                sessions = {
+                    name: {
+                        "procs": len(session.index.bodies),
+                        "generation": session.generation,
+                        "retained": len(session._outputs),
+                        "store_dir": session.store_dir,
+                    }
+                    for name, session in self.sessions.items()
+                }
+            return P.response(
+                request,
+                verb,
+                {
+                    "protocol": P.PROTOCOL_VERSION,
+                    "uptime_s": round(time.monotonic() - self.started, 3),
+                    "queue_depth": self.queue.qsize(),
+                    "queue_limit": self.config.queue_limit,
+                    "jobs": self.config.jobs,
+                    "sessions": sessions,
+                    "telemetry": self.telemetry.report(),
+                },
+            )
+        if verb == "flush":
+            program_id = request.get("program_id")
+            dropped = 0
+            with self._sessions_lock:
+                targets = (
+                    [self.sessions[program_id]]
+                    if program_id in self.sessions
+                    else list(self.sessions.values())
+                    if program_id is None
+                    else []
+                )
+                for session in targets:
+                    dropped += session.flush()
+            return P.response(request, verb, {"dropped": dropped})
+        if verb == "shutdown":
+            self.shutting_down.set()
+            self._wake_dispatcher()
+            # Finish the reply first; a helper thread completes the stop.
+            threading.Thread(target=self.stop, daemon=True).start()
+            return P.response(request, verb, {"stopping": True})
+        raise P.ProtocolError(f"unhandled control verb {verb!r}")
+
+    # -- job verbs ---------------------------------------------------------------
+
+    def _parse(self, source: str):
+        from repro.lang.normalize import normalize_program
+        from repro.lang.parser import parse_program
+        from repro.lang.typecheck import typecheck_program
+
+        return normalize_program(typecheck_program(parse_program(source)))
+
+    def _session_for(self, program_id: str, program) -> Tuple[Session, Optional[Any]]:
+        """The session for ``program_id``, updated to ``program`` when the
+        source changed; returns (session, dirty-cone delta or None)."""
+        from repro.engine.canon import icfg_fingerprint
+        from repro.lang.cfg import build_icfg
+
+        with self._sessions_lock:
+            session = self.sessions.get(program_id)
+            if session is None:
+                session = Session(
+                    program,
+                    store_dir=self.config.store_dir,
+                    jobs=self.config.jobs,
+                    max_seconds=self.config.default_max_seconds,
+                )
+                self.sessions[program_id] = session
+                return session, None
+        if icfg_fingerprint(session.analyzer.icfg) == icfg_fingerprint(
+            build_icfg(program)
+        ):
+            return session, None
+        return session, session.update(program)
+
+    def _execute(self, job: _Job) -> Dict[str, Any]:
+        request, verb = job.request, job.verb
+        try:
+            program = self._parse(request["source"])
+        except Exception as exc:
+            self.telemetry.count("requests.parse_error")
+            return P.error_response(
+                request, P.E_BAD_REQUEST, f"source does not parse: {exc}", verb
+            )
+        max_seconds = request.get(
+            "max_seconds", self.config.default_max_seconds
+        )
+        if verb == "analyze":
+            return self._execute_analyze(request, program, max_seconds)
+        if verb == "assert":
+            payload = AssertRequest(
+                program=program,
+                procs=tuple(request.get("procs") or ()),
+                domain=request.get("domain", "au"),
+                k=int(request.get("k", 0)),
+                max_seconds=max_seconds,
+            )
+            return self._run_job_task(
+                request, verb, run_assert_request, payload, max_seconds
+            )
+        if verb == "equivalence":
+            payload = EquivalenceRequest(
+                program=program,
+                proc1=request["proc1"],
+                proc2=request["proc2"],
+                max_seconds=max_seconds,
+            )
+            return self._run_job_task(
+                request, verb, run_equivalence_request, payload, max_seconds
+            )
+        raise P.ProtocolError(f"unhandled job verb {verb!r}")
+
+    def _execute_analyze(
+        self,
+        request: Dict[str, Any],
+        program,
+        max_seconds: Optional[float],
+    ) -> Dict[str, Any]:
+        program_id = str(request.get("program_id", "default"))
+        session, delta = self._session_for(program_id, program)
+        report = session.analyze(
+            procs=request.get("procs"),
+            domains=tuple(request.get("domains") or ("am",)),
+            k=int(request.get("k", 0)),
+            max_seconds=max_seconds,
+        )
+        records: List[D.DiagnosticRecord] = []
+        for task_id, error in sorted(report.errors.items()):
+            records.append(
+                D.from_task_error(
+                    error["status"],
+                    error.get("error"),
+                    proc=task_id.rsplit(".", 1)[0],
+                )
+            )
+        for task_id, output in sorted(report.outputs.items()):
+            if task_id in report.errors:
+                continue  # already encoded from the task-level error
+            records.extend(
+                D.from_engine_diagnostics(output.diagnostics, proc=output.proc)
+            )
+        store_stats: Dict[str, Any] = {}
+        for output in report.outputs.values():
+            for key, value in (output.stats.get("store") or {}).items():
+                if isinstance(value, (int, float)):
+                    store_stats[key] = store_stats.get(key, 0) + value
+        self.telemetry.gauge(
+            "analyze.dirty_cone", len(report.incremental["dirty_cone"])
+        )
+        self.telemetry.count("analyze.tasks", len(report.analyzed))
+        self.telemetry.count("analyze.reused", len(report.reused))
+        result = {
+            "program_id": program_id,
+            "summary_hashes": report.summary_hashes(),
+            "incremental": report.incremental,
+            "diagnostics": D.run_envelope(records),
+            "ok": report.ok,
+        }
+        if delta is not None:
+            result["delta"] = {
+                "changed": sorted(delta.changed),
+                "dirty": sorted(delta.dirty),
+                "clean": sorted(delta.clean),
+                "added": sorted(delta.added),
+                "removed": sorted(delta.removed),
+            }
+        telemetry = {
+            "wall_s": round(report.wall_time, 6),
+            "reused": len(report.reused),
+            "analyzed": len(report.analyzed),
+            "dirty_cone": len(report.incremental["dirty_cone"]),
+            "sccs_analyzed": report.incremental["sccs_analyzed"],
+            "sccs_total": report.incremental["sccs_total"],
+            "store": store_stats,
+        }
+        if report.ok:
+            return P.response(request, "analyze", result, telemetry)
+        statuses = {err["status"] for err in report.errors.values()}
+        kind = statuses.pop() if len(statuses) == 1 else P.E_INTERNAL
+        out = P.error_response(
+            request,
+            kind,
+            "; ".join(
+                f"{tid}: {err['status']}" for tid, err in sorted(report.errors.items())
+            ),
+            "analyze",
+            diagnostics=D.run_envelope(records),
+        )
+        out["result"] = result
+        out["telemetry"] = telemetry
+        return out
+
+    def _run_job_task(
+        self,
+        request: Dict[str, Any],
+        verb: str,
+        fn: Callable,
+        payload,
+        max_seconds: Optional[float],
+    ) -> Dict[str, Any]:
+        """Run one assert/equivalence job, pool-isolated when jobs >= 1."""
+        if self.config.jobs == 0:
+            result = fn(payload)
+            return P.response(
+                request, verb, result, {"isolation": "inline"}
+            )
+        from repro.parallel.pool import OK, PoolTask, WorkerPool
+
+        pool = WorkerPool(jobs=1, hard_grace=self.config.hard_grace)
+        (outcome,) = pool.run(
+            [
+                PoolTask(
+                    task_id=verb,
+                    fn=fn,
+                    args=(payload,),
+                    budget=max_seconds,
+                )
+            ]
+        )
+        telemetry = {
+            "isolation": "pool",
+            "wall_s": round(outcome.wall_time, 6),
+            "retries": outcome.retries,
+        }
+        if outcome.status == OK:
+            return P.response(request, verb, outcome.result, telemetry)
+        self.telemetry.count(f"requests.{verb}.{outcome.status}")
+        record = D.from_task_error(outcome.status, outcome.error)
+        out = P.error_response(
+            request,
+            outcome.status,
+            (outcome.error or {}).get("message", f"task {outcome.status}"),
+            verb,
+            diagnostics=D.run_envelope([record]),
+        )
+        out["telemetry"] = telemetry
+        return out
