@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Checker smoke benchmark: lint + safety wall time over the corpora.
+
+Three lanes, each timed separately:
+
+- **corpus**: every ``.lisl`` file under tests/corpus/{buggy,clean} and
+  examples/ through the full two-tier ``check_source`` driver, recording
+  per-file wall time and the finding tally;
+- **table1**: a fast subset of the Table 1 functions (paper §7) through
+  the Tier-B safety checker alone, asserting zero ``unsafe`` verdicts
+  (the suite-wide soundness smoke — the full sweep lives in
+  run_table1.py's checker column);
+- **lint-only**: the same corpus files with ``tier="lint"``, isolating
+  the Tier-A dataflow pass from the fixpoint engine.
+
+Usage:  python benchmarks/bench_checker.py [--json PATH] [--k 0]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.checker import CheckOptions, SafetyOptions, check_source
+from repro.checker.safety import check_safety
+from repro.core.api import Analyzer
+from repro.lang.benchlib import BENCHMARK_SOURCE
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+CORPUS_DIRS = (
+    os.path.join(REPO, "tests", "corpus", "buggy"),
+    os.path.join(REPO, "tests", "corpus", "clean"),
+    os.path.join(REPO, "examples"),
+)
+# Fast Table 1 subset: one representative per class that completes in
+# well under a second each on the AM domain.
+TABLE1_SUBSET = ("create", "addfst", "delfst", "init", "max", "concat")
+
+
+def corpus_files():
+    files = []
+    for directory in CORPUS_DIRS:
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".lisl"):
+                files.append(os.path.join(directory, name))
+    return files
+
+
+def run_corpus(files, tier):
+    rows = []
+    for path in files:
+        source = open(path, encoding="utf-8").read()
+        t0 = time.perf_counter()
+        report = check_source(source, CheckOptions(tier=tier), path=path)
+        seconds = time.perf_counter() - t0
+        rows.append(
+            {
+                "file": os.path.relpath(path, REPO),
+                "seconds": round(seconds, 4),
+                "findings": len(report.findings),
+            }
+        )
+    return rows
+
+
+def run_table1_subset(k):
+    analyzer = Analyzer.from_source(BENCHMARK_SOURCE)
+    t0 = time.perf_counter()
+    report = check_safety(
+        analyzer, SafetyOptions(domain="am", k=k, procs=TABLE1_SUBSET)
+    )
+    seconds = time.perf_counter() - t0
+    counts = report.counts()
+    assert not counts.get("unsafe"), (
+        f"UNSAFE verdict on the Table 1 subset: {counts}"
+    )
+    return {
+        "procs": list(TABLE1_SUBSET),
+        "seconds": round(seconds, 4),
+        "verdicts": counts,
+        "proc_status": dict(report.proc_status),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the timing artifact to this path")
+    parser.add_argument("--k", type=int, default=0,
+                        help="data-word bound for the Tier-B domain")
+    args = parser.parse_args()
+
+    files = corpus_files()
+
+    full = run_corpus(files, tier="all")
+    full_s = sum(row["seconds"] for row in full)
+    findings = sum(row["findings"] for row in full)
+    print(f"corpus (both tiers)  {full_s:7.3f}s  "
+          f"{len(full)} files, {findings} findings")
+
+    lint = run_corpus(files, tier="lint")
+    lint_s = sum(row["seconds"] for row in lint)
+    print(f"corpus (lint only)   {lint_s:7.3f}s  "
+          f"{len(lint)} files, {sum(r['findings'] for r in lint)} findings")
+
+    table1 = run_table1_subset(args.k)
+    tally = " ".join(
+        f"{v}={table1['verdicts'][v]}" for v in sorted(table1["verdicts"])
+    )
+    print(f"table1 subset (B)    {table1['seconds']:7.3f}s  "
+          f"{len(table1['procs'])} procs, {tally} — no unsafe: OK")
+
+    if args.json:
+        artifact = {
+            "suite": "checker",
+            "k": args.k,
+            "corpus_all_s": round(full_s, 4),
+            "corpus_lint_s": round(lint_s, 4),
+            "corpus_files": full,
+            "table1_subset": table1,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

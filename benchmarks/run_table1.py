@@ -15,8 +15,15 @@ analysis, so parallel results are identical to sequential ones), a row
 crashing its worker is retried once, and the budget is enforced both
 cooperatively (the engine's wall-clock diagnostic) and by a hard kill.
 
+Each row also gets a "chk t(s)" column: the wall time of the Tier-B
+memory-safety checker (``repro.checker.safety``) discharging the
+null-deref / leak / acyclicity obligations of that function, with a
+per-suite verdict tally in the footer (all Table 1 functions must be
+free of ``unsafe`` verdicts).  Skip it with --skip-checker.
+
 Usage:  python benchmarks/run_table1.py [--budget 240] [--only NAME]
-                                        [--skip-au] [--jobs N]
+                                        [--skip-au] [--skip-checker]
+                                        [--jobs N]
 """
 
 import argparse
@@ -40,6 +47,8 @@ def main():
     parser.add_argument("--budget", type=float, default=240.0)
     parser.add_argument("--only", type=str, default=None)
     parser.add_argument("--skip-au", action="store_true")
+    parser.add_argument("--skip-checker", action="store_true",
+                        help="omit the Tier-B checker timing column")
     parser.add_argument(
         "--jobs",
         type=int,
@@ -50,7 +59,7 @@ def main():
 
     from repro.lang.benchlib import TABLE1
 
-    from table1_common import run_suite
+    from table1_common import checker_suite, run_suite
 
     rows = [e for e in TABLE1 if args.only is None or e.name == args.only]
     pairs = [(e.name, "am") for e in rows]
@@ -58,17 +67,28 @@ def main():
         pairs += [(e.name, "au") for e in rows]
 
     results, wall = run_suite(pairs, jobs=args.jobs, budget=args.budget)
+    checker = (
+        {}
+        if args.skip_checker
+        else checker_suite(
+            [e.name for e in rows], jobs=args.jobs, budget=args.budget
+        )
+    )
 
     print(
         f"{'class':<6} {'fun':<12} {'patterns':<22} "
         f"{'AM t(s)':>8} {'paper':>6}  {'AU t(s)':>8} {'paper':>7} "
-        f"{'summary':>7}  engine"
+        f"{'chk t(s)':>8} {'summary':>7}  engine"
     )
-    print("-" * 112)
+    print("-" * 120)
     empty = {"time": None, "ok": None, "note": "", "patterns": (), "engine": ""}
+    unsafe_rows = []
     for e in rows:
         am = results.get((e.name, "am"), empty)
         au = results.get((e.name, "au"), empty)
+        chk = checker.get(e.name, {"checker_time": None, "verdicts": {}})
+        if chk["verdicts"].get("unsafe"):
+            unsafe_rows.append(e.name)
         pats = ",".join(sorted(au["patterns"] or am["patterns"])) or "-"
         ok = au["ok"] if au["ok"] is not None else am["ok"]
         note = au["note"] or am["note"]
@@ -77,6 +97,7 @@ def main():
             f"{e.cls:<6} {e.paper_name:<12} {pats:<22} "
             f"{fmt_time(am['time'])} {e.paper_am_time:6.3f}  "
             f"{fmt_time(au['time'])} {e.paper_au_time:7.3f} "
+            f"{fmt_time(chk['checker_time'])} "
             f"{fmt_ok(ok):>7}  {engine}"
             + (f"  [{note}]" if note else ""),
             flush=True,
@@ -84,11 +105,28 @@ def main():
     analysis_seconds = sum(
         row["time"] for row in results.values() if row["time"] is not None
     )
-    print("-" * 112)
+    print("-" * 120)
     print(
         f"{len(pairs)} analyses in {wall:.1f}s wall with --jobs {args.jobs} "
         f"(sum of per-row analysis times: {analysis_seconds:.1f}s)"
     )
+    if checker:
+        checker_seconds = sum(
+            row["checker_time"]
+            for row in checker.values()
+            if row["checker_time"] is not None
+        )
+        verdicts = {}
+        for row in checker.values():
+            for verdict, n in row["verdicts"].items():
+                verdicts[verdict] = verdicts.get(verdict, 0) + n
+        tally = " ".join(f"{v}={verdicts[v]}" for v in sorted(verdicts))
+        print(
+            f"checker: {checker_seconds:.1f}s over {len(checker)} rows "
+            f"({tally or 'no obligations'})"
+        )
+        if unsafe_rows:
+            print(f"checker: UNSAFE verdicts in: {', '.join(unsafe_rows)}")
 
 
 if __name__ == "__main__":

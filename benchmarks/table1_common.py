@@ -338,6 +338,60 @@ def analyze_task(name: str, domain: str, max_seconds: Optional[float] = None) ->
     }
 
 
+def checker_task(name: str, max_seconds: Optional[float] = None) -> dict:
+    """Pool worker: Tier-B safety checking of one Table 1 function.
+
+    Reports the checker's wall time next to the analysis times so the
+    proof overhead (per-point state interrogation on top of the fixpoint)
+    is visible per benchmark, plus the verdict counts — the suite-level
+    acceptance bar is *zero unsafe verdicts* on Table 1.
+    """
+    from repro.checker.safety import SafetyOptions, check_safety
+
+    analyzer = fresh_analyzer()
+    start = time.perf_counter()
+    report = check_safety(
+        analyzer,
+        SafetyOptions(domain="am", procs=(name,), max_seconds=max_seconds),
+    )
+    return {
+        "name": name,
+        "checker_time": time.perf_counter() - start,
+        "verdicts": report.counts(),
+        "status": report.proc_status.get(name, "ok"),
+    }
+
+
+def checker_suite(names, jobs: int, budget: Optional[float] = None):
+    """Tier-B checker timings for Table 1 rows on the worker pool."""
+    from repro.parallel.pool import PoolTask, WorkerPool
+
+    tasks = [
+        PoolTask(
+            task_id=f"{name}.checker",
+            fn=checker_task,
+            args=(name,),
+            kwargs={"max_seconds": budget},
+            budget=budget,
+        )
+        for name in names
+    ]
+    results = {}
+    pool = WorkerPool(jobs=jobs, hard_grace=30.0)
+    for outcome in pool.run(tasks):
+        name = outcome.task_id.rpartition(".")[0]
+        if outcome.status == "ok":
+            results[name] = outcome.result
+        else:
+            results[name] = {
+                "name": name,
+                "checker_time": None,
+                "verdicts": {},
+                "status": outcome.status,
+            }
+    return results
+
+
 def run_suite(
     pairs,
     jobs: int,

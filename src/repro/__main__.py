@@ -2,13 +2,15 @@
 
 Analyzes procedures of one LISL program and prints their summaries, or
 — with ``--check-asserts`` — the assertion verdicts as structured
-diagnostics (:mod:`repro.service.diagnostics`).
+diagnostics (:mod:`repro.service.diagnostics`).  ``python -m repro lint
+...`` dispatches to the checker CLI (:mod:`repro.checker.__main__`).
 
 Examples::
 
     python -m repro prog.lisl --proc quicksort --domain au
     python -m repro prog.lisl --check-asserts --json
     python -m repro prog.lisl --proc f --strengthened
+    python -m repro lint prog.lisl --tier all --sarif out.sarif
 """
 
 from __future__ import annotations
@@ -19,12 +21,21 @@ import sys
 from typing import List, Optional
 
 from repro.core.api import Analyzer
+from repro.lang.parser import ParseError
+from repro.lang.typecheck import TypeError_
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.checker.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
-        description="analyze one LISL program (summaries or assertions)",
+        description="analyze one LISL program (summaries or assertions); "
+        "'python -m repro lint ...' runs the checker",
     )
     ap.add_argument("file", help="LISL program file")
     ap.add_argument("--proc", type=str, default=None,
@@ -43,7 +54,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = ap.parse_args(argv)
 
     with open(args.file, "r", encoding="utf-8") as fh:
-        analyzer = Analyzer.from_source(fh.read())
+        source = fh.read()
+    try:
+        analyzer = Analyzer.from_source(source)
+    except (ParseError, TypeError_) as exc:
+        # Frontend failures are diagnostics records (frontend.*), not
+        # tracebacks -- same envelope as checker findings.
+        from repro.service.diagnostics import from_frontend_error, run_envelope
+
+        record = from_frontend_error(exc, path=args.file)
+        if args.json:
+            print(json.dumps(run_envelope([record]), indent=2))
+        else:
+            where = args.file + (f":{record.line}" if record.line else "")
+            print(f"[{record.verdict}] {record.rule_id} {where}: "
+                  f"{record.message}", file=sys.stderr)
+        return 2
     procs = [args.proc] if args.proc else sorted(analyzer.icfg.cfgs)
 
     if args.check_asserts:

@@ -1,0 +1,63 @@
+"""Two-tier memory-safety & lint checker (see DESIGN.md §11).
+
+Tier A (:mod:`repro.checker.lints`) runs abstract-interpretation-free
+dataflow lints over the normalized CFGs; Tier B
+(:mod:`repro.checker.safety`) discharges implicit memory-safety
+obligations (null dereference, exit leaks, backbone acyclicity) against
+the inter-procedural engine's per-program-point fixpoint states, with
+three-valued safe/unsafe/unknown verdicts.  Findings flow through the
+``repro-diagnostics/1`` envelope and a genuine SARIF 2.1.0 exporter.
+"""
+
+from repro.checker.driver import (
+    CheckOptions,
+    CheckReport,
+    check_program,
+    check_source,
+)
+from repro.checker.findings import (
+    ALL_RULE_IDS,
+    CheckFinding,
+    FRONTEND_RULE_IDS,
+    LINT_RULE_IDS,
+    RULE_DESCRIPTIONS,
+    SAFE,
+    SAFETY_RULE_IDS,
+    UNKNOWN,
+    UNSAFE,
+    WARN,
+)
+from repro.checker.lints import LINT_RULES, lint_cfg, lint_program
+from repro.checker.safety import (
+    SafetyOptions,
+    SafetyReport,
+    SafetySite,
+    check_safety,
+)
+from repro.checker.sarif import sarif_dumps, to_sarif
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "CheckFinding",
+    "CheckOptions",
+    "CheckReport",
+    "FRONTEND_RULE_IDS",
+    "LINT_RULES",
+    "LINT_RULE_IDS",
+    "RULE_DESCRIPTIONS",
+    "SAFE",
+    "SAFETY_RULE_IDS",
+    "SafetyOptions",
+    "SafetyReport",
+    "SafetySite",
+    "UNKNOWN",
+    "UNSAFE",
+    "WARN",
+    "check_program",
+    "check_safety",
+    "check_source",
+    "lint_cfg",
+    "lint_program",
+    "sarif_dumps",
+    "to_sarif",
+]

@@ -1,0 +1,164 @@
+"""The checker CLI: ``repro-lint`` (also ``python -m repro lint`` and
+``python -m repro.checker``).
+
+Examples::
+
+    repro-lint prog.lisl
+    repro-lint examples/ tests/corpus/buggy --tier lint
+    repro-lint prog.lisl --tier all --sarif findings.sarif --json
+    repro-lint prog.lisl --rules lint.dead-store,safety.null-deref
+
+Exit codes: 0 = no reportable findings, 1 = findings at or above
+``--fail-on``, 2 = usage errors.  Frontend failures (parse/type errors)
+are findings too (``frontend.*``), not tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.service import diagnostics as diag
+from repro.checker.driver import CheckOptions, CheckReport, check_source
+from repro.checker.findings import (
+    ALL_RULE_IDS,
+    CheckFinding,
+    LINT_RULE_IDS,
+    SAFETY_RULE_IDS,
+    UNSAFE,
+    WARN,
+)
+from repro.checker.safety import SafetyOptions
+from repro.checker.sarif import sarif_dumps
+
+
+def _collect_files(paths: List[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".lisl"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    return sorted(dict.fromkeys(files))
+
+
+def _split_rules(spec: Optional[str]):
+    """Partition a --rules csv into (lint subset, safety subset)."""
+    if not spec:
+        return None, None
+    chosen = [r.strip() for r in spec.split(",") if r.strip()]
+    unknown = [r for r in chosen if r not in ALL_RULE_IDS]
+    if unknown:
+        raise SystemExit(f"error: unknown rule id(s): {', '.join(unknown)}")
+    lint = [r for r in chosen if r in LINT_RULE_IDS]
+    safety = [r for r in chosen if r in SAFETY_RULE_IDS]
+    return lint, safety
+
+
+def _reportable(finding: CheckFinding, fail_on: str) -> bool:
+    if fail_on == "none":
+        return False
+    if fail_on == "unsafe":
+        return finding.verdict in (UNSAFE, diag.ERROR)
+    return finding.verdict in (WARN, UNSAFE, diag.ERROR)  # "any"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="two-tier memory-safety & lint checker for LISL programs",
+    )
+    ap.add_argument("paths", nargs="+",
+                    help=".lisl files or directories (searched recursively)")
+    ap.add_argument("--tier", choices=("lint", "safety", "all"), default="all",
+                    help="which tier(s) to run (default: all)")
+    ap.add_argument("--rules", type=str, default=None,
+                    help="comma-separated rule ids to enable (default: all)")
+    ap.add_argument("--domain", choices=("am", "au"), default="am",
+                    help="abstract domain for Tier B (default: am)")
+    ap.add_argument("--k", type=int, default=0, help="fold bound k for Tier B")
+    ap.add_argument("--budget", type=float, default=None,
+                    help="wall-clock budget per procedure analysis (seconds)")
+    ap.add_argument("--include-safe", action="store_true",
+                    help="also report proved-safe Tier-B obligations")
+    ap.add_argument("--fail-on", choices=("any", "unsafe", "none"), default="any",
+                    help="exit 1 when findings at this severity exist "
+                         "(any = lints + unsafe; default)")
+    ap.add_argument("--sarif", type=str, default=None,
+                    help="write a SARIF 2.1.0 log to this path")
+    ap.add_argument("--json", action="store_true",
+                    help="print the repro-diagnostics/1 envelope as JSON")
+    args = ap.parse_args(argv)
+
+    files = _collect_files(args.paths)
+    if not files:
+        print("error: no .lisl files found", file=sys.stderr)
+        return 2
+    lint_rules, safety_rules = _split_rules(args.rules)
+    tier = args.tier
+    if args.rules:
+        # A rules filter implies the tiers it names.
+        if lint_rules and not safety_rules:
+            tier = "lint"
+        elif safety_rules and not lint_rules:
+            tier = "safety"
+
+    options = CheckOptions(
+        tier=tier,
+        lint_rules=lint_rules,
+        safety=SafetyOptions(
+            domain=args.domain,
+            k=args.k,
+            rules=safety_rules,
+            max_seconds=args.budget,
+        ),
+        include_safe=args.include_safe,
+    )
+
+    findings_by_uri: Dict[str, List[CheckFinding]] = {}
+    envelopes: Dict[str, dict] = {}
+    failed = False
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = check_source(source, options, path=path)
+        uri = path.replace(os.sep, "/")
+        findings_by_uri[uri] = report.findings
+        envelopes[uri] = report.to_envelope()
+        for finding in report.findings:
+            if _reportable(finding, args.fail_on):
+                failed = True
+            if not args.json:
+                where = uri
+                if finding.line:
+                    where += f":{finding.line}"
+                proc = f" ({finding.procedure})" if finding.procedure else ""
+                print(f"{where}: [{finding.verdict}] {finding.rule_id}{proc}: "
+                      f"{finding.message}")
+
+    if args.json:
+        print(json.dumps({"schema": diag.SCHEMA, "files": envelopes}, indent=2))
+    elif not any(findings_by_uri.values()):
+        print(f"no findings in {len(files)} file(s)")
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(sarif_dumps(findings_by_uri))
+        if not args.json:
+            print(f"SARIF log written to {args.sarif}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Differential validation of Tier-B verdicts against concrete runs.
+
+The checker's contract is that a *safe* verdict is a proof: no concrete
+execution (from any cutpoint-free context) may null-deref at a site
+proved safe, leak cells at the exit of a leak-safe procedure, or build a
+cycle in an acyclicity-safe procedure.  This module holds the checker to
+that contract the same way :mod:`repro.fuzz.oracle` holds the abstract
+transformers to gamma-soundness: run the concrete interpreter on random
+inputs, observe faults/leaks/cycles with their (proc, line) attribution,
+and report any observation that lands on a "safe" verdict.
+
+Wired into the fuzz CLI as ``python -m repro.fuzz --check-safety``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.concrete.heap import Cell, to_cells
+from repro.concrete.interp import (
+    AssertFailure,
+    AssumeFailure,
+    ConcreteError,
+    Interpreter,
+)
+from repro.core.api import Analyzer
+from repro.fuzz.oracle import Finding
+from repro.lang import ast as A
+from repro.lang.normalize import normalize_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.typecheck import typecheck_program
+from repro.checker.findings import SAFE
+from repro.checker.safety import SafetyOptions, SafetyReport, check_safety
+
+
+@dataclass
+class CrossCheckConfig:
+    rounds: int = 5  # concrete executions per program
+    max_interp_steps: int = 200_000
+    domain: str = "am"
+    engine_max_steps: Optional[int] = 60_000
+    engine_max_seconds: Optional[float] = 30.0
+    max_list_len: int = 4
+    data_lo: int = -9
+    data_hi: int = 9
+
+
+# One concrete observation: ("deref", proc, line) | ("leak", proc, None)
+# | ("cycle", proc, None).
+Event = Tuple[str, str, Optional[int]]
+
+
+def _walk(cell: Optional[Cell]) -> Tuple[Set[int], Dict[int, Cell], bool]:
+    """Follow ``next`` from a cell; returns (ids, id->cell, sees_cycle)."""
+    ids: Set[int] = set()
+    cells: Dict[int, Cell] = {}
+    cur = cell
+    while isinstance(cur, Cell):
+        if id(cur) in ids:
+            return ids, cells, True
+        ids.add(id(cur))
+        cells[id(cur)] = cur
+        cur = cur.next
+    return ids, cells, False
+
+
+class _FrameObserver:
+    """Collects leak/cycle events at every concrete frame exit."""
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __call__(self, proc_name: str, env, cfg) -> None:
+        io_names = {p.name for p in list(cfg.inputs) + list(cfg.outputs)}
+        reach_io: Set[int] = set()
+        cyclic = False
+        for name in sorted(io_names):
+            ids, _cells, saw_cycle = _walk(env.get(name))
+            reach_io |= ids
+            cyclic = cyclic or saw_cycle
+        leaked = False
+        for name in sorted(env):
+            if name in io_names or not isinstance(env.get(name), Cell):
+                continue
+            ids, _cells, saw_cycle = _walk(env[name])
+            cyclic = cyclic or saw_cycle
+            if ids - reach_io:
+                leaked = True
+        if leaked:
+            self.events.append(("leak", proc_name, None))
+        if cyclic:
+            self.events.append(("cycle", proc_name, None))
+
+
+class CrossChecker:
+    """Concrete-vs-checker differential harness (the ``--check-safety`` oracle)."""
+
+    def __init__(self, config: Optional[CrossCheckConfig] = None):
+        self.config = config or CrossCheckConfig()
+        # run -> concrete execution ended early (budget/stuck, not a deref)
+        self.skips: Dict[str, int] = {"run": 0}
+
+    # -- input generation (mirrors fuzz.oracle) ---------------------------------
+
+    def random_input_views(self, rng: random.Random, cfg) -> List:
+        views: List = []
+        for p in cfg.inputs:
+            if p.type == A.INT:
+                views.append(rng.randint(self.config.data_lo, self.config.data_hi))
+            else:
+                views.append(
+                    [
+                        rng.randint(self.config.data_lo, self.config.data_hi)
+                        for _ in range(rng.randint(0, self.config.max_list_len))
+                    ]
+                )
+        return views
+
+    # -- entry points -----------------------------------------------------------
+
+    def check_program(self, program: A.Program, root: str, seed: int) -> List[Finding]:
+        try:
+            norm = normalize_program(typecheck_program(program))
+            analyzer = Analyzer(norm)
+            cfg = analyzer.icfg.cfg(root)
+        except Exception as exc:  # generator guarantees this never happens
+            return [
+                Finding(
+                    kind="crash",
+                    domain="checker",
+                    root=root,
+                    message=f"{type(exc).__name__}: {exc}",
+                    source=pretty_program(program),
+                    seed=seed,
+                )
+            ]
+        rng = random.Random(seed)
+        views_list = [
+            self.random_input_views(rng, cfg) for _ in range(self.config.rounds)
+        ]
+        return self.check_views(program, root, views_list, seed=seed)
+
+    def check_source(
+        self,
+        source: str,
+        root: str,
+        views_list: Sequence[List],
+        seed: Optional[int] = None,
+    ) -> List[Finding]:
+        """Replay a corpus entry: parse source, then :meth:`check_views`."""
+        program = typecheck_program(parse_program(source))
+        return self.check_views(program, root, views_list, seed=seed)
+
+    def check_views(
+        self,
+        program: A.Program,
+        root: str,
+        views_list: Sequence[List],
+        seed: Optional[int] = None,
+    ) -> List[Finding]:
+        norm = normalize_program(typecheck_program(program))
+        analyzer = Analyzer(norm)
+        source = pretty_program(program)
+        report = check_safety(
+            analyzer,
+            SafetyOptions(
+                domain=self.config.domain,
+                max_steps=self.config.engine_max_steps,
+                max_seconds=self.config.engine_max_seconds,
+            ),
+        )
+        events = self._observe_events(analyzer, root, views_list)
+        return self._contradictions(report, events, root, source, seed)
+
+    # -- concrete side ----------------------------------------------------------
+
+    def _observe_events(
+        self, analyzer: Analyzer, root: str, views_list: Sequence[List]
+    ) -> List[Event]:
+        events: List[Event] = []
+        interp = Interpreter(
+            analyzer.icfg, max_steps=self.config.max_interp_steps
+        )
+        interp.frame_observer = _FrameObserver(events)
+        cfg = analyzer.icfg.cfg(root)
+        for views in views_list:
+            args = [
+                to_cells(list(v)) if isinstance(v, list) else v for v in views
+            ]
+            if len(args) != len(cfg.inputs):
+                continue
+            try:
+                interp.run(root, args)
+            except ConcreteError as exc:
+                if str(exc).startswith("NULL dereference") and exc.proc:
+                    events.append(("deref", exc.proc, exc.line))
+                else:
+                    self.skips["run"] += 1
+            except (AssumeFailure, AssertFailure, RecursionError):
+                self.skips["run"] += 1
+        return events
+
+    # -- verdict comparison -----------------------------------------------------
+
+    def _contradictions(
+        self,
+        report: SafetyReport,
+        events: List[Event],
+        root: str,
+        source: str,
+        seed: Optional[int],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple] = set()
+
+        def add(message: str) -> None:
+            if message in seen:
+                return
+            seen.add(message)
+            findings.append(
+                Finding(
+                    kind="checker",
+                    domain=self.config.domain,
+                    root=root,
+                    message=message,
+                    source=source,
+                    seed=seed,
+                )
+            )
+
+        for kind, proc, line in events:
+            if report.proc_status.get(proc, "ok") != "ok":
+                continue  # verdicts already degraded to unknown
+            if kind == "deref":
+                if line is None:
+                    continue
+                verdict = report.null_deref_verdict(proc, line)
+                if verdict == SAFE:
+                    add(
+                        f"concrete NULL dereference at {proc}:{line} "
+                        "contradicts a safe null-deref verdict"
+                    )
+                elif verdict is None:
+                    add(
+                        f"concrete NULL dereference at {proc}:{line} has no "
+                        "checker obligation site (missed dereference)"
+                    )
+            elif kind == "leak" and report.leak_verdict(proc) == SAFE:
+                add(
+                    f"concrete cells leaked at exit of {proc} contradict "
+                    "a safe leak verdict"
+                )
+            elif kind == "cycle" and report.acyclic_verdict(proc) == SAFE:
+                add(
+                    f"concrete cyclic backbone in {proc} contradicts "
+                    "a safe acyclicity verdict"
+                )
+        return findings

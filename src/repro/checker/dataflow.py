@@ -1,0 +1,323 @@
+"""Dataflow scaffolding for the Tier-A lints.
+
+Everything here is deliberately abstract-interpretation-free: facts are
+plain sets/dicts over the normalized CFG, solved with a textbook
+worklist.  The op-fact helpers (:func:`op_reads`, :func:`op_writes`,
+:func:`op_derefs`) are the single source of truth for "which variables
+does this op touch" and are shared with the Tier-B obligation collector
+(:mod:`repro.checker.safety`) so both tiers agree on what counts as a
+dereference.
+
+None of the functions mutate the CFG -- a property the test suite pins
+down (`lint purity`), since the checker runs on the same CFG objects the
+engine analyzes afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    CFG,
+    Edge,
+    Op,
+    OpAssert,
+    OpAssignData,
+    OpAssignPtr,
+    OpAssume,
+    OpAssumeData,
+    OpAssumePtr,
+    OpCall,
+    OpSkip,
+    OpStoreData,
+    OpStoreNext,
+)
+
+# ---------------------------------------------------------------------------
+# Op facts
+
+
+def expr_vars(expr: A.Expr) -> Set[str]:
+    """Variables read by a data expression (DataOf bases included)."""
+    if isinstance(expr, A.Var):
+        return {expr.name}
+    if isinstance(expr, A.DataOf):
+        return {expr.base.name}
+    if isinstance(expr, A.BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    return set()
+
+
+def expr_derefs(expr: A.Expr) -> Set[str]:
+    """Pointer variables dereferenced (``p->data``) by a data expression."""
+    if isinstance(expr, A.DataOf):
+        return {expr.base.name}
+    if isinstance(expr, A.BinOp):
+        return expr_derefs(expr.left) | expr_derefs(expr.right)
+    return set()
+
+
+def _spec_vars(formula: A.SpecFormula) -> Tuple[Set[str], Set[str]]:
+    reads: Set[str] = set()
+    derefs: Set[str] = set()
+    for atom in formula.atoms:
+        reads.update(atom.args)
+        if atom.cmp is not None:
+            reads |= expr_vars(atom.cmp.left) | expr_vars(atom.cmp.right)
+            derefs |= expr_derefs(atom.cmp.left) | expr_derefs(atom.cmp.right)
+    return reads, derefs
+
+
+def op_reads(op: Op) -> Set[str]:
+    """Variables whose *value* the op consumes."""
+    if isinstance(op, OpAssignPtr):
+        return {op.source} if op.kind in ("var", "next") else set()
+    if isinstance(op, OpStoreNext):
+        reads = {op.target}
+        if op.source is not None:
+            reads.add(op.source)
+        return reads
+    if isinstance(op, (OpStoreData, OpAssignData)):
+        base = {op.target} if isinstance(op, OpStoreData) else set()
+        return base | expr_vars(op.expr)
+    if isinstance(op, OpAssumePtr):
+        reads = {op.left}
+        if op.right is not None:
+            reads.add(op.right)
+        return reads
+    if isinstance(op, OpAssumeData):
+        return expr_vars(op.left) | expr_vars(op.right)
+    if isinstance(op, OpCall):
+        return set(op.args)
+    if isinstance(op, (OpAssume, OpAssert)):
+        return _spec_vars(op.formula)[0]
+    return set()
+
+
+def op_writes(op: Op) -> Set[str]:
+    """Variables the op (re)binds.  Heap stores write no variable."""
+    if isinstance(op, OpAssignPtr):
+        return {op.target}
+    if isinstance(op, OpAssignData):
+        return {op.target}
+    if isinstance(op, OpCall):
+        return set(op.targets)
+    return set()
+
+
+def op_derefs(op: Op) -> Set[str]:
+    """Pointer variables the op dereferences (``->next`` / ``->data``).
+
+    This is the obligation alphabet of ``safety.null-deref``: a variable
+    in this set must be non-NULL for the op to execute.
+    """
+    if isinstance(op, OpAssignPtr):
+        return {op.source} if op.kind == "next" else set()
+    if isinstance(op, OpStoreNext):
+        return {op.target}
+    if isinstance(op, OpStoreData):
+        return {op.target} | expr_derefs(op.expr)
+    if isinstance(op, OpAssignData):
+        return expr_derefs(op.expr)
+    if isinstance(op, OpAssumeData):
+        return expr_derefs(op.left) | expr_derefs(op.right)
+    if isinstance(op, (OpAssume, OpAssert)):
+        return _spec_vars(op.formula)[1]
+    return set()
+
+
+def is_compiler_temp(name: str) -> bool:
+    """Normalizer-introduced names ($a/$c temps, protected x$in locals)."""
+    return "$" in name
+
+
+def display_name(name: str) -> str:
+    """Source-level spelling of a (possibly normalizer-renamed) variable."""
+    if name.endswith("$in"):
+        return name[: -len("$in")]
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Graph helpers
+
+
+def out_edges(cfg: CFG) -> Dict[int, List[Edge]]:
+    succ: Dict[int, List[Edge]] = {}
+    for edge in cfg.edges:
+        succ.setdefault(edge.src, []).append(edge)
+    return succ
+
+
+def in_edges(cfg: CFG) -> Dict[int, List[Edge]]:
+    pred: Dict[int, List[Edge]] = {}
+    for edge in cfg.edges:
+        pred.setdefault(edge.dst, []).append(edge)
+    return pred
+
+
+def reachable_nodes(cfg: CFG) -> Set[int]:
+    """Nodes reachable from the entry along CFG edges."""
+    succ = out_edges(cfg)
+    seen = {cfg.entry}
+    work = [cfg.entry]
+    while work:
+        node = work.pop()
+        for edge in succ.get(node, ()):
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                work.append(edge.dst)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Forward must-assign (definite assignment)
+
+
+def definite_assignment(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """For each reachable node, the set of variables assigned on *every*
+    path from the entry.  Inputs count as assigned (call-by-value binding);
+    unreachable nodes are absent from the result."""
+    succ = out_edges(cfg)
+    entry_fact = frozenset(p.name for p in cfg.inputs)
+    facts: Dict[int, FrozenSet[str]] = {cfg.entry: entry_fact}
+    work = [cfg.entry]
+    while work:
+        node = work.pop()
+        fact = facts[node]
+        for edge in succ.get(node, ()):
+            out = fact | op_writes(edge.op)
+            old = facts.get(edge.dst)
+            new = out if old is None else old & out
+            if old is None or new != old:
+                facts[edge.dst] = frozenset(new)
+                work.append(edge.dst)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Backward liveness
+
+
+def live_variables(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """Classic may-liveness: ``live[n]`` is the set of variables whose
+    current value may be read on some path from ``n``.  Outputs are live
+    at the exit (their values flow back to the caller)."""
+    pred = in_edges(cfg)
+    exit_fact = frozenset(p.name for p in cfg.outputs)
+    facts: Dict[int, FrozenSet[str]] = {cfg.exit: exit_fact}
+    work = [cfg.exit] if cfg.exit >= 0 else []
+    while work:
+        node = work.pop()
+        fact = facts.get(node, frozenset())
+        for edge in pred.get(node, ()):
+            through = (fact - op_writes(edge.op)) | op_reads(edge.op)
+            old = facts.get(edge.src)
+            new = through if old is None else old | through
+            if old is None or new != old:
+                facts[edge.src] = frozenset(new)
+                work.append(edge.src)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Constant null propagation (flat lattice per pointer variable)
+
+NULL_ = "null"
+NONNULL = "nonnull"
+TOP = "top"
+
+_JOIN = {
+    (NULL_, NULL_): NULL_,
+    (NONNULL, NONNULL): NONNULL,
+}
+
+
+def _join_val(a: str, b: str) -> str:
+    return _JOIN.get((a, b), TOP)
+
+
+def _null_transfer(op: Op, fact: Dict[str, str], ptr_vars: Set[str]) -> Optional[Dict[str, str]]:
+    """One-op strongest postcondition on the nullness fact.
+
+    Returns ``None`` when the op is an assume that contradicts the fact
+    (the edge is infeasible and contributes nothing downstream).
+    """
+    out = dict(fact)
+    if isinstance(op, OpAssignPtr):
+        if op.kind == "null":
+            out[op.target] = NULL_
+        elif op.kind == "new":
+            out[op.target] = NONNULL
+        elif op.kind == "var":
+            out[op.target] = fact.get(op.source, TOP)
+        else:  # next: unknown result, but the source must be non-null to get here
+            out[op.target] = TOP
+            if fact.get(op.source) != NULL_:
+                out[op.source] = NONNULL
+        return out
+    if isinstance(op, OpCall):
+        for t in op.targets:
+            if t in ptr_vars:
+                out[t] = TOP
+        return out
+    if isinstance(op, OpAssumePtr):
+        left = fact.get(op.left, TOP)
+        if op.right is None:
+            if op.equal:
+                if left == NONNULL:
+                    return None
+                out[op.left] = NULL_
+            else:
+                if left == NULL_:
+                    return None
+                out[op.left] = NONNULL
+            return out
+        right = fact.get(op.right, TOP)
+        if op.equal:
+            if (left, right) in ((NULL_, NONNULL), (NONNULL, NULL_)):
+                return None
+            if left == NULL_ or right == NULL_:
+                out[op.left] = out[op.right] = NULL_
+            elif left == NONNULL or right == NONNULL:
+                out[op.left] = out[op.right] = NONNULL
+        else:
+            if left == NULL_ and right == NULL_:
+                return None
+        return out
+    # Heap stores / data ops / specs don't change variable nullness.
+    return out
+
+
+def null_constants(cfg: CFG) -> Dict[int, Dict[str, str]]:
+    """Per-node nullness facts for pointer variables.
+
+    The entry fact: inputs are ``top`` (any shape), locals and outputs
+    are definitely ``null`` -- matching both the concrete semantics
+    (uninitialized pointers are NULL) and the abstract entry heaps built
+    by :func:`repro.core.localheap.build_call_entry`.
+    """
+    ptr_vars = set(cfg.pointer_vars)
+    inputs = {p.name for p in cfg.inputs}
+    entry = {v: (TOP if v in inputs else NULL_) for v in ptr_vars}
+    succ = out_edges(cfg)
+    facts: Dict[int, Dict[str, str]] = {cfg.entry: entry}
+    work = [cfg.entry]
+    while work:
+        node = work.pop()
+        fact = facts[node]
+        for edge in succ.get(node, ()):
+            out = _null_transfer(edge.op, fact, ptr_vars)
+            if out is None:
+                continue
+            old = facts.get(edge.dst)
+            if old is None:
+                facts[edge.dst] = out
+                work.append(edge.dst)
+            else:
+                merged = {v: _join_val(old.get(v, TOP), out.get(v, TOP)) for v in ptr_vars}
+                if merged != old:
+                    facts[edge.dst] = merged
+                    work.append(edge.dst)
+    return facts

@@ -1,0 +1,115 @@
+"""The checker's finding model and rule-id registry.
+
+Rule ids are stable API (frozen by ``tests/test_checker.py``): dashboards,
+golden corpus files and the SARIF exporter all key on them.  A finding is
+deliberately flat -- rule id, verdict, procedure, line, message, small
+witness dict -- and converts losslessly into the service's
+:class:`~repro.service.diagnostics.DiagnosticRecord` envelope shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service import diagnostics as diag
+
+# -- Tier A (dataflow lints) -------------------------------------------------
+RULE_USE_BEFORE_INIT = "lint.use-before-init"
+RULE_DEAD_STORE = "lint.dead-store"
+RULE_UNREACHABLE = "lint.unreachable"
+RULE_LINT_NULL_DEREF = "lint.null-deref"
+RULE_MISSING_RETURN = "lint.missing-return"
+RULE_UNUSED_LOCAL = "lint.unused-local"
+RULE_UNUSED_PARAM = "lint.unused-param"
+
+# -- Tier B (summary-backed safety proofs) -----------------------------------
+RULE_SAFETY_NULL_DEREF = "safety.null-deref"
+RULE_SAFETY_LEAK = "safety.leak"
+RULE_SAFETY_ACYCLIC = "safety.acyclic"
+
+# -- Frontend (shared with the service envelope layer) -----------------------
+RULE_PARSE_ERROR = diag.RULE_PARSE_ERROR
+RULE_TYPE_ERROR = diag.RULE_TYPE_ERROR
+
+# -- Checker-internal --------------------------------------------------------
+RULE_CHECKER_INCOMPLETE = "checker.incomplete"
+
+LINT_RULE_IDS: Tuple[str, ...] = (
+    RULE_USE_BEFORE_INIT,
+    RULE_DEAD_STORE,
+    RULE_UNREACHABLE,
+    RULE_LINT_NULL_DEREF,
+    RULE_MISSING_RETURN,
+    RULE_UNUSED_LOCAL,
+    RULE_UNUSED_PARAM,
+)
+SAFETY_RULE_IDS: Tuple[str, ...] = (
+    RULE_SAFETY_NULL_DEREF,
+    RULE_SAFETY_LEAK,
+    RULE_SAFETY_ACYCLIC,
+)
+FRONTEND_RULE_IDS: Tuple[str, ...] = (RULE_PARSE_ERROR, RULE_TYPE_ERROR)
+ALL_RULE_IDS: Tuple[str, ...] = (
+    LINT_RULE_IDS + SAFETY_RULE_IDS + FRONTEND_RULE_IDS + (RULE_CHECKER_INCOMPLETE,)
+)
+
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    RULE_USE_BEFORE_INIT: "variable may be read before it is assigned",
+    RULE_DEAD_STORE: "assigned value is never read",
+    RULE_UNREACHABLE: "statement is unreachable",
+    RULE_LINT_NULL_DEREF: "dereference of a definitely-NULL pointer",
+    RULE_MISSING_RETURN: "output may be unset when the procedure returns",
+    RULE_UNUSED_LOCAL: "local variable is never read",
+    RULE_UNUSED_PARAM: "parameter is never read",
+    RULE_SAFETY_NULL_DEREF: "dereference not proved non-NULL in all abstract heaps",
+    RULE_SAFETY_LEAK: "cells may be unreachable from inputs/outputs at exit",
+    RULE_SAFETY_ACYCLIC: "list backbone may become cyclic",
+    RULE_PARSE_ERROR: "source does not parse",
+    RULE_TYPE_ERROR: "source does not typecheck",
+    RULE_CHECKER_INCOMPLETE: "analysis incomplete; safety verdicts degraded to unknown",
+}
+
+# Verdicts.  Tier A lints always "warn"; Tier B is three-valued.
+WARN = diag.WARN
+SAFE = diag.SAFE
+UNSAFE = diag.UNSAFE
+UNKNOWN = diag.UNKNOWN
+
+
+@dataclass
+class CheckFinding:
+    """One checker result, stable under re-runs of the same source."""
+
+    rule_id: str
+    verdict: str
+    message: str
+    procedure: Optional[str] = None
+    line: Optional[int] = None
+    witness: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.procedure or "",
+            self.line or 0,
+            self.rule_id,
+            self.verdict,
+            self.message,
+        )
+
+    def to_record(self) -> diag.DiagnosticRecord:
+        return diag.DiagnosticRecord(
+            rule_id=self.rule_id,
+            verdict=self.verdict,
+            message=self.message,
+            procedure=self.procedure,
+            line=self.line,
+            witness=dict(self.witness),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return self.to_record().to_json()
+
+
+def sort_findings(findings: List[CheckFinding]) -> List[CheckFinding]:
+    return sorted(findings, key=CheckFinding.sort_key)

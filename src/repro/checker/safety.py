@@ -1,0 +1,410 @@
+"""Tier B: summary-backed safety proofs from the engine's fixpoint states.
+
+The engine's tabulation keeps, for every record (procedure × canonical
+entry heap), the per-CFG-node :class:`HeapSet` fixpoint
+(``Record.states``) -- exactly the per-program-point abstract states the
+obligations need, so the checker spends zero extra fixpoint iterations.
+Each procedure is analyzed as a *root* from its generic entries (every
+pointer formal independently NULL or a separate acyclic list), which
+over-approximates every cutpoint-free calling context; summary caching
+is disabled for these runs because cached records restore summaries but
+not per-node states.
+
+Three obligations are discharged against every abstract heap:
+
+``safety.null-deref``
+    every ``x->next`` / ``x->data`` dereference sees a non-NULL ``x``;
+``safety.leak``
+    at procedure exit no cell is reachable only from dead locals --
+    under the paper's GC semantics cells dropped *mid*-run are collected
+    (that is how deletion works), so the obligation is exit-only;
+``safety.acyclic``
+    no reachable abstract heap has a cyclic backbone.
+
+Verdicts are three-valued per site: *safe* (holds in every abstract
+heap of every record), *unsafe* (violated in every abstract heap, i.e.
+a guaranteed bug on any input reaching the site), *unknown* otherwise
+or whenever the analysis was incomplete (budget hit, cutpoint).  The
+fuzz cross-check (:mod:`repro.checker.crosscheck`) holds the checker to
+exactly this contract: a concrete run may never contradict *safe*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.engine import EngineOptions
+from repro.datawords import terms as T
+from repro.lang import ast as A
+from repro.lang.cfg import CFG, Edge
+from repro.core.localheap import CutpointError
+from repro.shape.graph import NULL, HeapGraph
+from repro.checker import dataflow as df
+from repro.checker.findings import (
+    CheckFinding,
+    RULE_CHECKER_INCOMPLETE,
+    RULE_SAFETY_ACYCLIC,
+    RULE_SAFETY_LEAK,
+    RULE_SAFETY_NULL_DEREF,
+    SAFE,
+    SAFETY_RULE_IDS,
+    UNKNOWN,
+    UNSAFE,
+    sort_findings,
+)
+
+
+@dataclass
+class SafetyOptions:
+    domain: str = "am"
+    k: int = 0
+    procs: Optional[List[str]] = None
+    rules: Optional[Iterable[str]] = None  # subset of SAFETY_RULE_IDS
+    max_steps: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+
+@dataclass
+class SafetySite:
+    """One discharged obligation with its aggregated verdict."""
+
+    rule_id: str
+    proc: str
+    line: Optional[int]
+    detail: str  # the dereferenced variable, or "" for exit obligations
+    verdict: str
+    message: str
+    witness: Dict[str, object] = field(default_factory=dict)
+
+    def to_finding(self) -> CheckFinding:
+        return CheckFinding(
+            rule_id=self.rule_id,
+            verdict=self.verdict,
+            message=self.message,
+            procedure=self.proc,
+            line=self.line,
+            witness=dict(self.witness),
+        )
+
+
+@dataclass
+class SafetyReport:
+    sites: List[SafetySite] = field(default_factory=list)
+    # proc -> "ok" | "cutpoint: ..." | "budget: ..." (non-ok degrades to unknown)
+    proc_status: Dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def findings(self, include_safe: bool = False) -> List[CheckFinding]:
+        out = [
+            site.to_finding()
+            for site in self.sites
+            if include_safe or site.verdict != SAFE
+        ]
+        for proc, status in sorted(self.proc_status.items()):
+            if status == "ok":
+                continue
+            out.append(
+                CheckFinding(
+                    rule_id=RULE_CHECKER_INCOMPLETE,
+                    verdict=UNKNOWN,
+                    message=f"analysis of '{proc}' incomplete ({status}); "
+                    "safety verdicts degraded to unknown",
+                    procedure=proc,
+                )
+            )
+        return sort_findings(out)
+
+    # -- verdict lookups (the cross-check's API) ----------------------------------
+
+    def _verdicts(self, rule_id: str, proc: str, line: Optional[int] = None) -> List[str]:
+        return [
+            s.verdict
+            for s in self.sites
+            if s.rule_id == rule_id
+            and s.proc == proc
+            and (line is None or s.line == line)
+        ]
+
+    @staticmethod
+    def _aggregate(verdicts: List[str]) -> Optional[str]:
+        if not verdicts:
+            return None
+        if UNSAFE in verdicts:
+            return UNSAFE
+        if UNKNOWN in verdicts:
+            return UNKNOWN
+        return SAFE
+
+    def null_deref_verdict(self, proc: str, line: int) -> Optional[str]:
+        return self._aggregate(self._verdicts(RULE_SAFETY_NULL_DEREF, proc, line))
+
+    def leak_verdict(self, proc: str) -> Optional[str]:
+        return self._aggregate(self._verdicts(RULE_SAFETY_LEAK, proc))
+
+    def acyclic_verdict(self, proc: str) -> Optional[str]:
+        return self._aggregate(self._verdicts(RULE_SAFETY_ACYCLIC, proc))
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for site in self.sites:
+            out[site.verdict] = out.get(site.verdict, 0) + 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Heap predicates
+
+
+def _has_cycle(graph: HeapGraph) -> bool:
+    """Does the backbone contain a ``succ`` cycle?  (succ is functional.)"""
+    DONE, IN_PATH = 1, 2
+    color: Dict[str, int] = {NULL: DONE}
+    for start in graph.nodes:
+        if start in color:
+            continue
+        path: List[str] = []
+        cur: Optional[str] = start
+        while cur is not None and color.get(cur) is None:
+            color[cur] = IN_PATH
+            path.append(cur)
+            cur = graph.succ.get(cur)
+        if cur is not None and color.get(cur) == IN_PATH:
+            return True
+        for n in path:
+            color[n] = DONE
+    return False
+
+
+def _leaked_nodes(graph: HeapGraph, roots: List[str]) -> Set[str]:
+    """Nodes unreachable from the given root variables' labels.
+
+    State heaps are garbage-free (the transformers collect eagerly), so
+    every surviving node is reachable from *some* label; a node outside
+    the root cone is held alive only by dead locals/temporaries.  The
+    ``x$0`` entry-snapshot labels also count as roots: their nodes are
+    the frame-condition ghost copies of the entry words
+    (:func:`repro.datawords.terms.entry_copy`), not allocated cells.
+    """
+    root_nodes = {
+        graph.labels[r] for r in roots if r in graph.labels
+    } | {
+        node for var, node in graph.labels.items() if T.is_entry_copy(var)
+    }
+    root_nodes -= {NULL}
+    reach = set(graph.reachable_from(root_nodes))
+    return set(graph.nodes) - reach - {NULL}
+
+
+def _verdict(bad: int, good: int) -> str:
+    if bad == 0:
+        return SAFE  # also the vacuous (unreachable point) case
+    if good == 0:
+        return UNSAFE
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Obligation collection and discharge
+
+
+def deref_sites(cfg: CFG) -> List[Tuple[Edge, str]]:
+    """Every (edge, variable) pair where the op dereferences the variable."""
+    sites: List[Tuple[Edge, str]] = []
+    for edge in cfg.edges:
+        for var in sorted(df.op_derefs(edge.op)):
+            sites.append((edge, var))
+    return sites
+
+
+def _exit_roots(cfg: CFG) -> List[str]:
+    return [
+        p.name for p in list(cfg.inputs) + list(cfg.outputs) if p.type == A.LIST
+    ]
+
+
+def _check_proc(
+    cfg: CFG,
+    records,
+    rules: Set[str],
+) -> List[SafetySite]:
+    proc = cfg.proc_name
+    sites: List[SafetySite] = []
+
+    if RULE_SAFETY_NULL_DEREF in rules:
+        for edge, var in deref_sites(cfg):
+            n_null = n_nonnull = 0
+            for record in records:
+                state = record.states.get(edge.src)
+                if state is None:
+                    continue
+                for heap in state:
+                    node = heap.graph.labels.get(var, NULL)
+                    if node == NULL:
+                        n_null += 1
+                    else:
+                        n_nonnull += 1
+            verdict = _verdict(n_null, n_nonnull)
+            shown = df.display_name(var)
+            if verdict == SAFE:
+                message = f"'{shown}' is non-NULL in all abstract heaps at this dereference"
+            elif verdict == UNSAFE:
+                message = f"'{shown}' is NULL in every abstract heap reaching this dereference"
+            else:
+                message = f"'{shown}' may be NULL at this dereference"
+            sites.append(
+                SafetySite(
+                    rule_id=RULE_SAFETY_NULL_DEREF,
+                    proc=proc,
+                    line=edge.line or None,
+                    detail=shown,
+                    verdict=verdict,
+                    message=message,
+                    witness={
+                        "variable": shown,
+                        "heaps_null": n_null,
+                        "heaps_nonnull": n_nonnull,
+                    },
+                )
+            )
+
+    if RULE_SAFETY_LEAK in rules:
+        roots = _exit_roots(cfg)
+        n_leak = n_clean = 0
+        example: List[str] = []
+        for record in records:
+            state = record.states.get(cfg.exit)
+            if state is None:
+                continue
+            for heap in state:
+                leaked = _leaked_nodes(heap.graph, roots)
+                if leaked:
+                    n_leak += 1
+                    if not example:
+                        example = sorted(leaked)
+                else:
+                    n_clean += 1
+        verdict = _verdict(n_leak, n_clean)
+        if verdict == SAFE:
+            message = f"every cell is reachable from inputs/outputs at exit of '{proc}'"
+        elif verdict == UNSAFE:
+            message = (
+                f"cells allocated in '{proc}' are unreachable from "
+                "inputs/outputs at exit in every abstract heap (leaked)"
+            )
+        else:
+            message = f"cells may be unreachable from inputs/outputs at exit of '{proc}'"
+        sites.append(
+            SafetySite(
+                rule_id=RULE_SAFETY_LEAK,
+                proc=proc,
+                line=cfg.node_lines.get(cfg.exit) or None,
+                detail="",
+                verdict=verdict,
+                message=message,
+                witness={
+                    "heaps_leaking": n_leak,
+                    "heaps_clean": n_clean,
+                    "roots": roots,
+                    "example_nodes": example,
+                },
+            )
+        )
+
+    if RULE_SAFETY_ACYCLIC in rules:
+        n_cyclic = n_acyclic = 0
+        first_line: Optional[int] = None
+        exit_cyclic = exit_acyclic = 0
+        for record in records:
+            for node, state in sorted(record.states.items()):
+                for heap in state:
+                    cyclic = _has_cycle(heap.graph)
+                    if cyclic:
+                        n_cyclic += 1
+                        if first_line is None and cfg.node_lines.get(node):
+                            first_line = cfg.node_lines[node]
+                        if node == cfg.exit:
+                            exit_cyclic += 1
+                    else:
+                        n_acyclic += 1
+                        if node == cfg.exit:
+                            exit_acyclic += 1
+        if n_cyclic == 0:
+            verdict = SAFE
+            message = f"the list backbone stays acyclic throughout '{proc}'"
+        elif exit_cyclic > 0 and exit_acyclic == 0:
+            verdict = UNSAFE
+            message = f"the list backbone is cyclic in every exit heap of '{proc}'"
+        else:
+            verdict = UNKNOWN
+            message = f"the list backbone may become cyclic in '{proc}'"
+        sites.append(
+            SafetySite(
+                rule_id=RULE_SAFETY_ACYCLIC,
+                proc=proc,
+                line=first_line,
+                detail="",
+                verdict=verdict,
+                message=message,
+                witness={"heaps_cyclic": n_cyclic, "heaps_acyclic": n_acyclic},
+            )
+        )
+
+    return sites
+
+
+def _degrade(sites: List[SafetySite]) -> List[SafetySite]:
+    """Replace every verdict by ``unknown`` (incomplete analysis)."""
+    for site in sites:
+        site.verdict = UNKNOWN
+        site.message += " [analysis incomplete]"
+    return sites
+
+
+def check_safety(analyzer, options: Optional[SafetyOptions] = None) -> SafetyReport:
+    """Discharge the Tier-B obligations for (a subset of) the program.
+
+    ``analyzer`` is a :class:`repro.core.api.Analyzer` over the
+    normalized program.  Each selected procedure is analyzed as a root;
+    obligations are evaluated over the fixpoint states of *that
+    procedure's own records* (its generic-entry tabulation), which
+    over-approximate every concrete run from any cutpoint-free context.
+    """
+    opts = options or SafetyOptions()
+    rules = set(opts.rules) if opts.rules is not None else set(SAFETY_RULE_IDS)
+    unknown = rules - set(SAFETY_RULE_IDS)
+    if unknown:
+        raise ValueError(f"unknown safety rules: {sorted(unknown)}")
+    procs = list(opts.procs) if opts.procs is not None else sorted(analyzer.icfg.cfgs)
+    report = SafetyReport()
+    started = time.perf_counter()
+    for proc in procs:
+        cfg = analyzer.icfg.cfg(proc)
+        try:
+            result = analyzer.analyze(
+                proc,
+                domain=opts.domain,
+                k=opts.k,
+                max_steps=opts.max_steps,
+                max_seconds=opts.max_seconds,
+                engine_opts=EngineOptions(use_cache=False),
+            )
+        except CutpointError as exc:
+            report.proc_status[proc] = f"cutpoint: {exc}"
+            report.sites.extend(_degrade(_check_proc(cfg, [], rules)))
+            continue
+        records = [
+            r for r in result.engine.records.values() if r.proc == proc
+        ]
+        sites = _check_proc(cfg, records, rules)
+        if not result.ok:
+            report.proc_status[proc] = (
+                "budget: " + "; ".join(str(d) for d in result.diagnostics)
+            )
+            sites = _degrade(sites)
+        else:
+            report.proc_status[proc] = "ok"
+        report.sites.extend(sites)
+    report.seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,123 @@
+"""A genuine SARIF 2.1.0 exporter for checker findings.
+
+Unlike the lightweight ``repro-diagnostics/1`` envelope, this emits the
+real schema (``version: "2.1.0"``, ``runs[].tool.driver.rules``,
+``results[].locations[].physicalLocation``), so the output loads in any
+SARIF viewer (VS Code, GitHub code scanning).
+
+Determinism is part of the contract: the same findings serialize to
+byte-identical JSON (fixed key order, sorted results, no timestamps) --
+pinned by the golden test in ``tests/test_checker.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.checker.findings import (
+    ALL_RULE_IDS,
+    CheckFinding,
+    RULE_DESCRIPTIONS,
+    SAFE,
+    UNKNOWN,
+    UNSAFE,
+    WARN,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-checker"
+TOOL_VERSION = "0.1.0"
+INFORMATION_URI = "https://github.com/celia-repro/repro"
+
+# SARIF "level" per checker verdict.  "safe" findings (only present with
+# --include-safe) map to "none": they are proofs, not problems.
+_SARIF_LEVEL = {
+    WARN: "warning",
+    UNSAFE: "error",
+    UNKNOWN: "warning",
+    SAFE: "none",
+    "error": "error",
+}
+
+_DEFAULT_LEVEL = {"lint": "warning", "safety": "error", "frontend": "error", "checker": "warning"}
+
+
+def _rules() -> List[Dict[str, Any]]:
+    rules = []
+    for rule_id in sorted(ALL_RULE_IDS):
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": RULE_DESCRIPTIONS[rule_id]},
+                "defaultConfiguration": {
+                    "level": _DEFAULT_LEVEL[rule_id.split(".", 1)[0]]
+                },
+            }
+        )
+    return rules
+
+
+def _result(finding: CheckFinding, uri: str, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": _SARIF_LEVEL.get(finding.verdict, "warning"),
+        "message": {"text": finding.message},
+    }
+    location: Dict[str, Any] = {
+        "physicalLocation": {"artifactLocation": {"uri": uri, "uriBaseId": "SRCROOT"}}
+    }
+    if finding.line:
+        location["physicalLocation"]["region"] = {"startLine": finding.line}
+    if finding.procedure:
+        location["logicalLocations"] = [
+            {"name": finding.procedure, "kind": "function"}
+        ]
+    out["locations"] = [location]
+    properties: Dict[str, Any] = {"verdict": finding.verdict}
+    if finding.witness:
+        properties["witness"] = {
+            k: finding.witness[k] for k in sorted(finding.witness)
+        }
+    out["properties"] = properties
+    return out
+
+
+def sarif_run(findings_by_uri: Dict[str, List[CheckFinding]]) -> Dict[str, Any]:
+    """One SARIF run over findings grouped by artifact uri."""
+    rules = _rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    artifacts: List[Dict[str, Any]] = []
+    for uri in sorted(findings_by_uri):
+        artifacts.append({"location": {"uri": uri, "uriBaseId": "SRCROOT"}})
+        for finding in sorted(findings_by_uri[uri], key=CheckFinding.sort_key):
+            results.append(_result(finding, uri, rule_index))
+    return {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri": INFORMATION_URI,
+                "rules": rules,
+            }
+        },
+        "artifacts": artifacts,
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+
+
+def to_sarif(findings_by_uri: Dict[str, List[CheckFinding]]) -> Dict[str, Any]:
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [sarif_run(findings_by_uri)],
+    }
+
+
+def sarif_dumps(findings_by_uri: Dict[str, List[CheckFinding]]) -> str:
+    """Deterministic (byte-stable) serialization of the SARIF log."""
+    return json.dumps(to_sarif(findings_by_uri), indent=2) + "\n"

@@ -37,7 +37,18 @@ Value = Union[int, Optional[Cell]]
 
 
 class ConcreteError(Exception):
-    """Null dereference, non-determinism, or step-budget exhaustion."""
+    """Null dereference, non-determinism, or step-budget exhaustion.
+
+    ``proc``/``line`` locate the faulting edge when known (attributed by
+    :meth:`Interpreter._step`, innermost frame wins) so differential
+    harnesses can match concrete faults against checker sites.
+    """
+
+    def __init__(self, message: str, proc: Optional[str] = None,
+                 line: Optional[int] = None):
+        super().__init__(message)
+        self.proc = proc
+        self.line = line
 
 
 class AssumeFailure(Exception):
@@ -53,6 +64,10 @@ class Interpreter:
         self.icfg = icfg
         self.max_steps = max_steps
         self.steps = 0
+        # Optional hook called at every frame exit with
+        # (proc_name, env, cfg); used by the checker cross-validation to
+        # observe leaks/cycles without changing the semantics.
+        self.frame_observer = None
 
     # -- public API ------------------------------------------------------------
 
@@ -80,6 +95,8 @@ class Interpreter:
             if self.steps > self.max_steps:
                 raise ConcreteError("step budget exhausted (diverging run?)")
             node = self._step(cfg, node, env)
+        if self.frame_observer is not None:
+            self.frame_observer(proc_name, env, cfg)
         return [env[p.name] for p in cfg.outputs]
 
     def _step(self, cfg: CFG, node: int, env: Dict[str, Value]) -> int:
@@ -93,7 +110,7 @@ class Interpreter:
             if len(assume_edges) != len(edges):
                 raise ConcreteError("mixed assume and action edges")
             for edge in assume_edges:
-                if self._test(edge.op, env):
+                if self._locate(edge, cfg, self._test, edge.op, env):
                     return edge.dst
             raise ConcreteError(
                 f"no branch taken at node {node} of {cfg.proc_name}"
@@ -102,8 +119,19 @@ class Interpreter:
             # Join points carry several skip edges inward, never outward.
             raise ConcreteError(f"non-deterministic action at node {node}")
         edge = edges[0]
-        self._execute(edge.op, env)
+        self._locate(edge, cfg, self._execute, edge.op, env)
         return edge.dst
+
+    def _locate(self, edge, cfg: CFG, fn, *args):
+        """Run ``fn``, attributing a raised :class:`ConcreteError` to this
+        edge's (proc, line) unless an inner frame already claimed it."""
+        try:
+            return fn(*args)
+        except ConcreteError as exc:
+            if exc.proc is None:
+                exc.proc = cfg.proc_name
+                exc.line = edge.line or None
+            raise
 
     # -- operations ---------------------------------------------------------------
 

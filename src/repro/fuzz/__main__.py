@@ -14,6 +14,12 @@ Two phases:
 
 ``--time-budget S`` stops fresh fuzzing after ~S seconds (used by the CI
 slow lane); the seed corpus is always replayed in full.
+
+``--check-safety`` swaps the gamma-soundness oracle for the checker
+cross-validation harness (:mod:`repro.checker.crosscheck`): every
+generated program is run through Tier-B ``check_safety`` and the
+concrete interpreter, and any concrete null-deref/leak/cycle landing on
+a *safe* verdict is a failure.  Same corpus/shrink/pool machinery.
 """
 
 from __future__ import annotations
@@ -181,6 +187,27 @@ def fuzz(
     return failures
 
 
+def _make_checker(oracle_config: OracleConfig, check_safety: bool):
+    """The differential judge: the gamma-soundness oracle, or — under
+    ``--check-safety`` — the Tier-B cross-validation harness.  Both share
+    the ``check_program``/``check_source``/``check_views``/``skips``
+    interface, so the fuzz loop, shrinker, and corpus replay are agnostic.
+    """
+    if not check_safety:
+        return Oracle(oracle_config)
+    from repro.checker.crosscheck import CrossChecker, CrossCheckConfig
+
+    return CrossChecker(
+        CrossCheckConfig(
+            rounds=oracle_config.rounds,
+            max_interp_steps=oracle_config.max_interp_steps,
+            domain=oracle_config.domains[0],
+            engine_max_steps=oracle_config.engine_max_steps,
+            engine_max_seconds=oracle_config.engine_max_seconds,
+        )
+    )
+
+
 def _fuzz_chunk(
     seed: int,
     start: int,
@@ -190,6 +217,7 @@ def _fuzz_chunk(
     corpus_dir: Optional[Path],
     time_budget: Optional[float],
     shrink_checks: int,
+    check_safety: bool = False,
 ) -> dict:
     """Pool worker: fuzz one contiguous iteration range.
 
@@ -198,7 +226,7 @@ def _fuzz_chunk(
     parent to aggregate.  Signature dedup is per-chunk; duplicate
     signatures across chunks are deduplicated by the parent.
     """
-    oracle = Oracle(oracle_config)
+    oracle = _make_checker(oracle_config, check_safety)
     failures = fuzz(
         seed=seed,
         iters=count,
@@ -222,6 +250,7 @@ def fuzz_parallel(
     corpus_dir: Optional[Path],
     time_budget: Optional[float],
     shrink_checks: int,
+    check_safety: bool = False,
 ) -> Tuple[List[Finding], dict]:
     """Fan iteration ranges out over the worker pool.
 
@@ -251,12 +280,13 @@ def fuzz_parallel(
                     corpus_dir,
                     time_budget,
                     shrink_checks,
+                    check_safety,
                 ),
             )
         )
     pool = WorkerPool(jobs=jobs)
     failures: List[Finding] = []
-    skips = {"cutpoint": 0, "budget": 0}
+    skips: dict = {}
     for outcome in pool.run(tasks):
         print(f"  {outcome.describe()}", flush=True)
         if outcome.status != "ok":
@@ -314,6 +344,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="check only the (fast) AM domain",
     )
     ap.add_argument(
+        "--check-safety",
+        action="store_true",
+        help="cross-validate Tier-B checker verdicts against concrete "
+        "runs instead of gamma-checking summaries",
+    )
+    ap.add_argument(
         "--shrink-checks",
         type=int,
         default=150,
@@ -330,9 +366,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     oracle_config = OracleConfig(
         rounds=args.rounds,
-        domains=("am",) if args.skip_au else ("am", "au"),
+        domains=("am",) if (args.skip_au or args.check_safety) else ("am", "au"),
     )
-    oracle = Oracle(oracle_config)
+    oracle = _make_checker(oracle_config, args.check_safety)
     gen_config = GenConfig(n_procs=args.max_procs)
 
     corpus_failures = 0
@@ -351,6 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             corpus_dir=args.corpus,
             time_budget=args.time_budget,
             shrink_checks=args.shrink_checks,
+            check_safety=args.check_safety,
         )
         skips = {
             key: skips.get(key, 0) + fuzz_skips.get(key, 0)
@@ -366,11 +403,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             time_budget=args.time_budget,
             shrink_checks=args.shrink_checks,
         )
+    skip_note = ", ".join(
+        f"{skips[key]} {key}" for key in sorted(skips)
+    ) or "none"
     print(
         f"fuzzing done: {len(failures)} failure(s), "
-        f"{corpus_failures} corpus regression(s); skips: "
-        f"{skips['cutpoint']} cutpoint (outside fragment), "
-        f"{skips['budget']} analysis-budget (gamma-check waived)"
+        f"{corpus_failures} corpus regression(s); skips: {skip_note}"
     )
     return 1 if (failures or corpus_failures) else 0
 

@@ -254,6 +254,9 @@ class Skip(Stmt):
 class Param:
     name: str
     type: str  # LIST or INT
+    # Declaration line (0 when synthesized); excluded from equality so
+    # normalizer-introduced params compare by name and type alone.
+    line: int = field(default=0, compare=False)
 
 
 @dataclass

@@ -31,6 +31,7 @@ from repro.lang.lexer import Token, tokenize
 class ParseError(Exception):
     def __init__(self, message: str, line: int):
         super().__init__(f"line {line}: {message}")
+        self.message = message
         self.line = line
 
 
@@ -91,19 +92,21 @@ class _Parser:
         if self.at(")"):
             return out
         while True:
-            names = [self.expect_id().text]
+            first = self.expect_id()
+            names = [(first.text, first.line)]
             while self.at(","):
                 # lookahead: "a, b: t" groups names; "a: t, b: u" starts anew
                 save = self.pos
                 self.next()
                 if self.peek().kind == "id" and self.peek(1).text in (",", ":"):
-                    names.append(self.expect_id().text)
+                    tok = self.expect_id()
+                    names.append((tok.text, tok.line))
                 else:
                     self.pos = save
                     break
             self.expect(":")
             typ = self.type_name()
-            out.extend(A.Param(n, typ) for n in names)
+            out.extend(A.Param(n, typ, line=ln) for n, ln in names)
             if self.at(","):
                 self.next()
             else:
@@ -121,14 +124,16 @@ class _Parser:
         locals_: List[A.Param] = []
         while self.at("local"):
             self.next()
-            names = [self.expect_id().text]
+            first = self.expect_id()
+            names = [(first.text, first.line)]
             while self.at(","):
                 self.next()
-                names.append(self.expect_id().text)
+                tok = self.expect_id()
+                names.append((tok.text, tok.line))
             self.expect(":")
             typ = self.type_name()
             self.expect(";")
-            locals_.extend(A.Param(n, typ) for n in names)
+            locals_.extend(A.Param(n, typ, line=ln) for n, ln in names)
         body: List[A.Stmt] = []
         while not self.at("}"):
             body.append(self.statement())

@@ -25,6 +25,7 @@ from repro.lang import ast as A
 class TypeError_(Exception):
     def __init__(self, message: str, line: int = 0):
         super().__init__(f"line {line}: {message}" if line else message)
+        self.message = message
         self.line = line
 
 
@@ -34,12 +35,15 @@ class _ProcChecker:
         self.signatures = signatures
         self.types: Dict[str, str] = {}
         for p in proc.all_vars():
+            # Declarations carry their own source line (parser-threaded);
+            # fall back to the procedure header for synthesized params.
+            line = p.line or proc.line
             if p.name in self.types:
                 raise TypeError_(
-                    f"duplicate variable {p.name!r} in {proc.name}", proc.line
+                    f"duplicate variable {p.name!r} in {proc.name}", line
                 )
             if p.type not in (A.LIST, A.INT):
-                raise TypeError_(f"unknown type {p.type!r}", proc.line)
+                raise TypeError_(f"unknown type {p.type!r}", line)
             self.types[p.name] = p.type
 
     # -- expressions ------------------------------------------------------------

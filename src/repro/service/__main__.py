@@ -72,6 +72,13 @@ def _print_response(response, as_json: bool) -> int:
             hashes = result["summary_hashes"][task_id]
             print(f"  {task_id}: {len(hashes)} summarie(s)")
         _print_diagnostics(result.get("diagnostics"))
+    elif response.get("verb") == "check":
+        print(
+            f"check: {len(result.get('checked', []))} proc(s) checked, "
+            f"{len(result.get('reused', []))} reused from cache "
+            f"({'clean' if result.get('ok') else 'findings'})"
+        )
+        _print_diagnostics(result.get("diagnostics"))
     elif response.get("verb") in ("status", "flush", "shutdown"):
         print(json.dumps(result, indent=2, default=repr))
     else:
@@ -122,6 +129,17 @@ def cmd_serve(args) -> int:
 
 
 def _submit_once(client: ServiceClient, args, source: str) -> int:
+    if getattr(args, "check", False):
+        response = client.check(
+            source,
+            procs=args.procs.split(",") if args.procs else None,
+            tier=args.tier,
+            domain=args.domains.split(",")[0],
+            k=args.k,
+            program_id=args.program_id,
+            max_seconds=args.budget,
+        )
+        return _print_response(response, args.json)
     if args.check_asserts:
         response = client.check_asserts(
             source,
@@ -226,6 +244,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-request wall budget (seconds)")
         cp.add_argument("--check-asserts", action="store_true",
                         help="run assertion checking instead of summaries")
+        cp.add_argument("--check", action="store_true",
+                        help="run the two-tier lint/safety checker")
+        cp.add_argument("--tier", choices=("lint", "safety", "all"),
+                        default="all", help="checker tier(s) for --check")
         cp.add_argument("--json", action="store_true",
                         help="print the raw JSON response")
         if name == "watch":

@@ -144,6 +144,30 @@ class ServiceClient:
             fields["max_seconds"] = max_seconds
         return self.request("assert", **fields)
 
+    def check(
+        self,
+        source: str,
+        procs: Optional[Sequence[str]] = None,
+        tier: str = "all",
+        domain: str = "am",
+        k: int = 0,
+        program_id: str = "default",
+        max_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run the two-tier checker; warm runs reuse per-proc findings."""
+        fields: Dict[str, Any] = {
+            "source": source,
+            "tier": tier,
+            "domain": domain,
+            "k": k,
+            "program_id": program_id,
+        }
+        if procs is not None:
+            fields["procs"] = list(procs)
+        if max_seconds is not None:
+            fields["max_seconds"] = max_seconds
+        return self.request("check", **fields)
+
     def equivalence(
         self,
         source: str,

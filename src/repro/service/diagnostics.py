@@ -30,14 +30,33 @@ RULE_EQUIVALENCE = "equivalence"
 RULE_WORKER_CRASH = "worker.crashed"
 RULE_WORKER_FAILED = "worker.failed"
 RULE_QUEUE_REJECTED = "queue.rejected"
+# Frontend failures (parse / typecheck), shared with the checker CLI so a
+# type error is one more diagnostics record instead of a bare traceback.
+RULE_PARSE_ERROR = "frontend.parse-error"
+RULE_TYPE_ERROR = "frontend.type-error"
 
 # Verdicts.
 PASS = "pass"
 FAIL = "fail"
 ERROR = "error"  # the check itself could not complete
 INCONCLUSIVE = "inconclusive"  # partial results (budget hit)
+# Checker verdicts (repro.checker): Tier-A lints warn; Tier-B safety
+# obligations are three-valued.
+WARN = "warn"
+SAFE = "safe"
+UNSAFE = "unsafe"
+UNKNOWN = "unknown"
 
-_LEVEL_OF = {PASS: "note", FAIL: "error", ERROR: "error", INCONCLUSIVE: "warning"}
+_LEVEL_OF = {
+    PASS: "note",
+    FAIL: "error",
+    ERROR: "error",
+    INCONCLUSIVE: "warning",
+    WARN: "warning",
+    SAFE: "note",
+    UNSAFE: "error",
+    UNKNOWN: "warning",
+}
 
 SCHEMA = "repro-diagnostics/1"
 
@@ -180,12 +199,43 @@ def from_task_error(status: str, error: Optional[Dict[str, Any]], proc: Optional
     )
 
 
+def from_frontend_error(exc, path: Optional[str] = None) -> DiagnosticRecord:
+    """Encode a parse/typecheck failure as a diagnostics record.
+
+    Both :class:`repro.lang.parser.ParseError` and
+    :class:`repro.lang.typecheck.TypeError_` carry a source ``line``;
+    the record's rule id distinguishes the phase.
+    """
+    from repro.lang.parser import ParseError
+
+    rule = RULE_PARSE_ERROR if isinstance(exc, ParseError) else RULE_TYPE_ERROR
+    line = getattr(exc, "line", None) or None
+    witness: Dict[str, Any] = {"phase": "parse" if rule == RULE_PARSE_ERROR else "typecheck"}
+    if path:
+        witness["path"] = path
+    return DiagnosticRecord(
+        rule_id=rule,
+        verdict=ERROR,
+        message=getattr(exc, "message", None) or str(exc),
+        line=line,
+        witness=witness,
+    )
+
+
 def run_envelope(
     records: Iterable[DiagnosticRecord],
     stats: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The SARIF-like envelope: one run, tool metadata, verdict counts."""
-    results = [r.to_json() for r in records]
+    return records_envelope([r.to_json() for r in records], stats)
+
+
+def records_envelope(
+    results: List[Dict[str, Any]],
+    stats: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """:func:`run_envelope` over already-serialized result records
+    (the daemon's finding cache stores JSON records, not live objects)."""
     counts: Dict[str, int] = {}
     for result in results:
         counts[result["verdict"]] = counts.get(result["verdict"], 0) + 1

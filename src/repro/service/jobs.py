@@ -29,6 +29,23 @@ class AssertRequest:
 
 
 @dataclass
+class CheckRequest:
+    """Run the two-tier checker over (some procedures of) a program.
+
+    ``procs`` is the dirty subset on warm daemon runs — the server
+    answers clean procedures from its per-program finding cache and only
+    dispatches the rest here.
+    """
+
+    program: Any  # normalized repro.lang.ast.Program
+    procs: Tuple[str, ...] = ()  # () = every procedure
+    tier: str = "all"  # "lint" | "safety" | "all"
+    domain: str = "am"
+    k: int = 0
+    max_seconds: Optional[float] = None
+
+
+@dataclass
 class EquivalenceRequest:
     """Prove two sorting-like procedures equivalent (paper §6.4)."""
 
@@ -76,6 +93,62 @@ def run_assert_request(request: AssertRequest) -> Dict[str, Any]:
         "results": [record.to_json() for record in records],
         "stats": stats,
     }
+
+
+def run_check_request(request: CheckRequest) -> Dict[str, Any]:
+    """Worker entry point: per-procedure checker findings, tier-split.
+
+    Findings come back grouped ``{"lint": {proc: [records]}, "safety":
+    {proc: [records]}}`` so the server can cache the tiers under their
+    respective invalidation keys (Tier A: body hash; Tier B: cone
+    fingerprint).
+    """
+    import time
+
+    from repro.core.api import Analyzer
+    from repro.checker.findings import sort_findings
+    from repro.checker.lints import lint_cfg
+    from repro.checker.safety import SafetyOptions, check_safety
+
+    analyzer = Analyzer(request.program)
+    procs = list(request.procs) or sorted(analyzer.icfg.cfgs)
+    proc_lines = {p.name: p.line for p in request.program.procedures}
+    out: Dict[str, Any] = {
+        "lint": {},
+        "safety": {},
+        "proc_status": {},
+        "stats": {"procs": procs, "tier": request.tier,
+                  "domain": request.domain},
+    }
+    if request.tier in ("lint", "all"):
+        started = time.perf_counter()
+        for proc in procs:
+            findings = lint_cfg(
+                analyzer.icfg.cfg(proc), proc_line=proc_lines.get(proc, 0)
+            )
+            out["lint"][proc] = [f.to_json() for f in sort_findings(findings)]
+        out["stats"]["lint_seconds"] = round(time.perf_counter() - started, 6)
+    if request.tier in ("safety", "all"):
+        report = check_safety(
+            analyzer,
+            SafetyOptions(
+                domain=request.domain,
+                k=request.k,
+                procs=tuple(procs),
+                max_seconds=request.max_seconds,
+            ),
+        )
+        by_proc: Dict[str, List] = {proc: [] for proc in procs}
+        for finding in report.findings():
+            by_proc.setdefault(finding.procedure, []).append(finding)
+        out["safety"] = {
+            proc: [f.to_json() for f in sort_findings(findings)]
+            for proc, findings in by_proc.items()
+        }
+        out["proc_status"] = dict(report.proc_status)
+        out["stats"]["safety_seconds"] = round(report.seconds, 6)
+        out["stats"]["safety_verdicts"] = report.counts()
+    return out
 
 
 def run_equivalence_request(request: EquivalenceRequest) -> Dict[str, Any]:

@@ -15,7 +15,7 @@ request is a JSON object with a ``verb`` and an optional client ``id``
 Grammar (see DESIGN.md §10 for the full field tables)::
 
     request   := line( { "verb": VERB, "id"?: any, ...fields } )
-    VERB      := "analyze" | "assert" | "equivalence"
+    VERB      := "analyze" | "assert" | "equivalence" | "check"
                | "status" | "flush" | "shutdown" | "ping"
     response  := line( { "ok": bool, "id"?: any, "verb": VERB,
                          "result"?: object, "telemetry"?: object,
@@ -33,7 +33,7 @@ from typing import Any, Dict, Optional
 PROTOCOL_VERSION = 1
 
 # Job verbs go through the bounded queue; control verbs answer inline.
-JOB_VERBS = ("analyze", "assert", "equivalence")
+JOB_VERBS = ("analyze", "assert", "equivalence", "check")
 CONTROL_VERBS = ("status", "flush", "shutdown", "ping")
 VERBS = JOB_VERBS + CONTROL_VERBS
 
@@ -82,7 +82,7 @@ def validate_request(message: Dict[str, Any]) -> str:
         raise ProtocolError(
             f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}"
         )
-    if verb in ("analyze", "assert") and not isinstance(
+    if verb in ("analyze", "assert", "check") and not isinstance(
         message.get("source"), str
     ):
         raise ProtocolError(f"verb {verb!r} requires a string 'source'")

@@ -41,8 +41,10 @@ from repro.service import diagnostics as D
 from repro.service import protocol as P
 from repro.service.jobs import (
     AssertRequest,
+    CheckRequest,
     EquivalenceRequest,
     run_assert_request,
+    run_check_request,
     run_equivalence_request,
 )
 from repro.service.session import Session
@@ -77,6 +79,11 @@ class AnalysisServer:
         self.config = config or ServerConfig()
         self.sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
+        # program_id -> checker finding cache (dispatcher-thread only):
+        #   {"config": (tier, domain, k),
+        #    "procs": {proc: {"lint": (body_hash, [records]),
+        #                     "safety": (cone_fp, [records], status)}}}
+        self._check_caches: Dict[str, Dict[str, Any]] = {}
         self.queue: "queue.Queue[Optional[_Job]]" = queue.Queue(
             maxsize=max(1, self.config.queue_limit)
         )
@@ -314,6 +321,13 @@ class AnalysisServer:
                 )
                 for session in targets:
                     dropped += session.flush()
+                if program_id is None:
+                    for cache in self._check_caches.values():
+                        dropped += len(cache.get("procs") or {})
+                    self._check_caches.clear()
+                elif program_id in self._check_caches:
+                    cache = self._check_caches.pop(program_id)
+                    dropped += len(cache.get("procs") or {})
             return P.response(request, verb, {"dropped": dropped})
         if verb == "shutdown":
             self.shutting_down.set()
@@ -369,6 +383,8 @@ class AnalysisServer:
         )
         if verb == "analyze":
             return self._execute_analyze(request, program, max_seconds)
+        if verb == "check":
+            return self._execute_check(request, program, max_seconds)
         if verb == "assert":
             payload = AssertRequest(
                 program=program,
@@ -471,6 +487,210 @@ class AnalysisServer:
         out["result"] = result
         out["telemetry"] = telemetry
         return out
+
+    @staticmethod
+    def _check_keys(program, icfg, index) -> Dict[str, Tuple[str, str]]:
+        """proc -> (Tier-A key, Tier-B key) for cached checker findings.
+
+        ``body_hash``/``cone_fingerprint`` deliberately ignore source
+        line numbers and never-referenced locals (summaries don't depend
+        on them) — but checker findings carry source lines and the
+        unused-local lint *is* about never-referenced declarations, so
+        the checker keys fold the declaration/line signature of each
+        procedure on top of the analysis keys.
+        """
+        from repro.engine.canon import stable_digest
+
+        proc_lines = {p.name: p.line for p in program.procedures}
+        keys: Dict[str, Tuple[str, str]] = {}
+        for proc in index.bodies:
+            cfg = icfg.cfg(proc)
+            signature = (
+                proc_lines.get(proc, 0),
+                tuple(
+                    (p.name, p.type, p.line)
+                    for p in list(cfg.inputs) + list(cfg.outputs)
+                    + list(cfg.locals)
+                ),
+                tuple(e.line for e in cfg.edges),
+            )
+            keys[proc] = (
+                stable_digest(index.bodies[proc], signature),
+                stable_digest(index.cone_fingerprint(proc), signature),
+            )
+        return keys
+
+    def _execute_check(
+        self,
+        request: Dict[str, Any],
+        program,
+        max_seconds: Optional[float],
+    ) -> Dict[str, Any]:
+        """The ``check`` verb: two-tier checker with warm per-proc reuse.
+
+        Tier-A findings are a pure function of one procedure's body, so
+        they are cached under its (line-sensitive) body key; Tier-B
+        verdicts depend on the whole call cone (the engine analyzes
+        callees transitively), so they are cached under the cone
+        fingerprint — the same key the incremental analyzer trusts —
+        plus the same line signature.  Only procedures whose key changed
+        are re-dispatched; the rest answer from the cache.
+        """
+        program_id = str(request.get("program_id", "default"))
+        tier = str(request.get("tier", "all"))
+        if tier not in ("lint", "safety", "all"):
+            return P.error_response(
+                request, P.E_BAD_REQUEST, f"unknown tier {tier!r}", "check"
+            )
+        domain = str(request.get("domain", "am"))
+        k = int(request.get("k", 0))
+        # No session round-trip: the checker keys must see line/decl
+        # changes that icfg_fingerprint (and thus Session.update)
+        # deliberately ignores, so they come from the incoming program.
+        from repro.lang.cfg import build_icfg
+        from repro.service.depindex import DependencyIndex
+
+        icfg = build_icfg(program)
+        index = DependencyIndex.build(icfg)
+        requested = list(request.get("procs") or sorted(index.bodies))
+        unknown = [p for p in requested if p not in index.bodies]
+        if unknown:
+            return P.error_response(
+                request,
+                P.E_BAD_REQUEST,
+                f"unknown procedure(s): {', '.join(sorted(unknown))}",
+                "check",
+            )
+        want_lint = tier in ("lint", "all")
+        want_safety = tier in ("safety", "all")
+
+        keys = self._check_keys(program, icfg, index)
+        with self._sessions_lock:
+            cache = self._check_caches.setdefault(program_id, {})
+            if cache.get("config") != (tier, domain, k):
+                cache.clear()
+                cache["config"] = (tier, domain, k)
+                cache["procs"] = {}
+            cached: Dict[str, Dict[str, Any]] = cache["procs"]
+            dirty: List[str] = []
+            for proc in requested:
+                entry = cached.get(proc, {})
+                lint_ok = (not want_lint) or (
+                    "lint" in entry and entry["lint"][0] == keys[proc][0]
+                )
+                safety_ok = (not want_safety) or (
+                    "safety" in entry and entry["safety"][0] == keys[proc][1]
+                )
+                if not (lint_ok and safety_ok):
+                    dirty.append(proc)
+        reused = [p for p in requested if p not in set(dirty)]
+
+        fresh: Dict[str, Any] = {"lint": {}, "safety": {},
+                                 "proc_status": {}, "stats": {}}
+        telemetry: Dict[str, Any] = {"isolation": "warm"}
+        if dirty:
+            payload = CheckRequest(
+                program=program,
+                procs=tuple(dirty),
+                tier=tier,
+                domain=domain,
+                k=k,
+                max_seconds=max_seconds,
+            )
+            if self.config.jobs == 0:
+                fresh = run_check_request(payload)
+                telemetry["isolation"] = "inline"
+            else:
+                from repro.parallel.pool import OK, PoolTask, WorkerPool
+
+                pool = WorkerPool(jobs=1, hard_grace=self.config.hard_grace)
+                (outcome,) = pool.run(
+                    [
+                        PoolTask(
+                            task_id="check",
+                            fn=run_check_request,
+                            args=(payload,),
+                            budget=max_seconds,
+                        )
+                    ]
+                )
+                telemetry.update(
+                    isolation="pool",
+                    wall_s=round(outcome.wall_time, 6),
+                    retries=outcome.retries,
+                )
+                if outcome.status != OK:
+                    self.telemetry.count(f"requests.check.{outcome.status}")
+                    record = D.from_task_error(outcome.status, outcome.error)
+                    out = P.error_response(
+                        request,
+                        outcome.status,
+                        (outcome.error or {}).get(
+                            "message", f"task {outcome.status}"
+                        ),
+                        "check",
+                        diagnostics=D.run_envelope([record]),
+                    )
+                    out["telemetry"] = telemetry
+                    return out
+                fresh = outcome.result
+
+        # Merge fresh results into the cache, then answer every requested
+        # procedure from it.
+        records: List[Dict[str, Any]] = []
+        proc_status: Dict[str, str] = {}
+        with self._sessions_lock:
+            for proc in dirty:
+                entry = cached.setdefault(proc, {})
+                if want_lint:
+                    entry["lint"] = (
+                        keys[proc][0], fresh["lint"].get(proc, [])
+                    )
+                if want_safety:
+                    entry["safety"] = (
+                        keys[proc][1],
+                        fresh["safety"].get(proc, []),
+                        fresh["proc_status"].get(proc, "ok"),
+                    )
+            for proc in requested:
+                entry = cached.get(proc, {})
+                if want_lint and "lint" in entry:
+                    records.extend(entry["lint"][1])
+                if want_safety and "safety" in entry:
+                    records.extend(entry["safety"][1])
+                    if entry["safety"][2] != "ok":
+                        proc_status[proc] = entry["safety"][2]
+        records.sort(
+            key=lambda r: (
+                r.get("procedure") or "",
+                r.get("line") or 0,
+                r.get("ruleId") or "",
+                r.get("verdict") or "",
+                r.get("message") or "",
+            )
+        )
+        for record in records:
+            self.telemetry.count(f"checker.rule.{record['ruleId']}")
+        self.telemetry.count("check.procs_checked", len(dirty))
+        self.telemetry.count("check.procs_reused", len(reused))
+        stats = dict(fresh.get("stats") or {})
+        stats["checked"] = sorted(dirty)
+        stats["reused"] = sorted(reused)
+        ok = not any(
+            r["verdict"] in (D.WARN, D.UNSAFE, D.ERROR) for r in records
+        )
+        result = {
+            "program_id": program_id,
+            "tier": tier,
+            "domain": domain,
+            "ok": ok,
+            "checked": sorted(dirty),
+            "reused": sorted(reused),
+            "proc_status": proc_status,
+            "diagnostics": D.records_envelope(records, stats),
+        }
+        telemetry.update(checked=len(dirty), reused=len(reused))
+        return P.response(request, "check", result, telemetry)
 
     def _run_job_task(
         self,
