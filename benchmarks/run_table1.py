@@ -21,9 +21,14 @@ null-deref / leak / acyclicity obligations of that function, with a
 per-suite verdict tally in the footer (all Table 1 functions must be
 free of ``unsafe`` verdicts).  Skip it with --skip-checker.
 
+A "term" column reports the termination prover's verdict per function
+(``repro.termination``), with a per-suite tally in the footer -- the
+acceptance bar is zero possibly-nonterminating verdicts with >= 80%
+proved terminating.  Skip it with --skip-termination.
+
 Usage:  python benchmarks/run_table1.py [--budget 240] [--only NAME]
                                         [--skip-au] [--skip-checker]
-                                        [--jobs N]
+                                        [--skip-termination] [--jobs N]
 """
 
 import argparse
@@ -42,6 +47,14 @@ def fmt_ok(ok):
     return {True: "match", False: "WEAKER", None: "  -  "}[ok]
 
 
+def fmt_verdict(verdict):
+    return {
+        "terminating": "term",
+        "possibly-nonterminating": "NONTERM",
+        "unknown": "unknown",
+    }.get(verdict, verdict or "-")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--budget", type=float, default=240.0)
@@ -49,6 +62,8 @@ def main():
     parser.add_argument("--skip-au", action="store_true")
     parser.add_argument("--skip-checker", action="store_true",
                         help="omit the Tier-B checker timing column")
+    parser.add_argument("--skip-termination", action="store_true",
+                        help="omit the termination verdict column")
     parser.add_argument(
         "--jobs",
         type=int,
@@ -59,7 +74,7 @@ def main():
 
     from repro.lang.benchlib import TABLE1
 
-    from table1_common import checker_suite, run_suite
+    from table1_common import checker_suite, run_suite, termination_suite
 
     rows = [e for e in TABLE1 if args.only is None or e.name == args.only]
     pairs = [(e.name, "am") for e in rows]
@@ -74,21 +89,32 @@ def main():
             [e.name for e in rows], jobs=args.jobs, budget=args.budget
         )
     )
+    termination = (
+        {}
+        if args.skip_termination
+        else termination_suite(
+            [e.name for e in rows], jobs=args.jobs, budget=args.budget
+        )
+    )
 
     print(
         f"{'class':<6} {'fun':<12} {'patterns':<22} "
         f"{'AM t(s)':>8} {'paper':>6}  {'AU t(s)':>8} {'paper':>7} "
-        f"{'chk t(s)':>8} {'summary':>7}  engine"
+        f"{'chk t(s)':>8} {'term':>8} {'summary':>7}  engine"
     )
     print("-" * 120)
     empty = {"time": None, "ok": None, "note": "", "patterns": (), "engine": ""}
     unsafe_rows = []
+    nonterm_rows = []
     for e in rows:
         am = results.get((e.name, "am"), empty)
         au = results.get((e.name, "au"), empty)
         chk = checker.get(e.name, {"checker_time": None, "verdicts": {}})
+        term = termination.get(e.name, {"verdict": None})
         if chk["verdicts"].get("unsafe"):
             unsafe_rows.append(e.name)
+        if term["verdict"] == "possibly-nonterminating":
+            nonterm_rows.append(e.name)
         pats = ",".join(sorted(au["patterns"] or am["patterns"])) or "-"
         ok = au["ok"] if au["ok"] is not None else am["ok"]
         note = au["note"] or am["note"]
@@ -98,6 +124,7 @@ def main():
             f"{fmt_time(am['time'])} {e.paper_am_time:6.3f}  "
             f"{fmt_time(au['time'])} {e.paper_au_time:7.3f} "
             f"{fmt_time(chk['checker_time'])} "
+            f"{fmt_verdict(term['verdict']):>8} "
             f"{fmt_ok(ok):>7}  {engine}"
             + (f"  [{note}]" if note else ""),
             flush=True,
@@ -127,6 +154,26 @@ def main():
         )
         if unsafe_rows:
             print(f"checker: UNSAFE verdicts in: {', '.join(unsafe_rows)}")
+    if termination:
+        termination_seconds = sum(
+            row["termination_time"]
+            for row in termination.values()
+            if row["termination_time"] is not None
+        )
+        verdicts = {}
+        for row in termination.values():
+            v = row["verdict"]
+            verdicts[v] = verdicts.get(v, 0) + 1
+        tally = " ".join(f"{v}={verdicts[v]}" for v in sorted(verdicts))
+        print(
+            f"termination: {termination_seconds:.1f}s over "
+            f"{len(termination)} rows ({tally})"
+        )
+        if nonterm_rows:
+            print(
+                "termination: possibly-nonterminating verdicts in: "
+                + ", ".join(nonterm_rows)
+            )
 
 
 if __name__ == "__main__":

@@ -392,6 +392,60 @@ def checker_suite(names, jobs: int, budget: Optional[float] = None):
     return results
 
 
+def termination_task(name: str, max_seconds: Optional[float] = None) -> dict:
+    """Pool worker: termination verdict for one Table 1 function.
+
+    The suite-level acceptance bar is *zero possibly-nonterminating
+    verdicts* (every Table 1 function terminates) with at least 80%
+    proved outright; honest unknowns (e.g. bubblesort's swapped-flag
+    outer loop) are allowed.
+    """
+    from repro.termination.driver import TerminationOptions, check_termination
+
+    analyzer = fresh_analyzer()
+    start = time.perf_counter()
+    report = check_termination(
+        analyzer,
+        TerminationOptions(procs=[name], max_seconds=max_seconds),
+    )
+    return {
+        "name": name,
+        "termination_time": time.perf_counter() - start,
+        "verdict": report.proc_verdict(name),
+        "status": report.proc_status.get(name, "ok"),
+    }
+
+
+def termination_suite(names, jobs: int, budget: Optional[float] = None):
+    """Termination verdicts for Table 1 rows on the worker pool."""
+    from repro.parallel.pool import PoolTask, WorkerPool
+
+    tasks = [
+        PoolTask(
+            task_id=f"{name}.termination",
+            fn=termination_task,
+            args=(name,),
+            kwargs={"max_seconds": budget},
+            budget=budget,
+        )
+        for name in names
+    ]
+    results = {}
+    pool = WorkerPool(jobs=jobs, hard_grace=30.0)
+    for outcome in pool.run(tasks):
+        name = outcome.task_id.rpartition(".")[0]
+        if outcome.status == "ok":
+            results[name] = outcome.result
+        else:
+            results[name] = {
+                "name": name,
+                "termination_time": None,
+                "verdict": "unknown",
+                "status": outcome.status,
+            }
+    return results
+
+
 def run_suite(
     pairs,
     jobs: int,

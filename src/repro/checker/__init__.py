@@ -20,9 +20,12 @@ from repro.checker.findings import (
     CheckFinding,
     FRONTEND_RULE_IDS,
     LINT_RULE_IDS,
+    POSSIBLY_NONTERMINATING,
     RULE_DESCRIPTIONS,
     SAFE,
     SAFETY_RULE_IDS,
+    TERMINATING,
+    TERMINATION_RULE_IDS,
     UNKNOWN,
     UNSAFE,
     WARN,
@@ -44,9 +47,12 @@ __all__ = [
     "FRONTEND_RULE_IDS",
     "LINT_RULES",
     "LINT_RULE_IDS",
+    "POSSIBLY_NONTERMINATING",
     "RULE_DESCRIPTIONS",
     "SAFE",
     "SAFETY_RULE_IDS",
+    "TERMINATING",
+    "TERMINATION_RULE_IDS",
     "SafetyOptions",
     "SafetyReport",
     "SafetySite",

@@ -27,12 +27,15 @@ from repro.checker.findings import (
     ALL_RULE_IDS,
     CheckFinding,
     LINT_RULE_IDS,
+    POSSIBLY_NONTERMINATING,
     SAFETY_RULE_IDS,
+    TERMINATION_RULE_IDS,
     UNSAFE,
     WARN,
 )
 from repro.checker.safety import SafetyOptions
 from repro.checker.sarif import sarif_dumps
+from repro.termination.driver import TerminationOptions
 
 
 def _collect_files(paths: List[str]) -> List[str]:
@@ -49,24 +52,27 @@ def _collect_files(paths: List[str]) -> List[str]:
 
 
 def _split_rules(spec: Optional[str]):
-    """Partition a --rules csv into (lint subset, safety subset)."""
+    """Partition a --rules csv into (lint, safety, termination) subsets."""
     if not spec:
-        return None, None
+        return None, None, None
     chosen = [r.strip() for r in spec.split(",") if r.strip()]
     unknown = [r for r in chosen if r not in ALL_RULE_IDS]
     if unknown:
         raise SystemExit(f"error: unknown rule id(s): {', '.join(unknown)}")
     lint = [r for r in chosen if r in LINT_RULE_IDS]
     safety = [r for r in chosen if r in SAFETY_RULE_IDS]
-    return lint, safety
+    termination = [r for r in chosen if r in TERMINATION_RULE_IDS]
+    return lint, safety, termination
 
 
 def _reportable(finding: CheckFinding, fail_on: str) -> bool:
     if fail_on == "none":
         return False
     if fail_on == "unsafe":
-        return finding.verdict in (UNSAFE, diag.ERROR)
-    return finding.verdict in (WARN, UNSAFE, diag.ERROR)  # "any"
+        return finding.verdict in (UNSAFE, POSSIBLY_NONTERMINATING, diag.ERROR)
+    return finding.verdict in (
+        WARN, UNSAFE, POSSIBLY_NONTERMINATING, diag.ERROR,
+    )  # "any"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,15 +82,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ap.add_argument("paths", nargs="+",
                     help=".lisl files or directories (searched recursively)")
-    ap.add_argument("--tier", choices=("lint", "safety", "all"), default="all",
-                    help="which tier(s) to run (default: all)")
+    ap.add_argument("--tier", choices=("lint", "safety", "termination", "all"),
+                    default="all",
+                    help="which tier(s) to run (default: all = lint + safety; "
+                         "termination is opt-in)")
     ap.add_argument("--rules", type=str, default=None,
                     help="comma-separated rule ids to enable (default: all)")
     ap.add_argument("--domain", choices=("am", "au"), default="am",
-                    help="abstract domain for Tier B (default: am)")
+                    help="abstract domain for Tier B safety (default: am; "
+                         "the termination tier always uses au)")
     ap.add_argument("--k", type=int, default=0, help="fold bound k for Tier B")
     ap.add_argument("--budget", type=float, default=None,
-                    help="wall-clock budget per procedure analysis (seconds)")
+                    help="total wall-clock budget across all Tier-B analyses "
+                         "(seconds); obligations past the budget degrade to "
+                         "unknown with a checker.incomplete note")
     ap.add_argument("--include-safe", action="store_true",
                     help="also report proved-safe Tier-B obligations")
     ap.add_argument("--fail-on", choices=("any", "unsafe", "none"), default="any",
@@ -100,11 +111,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not files:
         print("error: no .lisl files found", file=sys.stderr)
         return 2
-    lint_rules, safety_rules = _split_rules(args.rules)
+    lint_rules, safety_rules, termination_rules = _split_rules(args.rules)
     tier = args.tier
     if args.rules:
-        # A rules filter implies the tiers it names.
-        if lint_rules and not safety_rules:
+        # A rules filter implies the tiers it names.  The termination
+        # tier runs alone (it is a different cost class), so mixing
+        # safety.termination with lint/safety rules is a usage error.
+        if termination_rules and (lint_rules or safety_rules):
+            print(
+                "error: safety.termination cannot be combined with other "
+                "rules (run it as its own tier)",
+                file=sys.stderr,
+            )
+            return 2
+        if termination_rules:
+            tier = "termination"
+        elif lint_rules and not safety_rules:
             tier = "lint"
         elif safety_rules and not lint_rules:
             tier = "safety"
@@ -116,6 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             domain=args.domain,
             k=args.k,
             rules=safety_rules,
+            max_seconds=args.budget,
+        ),
+        termination=TerminationOptions(
+            k=args.k,
+            rules=termination_rules,
             max_seconds=args.budget,
         ),
         include_safe=args.include_safe,

@@ -18,6 +18,7 @@ from repro.lang.typecheck import TypeError_
 from repro.service import diagnostics as diag
 from repro.checker.findings import (
     CheckFinding,
+    POSSIBLY_NONTERMINATING,
     UNSAFE,
     UNKNOWN,
     WARN,
@@ -26,19 +27,26 @@ from repro.checker.findings import (
 from repro.checker.lints import lint_program
 from repro.checker.safety import SafetyOptions, SafetyReport, check_safety
 
-TIERS = ("lint", "safety", "all")
+# "all" remains lint + safety; the termination tier is opt-in (it runs
+# whole-program AU fixpoints, a different cost class than the default lint).
+TIERS = ("lint", "safety", "termination", "all")
 
 
 @dataclass
 class CheckOptions:
-    tier: str = "all"  # "lint" | "safety" | "all"
+    tier: str = "all"  # "lint" | "safety" | "termination" | "all"
     lint_rules: Optional[Iterable[str]] = None
     safety: SafetyOptions = field(default_factory=SafetyOptions)
+    termination: "TerminationOptions" = None  # defaults lazily (import cycle)
     include_safe: bool = False  # also report proved-safe obligations
 
     def __post_init__(self):
         if self.tier not in TIERS:
             raise ValueError(f"unknown tier {self.tier!r} (expected one of {TIERS})")
+        if self.termination is None:
+            from repro.termination.driver import TerminationOptions
+
+            self.termination = TerminationOptions()
 
 
 @dataclass
@@ -47,12 +55,17 @@ class CheckReport:
 
     findings: List[CheckFinding] = field(default_factory=list)
     safety: Optional[SafetyReport] = None
+    termination: Optional["TerminationReport"] = None
     stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        """No lints, no unsafe verdicts (unknowns are tolerated)."""
-        return not any(f.verdict in (WARN, UNSAFE, diag.ERROR) for f in self.findings)
+        """No lints, no unsafe/possibly-nonterminating verdicts
+        (unknowns are tolerated)."""
+        return not any(
+            f.verdict in (WARN, UNSAFE, POSSIBLY_NONTERMINATING, diag.ERROR)
+            for f in self.findings
+        )
 
     def rule_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -96,6 +109,15 @@ def check_program(
         report.stats["safety_seconds"] = round(safety_report.seconds, 6)
         report.stats["safety_verdicts"] = safety_report.counts()
         report.stats["safety_sites"] = len(safety_report.sites)
+    if opts.tier == "termination":
+        from repro.termination.driver import check_termination
+
+        term_report = check_termination(analyzer, opts.termination)
+        report.termination = term_report
+        report.findings.extend(term_report.findings(include_safe=opts.include_safe))
+        report.stats["termination_seconds"] = round(term_report.seconds, 6)
+        report.stats["termination_verdicts"] = term_report.counts()
+        report.stats["termination_sites"] = len(term_report.sites)
     report.findings = sort_findings(report.findings)
     _count_rules(report, telemetry)
     return report

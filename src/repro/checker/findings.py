@@ -28,6 +28,9 @@ RULE_SAFETY_NULL_DEREF = "safety.null-deref"
 RULE_SAFETY_LEAK = "safety.leak"
 RULE_SAFETY_ACYCLIC = "safety.acyclic"
 
+# -- Termination prover (repro.termination; opt-in tier) ----------------------
+RULE_SAFETY_TERMINATION = "safety.termination"
+
 # -- Frontend (shared with the service envelope layer) -----------------------
 RULE_PARSE_ERROR = diag.RULE_PARSE_ERROR
 RULE_TYPE_ERROR = diag.RULE_TYPE_ERROR
@@ -49,9 +52,14 @@ SAFETY_RULE_IDS: Tuple[str, ...] = (
     RULE_SAFETY_LEAK,
     RULE_SAFETY_ACYCLIC,
 )
+TERMINATION_RULE_IDS: Tuple[str, ...] = (RULE_SAFETY_TERMINATION,)
 FRONTEND_RULE_IDS: Tuple[str, ...] = (RULE_PARSE_ERROR, RULE_TYPE_ERROR)
 ALL_RULE_IDS: Tuple[str, ...] = (
-    LINT_RULE_IDS + SAFETY_RULE_IDS + FRONTEND_RULE_IDS + (RULE_CHECKER_INCOMPLETE,)
+    LINT_RULE_IDS
+    + SAFETY_RULE_IDS
+    + TERMINATION_RULE_IDS
+    + FRONTEND_RULE_IDS
+    + (RULE_CHECKER_INCOMPLETE,)
 )
 
 RULE_DESCRIPTIONS: Dict[str, str] = {
@@ -65,16 +73,20 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     RULE_SAFETY_NULL_DEREF: "dereference not proved non-NULL in all abstract heaps",
     RULE_SAFETY_LEAK: "cells may be unreachable from inputs/outputs at exit",
     RULE_SAFETY_ACYCLIC: "list backbone may become cyclic",
+    RULE_SAFETY_TERMINATION: "loop or recursion not proved terminating",
     RULE_PARSE_ERROR: "source does not parse",
     RULE_TYPE_ERROR: "source does not typecheck",
     RULE_CHECKER_INCOMPLETE: "analysis incomplete; safety verdicts degraded to unknown",
 }
 
-# Verdicts.  Tier A lints always "warn"; Tier B is three-valued.
+# Verdicts.  Tier A lints always "warn"; Tier B is three-valued; the
+# termination prover adds its own three-valued vocabulary.
 WARN = diag.WARN
 SAFE = diag.SAFE
 UNSAFE = diag.UNSAFE
 UNKNOWN = diag.UNKNOWN
+TERMINATING = diag.TERMINATING
+POSSIBLY_NONTERMINATING = diag.POSSIBLY_NONTERMINATING
 
 
 @dataclass

@@ -63,6 +63,10 @@ class SafetyOptions:
     procs: Optional[List[str]] = None
     rules: Optional[Iterable[str]] = None  # subset of SAFETY_RULE_IDS
     max_steps: Optional[int] = None
+    # Total wall-clock budget shared across all selected procedures: each
+    # analysis gets what is left, and once the budget is spent the
+    # remaining procedures degrade to unknown (checker.incomplete)
+    # instead of stalling the lint run.
     max_seconds: Optional[float] = None
 
 
@@ -379,15 +383,25 @@ def check_safety(analyzer, options: Optional[SafetyOptions] = None) -> SafetyRep
     procs = list(opts.procs) if opts.procs is not None else sorted(analyzer.icfg.cfgs)
     report = SafetyReport()
     started = time.perf_counter()
+    deadline = (
+        time.monotonic() + opts.max_seconds if opts.max_seconds is not None else None
+    )
     for proc in procs:
         cfg = analyzer.icfg.cfg(proc)
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                report.proc_status[proc] = "budget: wall-clock budget exhausted"
+                report.sites.extend(_degrade(_check_proc(cfg, [], rules)))
+                continue
         try:
             result = analyzer.analyze(
                 proc,
                 domain=opts.domain,
                 k=opts.k,
                 max_steps=opts.max_steps,
-                max_seconds=opts.max_seconds,
+                max_seconds=remaining,
                 engine_opts=EngineOptions(use_cache=False),
             )
         except CutpointError as exc:

@@ -18,8 +18,10 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.checker.findings import (
     ALL_RULE_IDS,
     CheckFinding,
+    POSSIBLY_NONTERMINATING,
     RULE_DESCRIPTIONS,
     SAFE,
+    TERMINATING,
     UNKNOWN,
     UNSAFE,
     WARN,
@@ -38,6 +40,8 @@ _SARIF_LEVEL = {
     UNSAFE: "error",
     UNKNOWN: "warning",
     SAFE: "none",
+    TERMINATING: "none",
+    POSSIBLY_NONTERMINATING: "error",
     "error": "error",
 }
 

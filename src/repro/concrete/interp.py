@@ -68,6 +68,12 @@ class Interpreter:
         # (proc_name, env, cfg); used by the checker cross-validation to
         # observe leaks/cycles without changing the semantics.
         self.frame_observer = None
+        # Optional hook called with (cfg, edge, env) just before the taken
+        # edge executes (assume or action); used by the termination
+        # cross-validation to count loop-head arrivals and watch measures.
+        # Observers may stash per-frame state in env under "$"-prefixed
+        # keys ("$" never occurs in LISL identifiers).
+        self.edge_observer = None
 
     # -- public API ------------------------------------------------------------
 
@@ -111,6 +117,8 @@ class Interpreter:
                 raise ConcreteError("mixed assume and action edges")
             for edge in assume_edges:
                 if self._locate(edge, cfg, self._test, edge.op, env):
+                    if self.edge_observer is not None:
+                        self.edge_observer(cfg, edge, env)
                     return edge.dst
             raise ConcreteError(
                 f"no branch taken at node {node} of {cfg.proc_name}"
@@ -119,6 +127,8 @@ class Interpreter:
             # Join points carry several skip edges inward, never outward.
             raise ConcreteError(f"non-deterministic action at node {node}")
         edge = edges[0]
+        if self.edge_observer is not None:
+            self.edge_observer(cfg, edge, env)
         self._locate(edge, cfg, self._execute, edge.op, env)
         return edge.dst
 

@@ -187,25 +187,35 @@ def fuzz(
     return failures
 
 
-def _make_checker(oracle_config: OracleConfig, check_safety: bool):
+def _make_checker(
+    oracle_config: OracleConfig,
+    check_safety: bool,
+    check_termination: bool = False,
+):
     """The differential judge: the gamma-soundness oracle, or — under
-    ``--check-safety`` — the Tier-B cross-validation harness.  Both share
-    the ``check_program``/``check_source``/``check_views``/``skips``
+    ``--check-safety`` / ``--check-termination`` — a cross-validation
+    harness.  All three share the
+    ``check_program``/``check_source``/``check_views``/``skips``
     interface, so the fuzz loop, shrinker, and corpus replay are agnostic.
     """
-    if not check_safety:
+    if not (check_safety or check_termination):
         return Oracle(oracle_config)
-    from repro.checker.crosscheck import CrossChecker, CrossCheckConfig
+    from repro.checker.crosscheck import CrossCheckConfig
 
-    return CrossChecker(
-        CrossCheckConfig(
-            rounds=oracle_config.rounds,
-            max_interp_steps=oracle_config.max_interp_steps,
-            domain=oracle_config.domains[0],
-            engine_max_steps=oracle_config.engine_max_steps,
-            engine_max_seconds=oracle_config.engine_max_seconds,
-        )
+    config = CrossCheckConfig(
+        rounds=oracle_config.rounds,
+        max_interp_steps=oracle_config.max_interp_steps,
+        domain="au" if check_termination else oracle_config.domains[0],
+        engine_max_steps=oracle_config.engine_max_steps,
+        engine_max_seconds=oracle_config.engine_max_seconds,
     )
+    if check_termination:
+        from repro.termination.crosscheck import TerminationCrossChecker
+
+        return TerminationCrossChecker(config)
+    from repro.checker.crosscheck import CrossChecker
+
+    return CrossChecker(config)
 
 
 def _fuzz_chunk(
@@ -218,6 +228,7 @@ def _fuzz_chunk(
     time_budget: Optional[float],
     shrink_checks: int,
     check_safety: bool = False,
+    check_termination: bool = False,
 ) -> dict:
     """Pool worker: fuzz one contiguous iteration range.
 
@@ -226,7 +237,7 @@ def _fuzz_chunk(
     parent to aggregate.  Signature dedup is per-chunk; duplicate
     signatures across chunks are deduplicated by the parent.
     """
-    oracle = _make_checker(oracle_config, check_safety)
+    oracle = _make_checker(oracle_config, check_safety, check_termination)
     failures = fuzz(
         seed=seed,
         iters=count,
@@ -251,6 +262,7 @@ def fuzz_parallel(
     time_budget: Optional[float],
     shrink_checks: int,
     check_safety: bool = False,
+    check_termination: bool = False,
 ) -> Tuple[List[Finding], dict]:
     """Fan iteration ranges out over the worker pool.
 
@@ -281,6 +293,7 @@ def fuzz_parallel(
                     time_budget,
                     shrink_checks,
                     check_safety,
+                    check_termination,
                 ),
             )
         )
@@ -350,6 +363,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runs instead of gamma-checking summaries",
     )
     ap.add_argument(
+        "--check-termination",
+        action="store_true",
+        help="cross-validate termination certificates against concrete "
+        "runs (a run past a derived bound refutes 'terminating')",
+    )
+    ap.add_argument(
         "--shrink-checks",
         type=int,
         default=150,
@@ -363,12 +382,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "to a sequential run; corpus saves are race-free)",
     )
     args = ap.parse_args(argv)
+    if args.check_safety and args.check_termination:
+        print("error: --check-safety and --check-termination are exclusive",
+              file=sys.stderr)
+        return 2
 
     oracle_config = OracleConfig(
         rounds=args.rounds,
-        domains=("am",) if (args.skip_au or args.check_safety) else ("am", "au"),
+        domains=("am",)
+        if (args.skip_au or args.check_safety or args.check_termination)
+        else ("am", "au"),
     )
-    oracle = _make_checker(oracle_config, args.check_safety)
+    oracle = _make_checker(oracle_config, args.check_safety,
+                           args.check_termination)
     gen_config = GenConfig(n_procs=args.max_procs)
 
     corpus_failures = 0
@@ -388,6 +414,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             time_budget=args.time_budget,
             shrink_checks=args.shrink_checks,
             check_safety=args.check_safety,
+            check_termination=args.check_termination,
         )
         skips = {
             key: skips.get(key, 0) + fuzz_skips.get(key, 0)

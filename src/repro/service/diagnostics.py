@@ -46,6 +46,10 @@ WARN = "warn"
 SAFE = "safe"
 UNSAFE = "unsafe"
 UNKNOWN = "unknown"
+# Termination verdicts (repro.termination): a proof, positive evidence of
+# a non-decreasing loop/recursion measure, or an honest "unknown".
+TERMINATING = "terminating"
+POSSIBLY_NONTERMINATING = "possibly-nonterminating"
 
 _LEVEL_OF = {
     PASS: "note",
@@ -56,6 +60,8 @@ _LEVEL_OF = {
     SAFE: "note",
     UNSAFE: "error",
     UNKNOWN: "warning",
+    TERMINATING: "note",
+    POSSIBLY_NONTERMINATING: "error",
 }
 
 SCHEMA = "repro-diagnostics/1"

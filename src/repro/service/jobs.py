@@ -39,7 +39,7 @@ class CheckRequest:
 
     program: Any  # normalized repro.lang.ast.Program
     procs: Tuple[str, ...] = ()  # () = every procedure
-    tier: str = "all"  # "lint" | "safety" | "all"
+    tier: str = "all"  # "lint" | "safety" | "termination" | "all"
     domain: str = "am"
     k: int = 0
     max_seconds: Optional[float] = None
@@ -99,9 +99,9 @@ def run_check_request(request: CheckRequest) -> Dict[str, Any]:
     """Worker entry point: per-procedure checker findings, tier-split.
 
     Findings come back grouped ``{"lint": {proc: [records]}, "safety":
-    {proc: [records]}}`` so the server can cache the tiers under their
-    respective invalidation keys (Tier A: body hash; Tier B: cone
-    fingerprint).
+    {proc: [records]}, "termination": {proc: [records]}}`` so the server
+    can cache the tiers under their respective invalidation keys (Tier
+    A: body hash; Tier B and termination: cone fingerprint).
     """
     import time
 
@@ -116,7 +116,9 @@ def run_check_request(request: CheckRequest) -> Dict[str, Any]:
     out: Dict[str, Any] = {
         "lint": {},
         "safety": {},
+        "termination": {},
         "proc_status": {},
+        "termination_status": {},
         "stats": {"procs": procs, "tier": request.tier,
                   "domain": request.domain},
     }
@@ -148,6 +150,27 @@ def run_check_request(request: CheckRequest) -> Dict[str, Any]:
         out["proc_status"] = dict(report.proc_status)
         out["stats"]["safety_seconds"] = round(report.seconds, 6)
         out["stats"]["safety_verdicts"] = report.counts()
+    if request.tier == "termination":
+        from repro.termination.driver import TerminationOptions, check_termination
+
+        report = check_termination(
+            analyzer,
+            TerminationOptions(
+                k=request.k,
+                procs=list(procs),
+                max_seconds=request.max_seconds,
+            ),
+        )
+        by_proc: Dict[str, List] = {proc: [] for proc in procs}
+        for finding in report.findings(include_safe=True):
+            by_proc.setdefault(finding.procedure, []).append(finding)
+        out["termination"] = {
+            proc: [f.to_json() for f in sort_findings(findings)]
+            for proc, findings in by_proc.items()
+        }
+        out["termination_status"] = dict(report.proc_status)
+        out["stats"]["termination_seconds"] = round(report.seconds, 6)
+        out["stats"]["termination_verdicts"] = report.counts()
     return out
 
 

@@ -538,7 +538,7 @@ class AnalysisServer:
         """
         program_id = str(request.get("program_id", "default"))
         tier = str(request.get("tier", "all"))
-        if tier not in ("lint", "safety", "all"):
+        if tier not in ("lint", "safety", "termination", "all"):
             return P.error_response(
                 request, P.E_BAD_REQUEST, f"unknown tier {tier!r}", "check"
             )
@@ -563,6 +563,7 @@ class AnalysisServer:
             )
         want_lint = tier in ("lint", "all")
         want_safety = tier in ("safety", "all")
+        want_termination = tier == "termination"
 
         keys = self._check_keys(program, icfg, index)
         with self._sessions_lock:
@@ -581,12 +582,20 @@ class AnalysisServer:
                 safety_ok = (not want_safety) or (
                     "safety" in entry and entry["safety"][0] == keys[proc][1]
                 )
-                if not (lint_ok and safety_ok):
+                # Termination verdicts depend on the whole call cone
+                # (callee summaries feed the recursion/loop checks), so
+                # they share Tier B's cone-fingerprint key.
+                termination_ok = (not want_termination) or (
+                    "termination" in entry
+                    and entry["termination"][0] == keys[proc][1]
+                )
+                if not (lint_ok and safety_ok and termination_ok):
                     dirty.append(proc)
         reused = [p for p in requested if p not in set(dirty)]
 
-        fresh: Dict[str, Any] = {"lint": {}, "safety": {},
-                                 "proc_status": {}, "stats": {}}
+        fresh: Dict[str, Any] = {"lint": {}, "safety": {}, "termination": {},
+                                 "proc_status": {}, "termination_status": {},
+                                 "stats": {}}
         telemetry: Dict[str, Any] = {"isolation": "warm"}
         if dirty:
             payload = CheckRequest(
@@ -652,6 +661,12 @@ class AnalysisServer:
                         fresh["safety"].get(proc, []),
                         fresh["proc_status"].get(proc, "ok"),
                     )
+                if want_termination:
+                    entry["termination"] = (
+                        keys[proc][1],
+                        fresh["termination"].get(proc, []),
+                        fresh["termination_status"].get(proc, "ok"),
+                    )
             for proc in requested:
                 entry = cached.get(proc, {})
                 if want_lint and "lint" in entry:
@@ -660,6 +675,10 @@ class AnalysisServer:
                     records.extend(entry["safety"][1])
                     if entry["safety"][2] != "ok":
                         proc_status[proc] = entry["safety"][2]
+                if want_termination and "termination" in entry:
+                    records.extend(entry["termination"][1])
+                    if entry["termination"][2] != "ok":
+                        proc_status[proc] = entry["termination"][2]
         records.sort(
             key=lambda r: (
                 r.get("procedure") or "",
@@ -677,7 +696,9 @@ class AnalysisServer:
         stats["checked"] = sorted(dirty)
         stats["reused"] = sorted(reused)
         ok = not any(
-            r["verdict"] in (D.WARN, D.UNSAFE, D.ERROR) for r in records
+            r["verdict"]
+            in (D.WARN, D.UNSAFE, D.POSSIBLY_NONTERMINATING, D.ERROR)
+            for r in records
         )
         result = {
             "program_id": program_id,

@@ -1,0 +1,38 @@
+"""Termination prover: ranking functions from the engine's AU states.
+
+Public surface:
+
+* :func:`repro.termination.driver.check_termination` — the tier driver;
+* :class:`repro.termination.driver.TerminationOptions`;
+* :class:`repro.termination.report.TerminationReport`;
+* :class:`repro.termination.crosscheck.TerminationCrossChecker` — the
+  fuzz refutation lane (a concrete run past the derived bound refutes a
+  ``terminating`` verdict).
+"""
+
+from repro.termination.candidates import (
+    RANK_VAR,
+    LoopInfo,
+    RankCandidate,
+    find_loops,
+    loop_candidates,
+)
+from repro.termination.driver import TerminationOptions, check_termination
+from repro.termination.report import (
+    Certificate,
+    TerminationReport,
+    TerminationSite,
+)
+
+__all__ = [
+    "RANK_VAR",
+    "LoopInfo",
+    "RankCandidate",
+    "find_loops",
+    "loop_candidates",
+    "TerminationOptions",
+    "check_termination",
+    "Certificate",
+    "TerminationReport",
+    "TerminationSite",
+]

@@ -1,0 +1,327 @@
+"""Ranking-function candidates synthesized from loop structure (DESIGN §12).
+
+The prover never guesses arbitrary expressions: candidates are read off
+the CFG the same way the paper's AU summaries read lengths off the
+backbone.  For a loop at head ``h``:
+
+* every pointer variable tested non-NULL on the guard chain, and every
+  pointer advanced by a ``x = y->next`` in the loop body, contributes the
+  *path length* measure — the sum of ``len(n)`` over the backbone nodes
+  on the ``succ`` path from the variable's label to NULL;
+* when several pointers are guard-tested together (``cx != NULL && cz !=
+  NULL``), their path-length *sum* is a candidate too (the merge idiom:
+  each iteration consumes from one of the two);
+* every data comparison on the guard chain (``i < n``) contributes the
+  affine gap (``n - i``) as a data measure.
+
+A candidate is a small closed description (never an abstract value), so
+the same object is evaluated symbolically against abstract heaps by the
+decrease checker and concretely against interpreter environments by the
+fuzz refutation lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.datawords import terms as T
+from repro.lang import ast as A
+from repro.lang.cfg import (
+    CFG,
+    OpAssignPtr,
+    OpAssumeData,
+    OpAssumePtr,
+)
+from repro.numeric.linexpr import LinExpr
+from repro.shape.graph import NULL, HeapGraph
+
+#: Ghost data variable carrying the seeded measure through one loop
+#: iteration.  ``$`` never occurs in LISL identifiers (see
+#: :mod:`repro.datawords.terms`), so the name cannot collide.
+RANK_VAR = "$rnk"
+
+
+@dataclass(frozen=True)
+class RankCandidate:
+    """One candidate ranking function.
+
+    ``kind == "ptr"``: measure = sum of path lengths of ``ptr_vars``
+    (structurally bounded below by 0).  ``kind == "data"``: measure =
+    ``expr`` (an affine LISL data expression; bounded below only if the
+    decrease checker proves it at the loop-head arrivals).
+    """
+
+    kind: str  # "ptr" | "data"
+    ptr_vars: Tuple[str, ...] = ()
+    expr: Optional[A.Expr] = field(default=None, compare=False)
+    label: str = ""
+
+    def describe(self) -> str:
+        return self.label
+
+    def bounded_structurally(self) -> bool:
+        return self.kind == "ptr"
+
+
+@dataclass
+class LoopInfo:
+    """One natural loop: head, back-edge sources, body region, guards."""
+
+    head: int
+    line: Optional[int]
+    back_srcs: Tuple[int, ...]
+    region: FrozenSet[int]  # includes the head
+    guard_ptrs: Tuple[str, ...]  # vars tested non-NULL on the guard chain
+    guard_data: Tuple[OpAssumeData, ...]
+
+
+# ---------------------------------------------------------------------------
+# Loop discovery
+
+
+def _dominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """dom(n) for every node reachable from entry (iterative dataflow).
+
+    Reachability alone cannot identify back edges here: in a nested
+    loop, the *entry* edge of the inner loop is reachable from the inner
+    head by going around the outer loop.  ``head dominates src`` is the
+    correct test.
+    """
+    preds: Dict[int, List[int]] = {}
+    order: List[int] = []
+    seen: Set[int] = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        n = stack.pop()
+        order.append(n)
+        for e in cfg.out_edges(n):
+            preds.setdefault(e.dst, []).append(n)
+            if e.dst not in seen:
+                seen.add(e.dst)
+                stack.append(e.dst)
+    dom: Dict[int, Set[int]] = {n: set(seen) for n in seen}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for n in order:
+            if n == cfg.entry:
+                continue
+            ps = [p for p in preds.get(n, ()) if p in dom]
+            new = set.intersection(*(dom[p] for p in ps)) if ps else set()
+            new.add(n)
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def _region_of(cfg: CFG, head: int, back_srcs: Sequence[int]) -> FrozenSet[int]:
+    """The natural loop: nodes reaching a back-edge source avoiding the head."""
+    preds: Dict[int, List[int]] = {}
+    for edge in cfg.edges:
+        preds.setdefault(edge.dst, []).append(edge.src)
+    region: Set[int] = {head}
+    stack = [s for s in back_srcs if s != head]
+    while stack:
+        n = stack.pop()
+        if n in region:
+            continue
+        region.add(n)
+        stack.extend(p for p in preds.get(n, ()) if p not in region)
+    return frozenset(region)
+
+
+def find_loops(cfg: CFG) -> List[LoopInfo]:
+    """Every widen point with a back edge, as a :class:`LoopInfo`."""
+    loops: List[LoopInfo] = []
+    dom = _dominators(cfg)
+    for head in sorted(cfg.widen_points):
+        back_srcs = tuple(
+            sorted(
+                e.src
+                for e in cfg.edges
+                if e.dst == head and head in dom.get(e.src, ())
+            )
+        )
+        if not back_srcs:
+            continue  # a widen point that is not actually a loop head
+        region = _region_of(cfg, head, back_srcs)
+        guard_ptrs, guard_data = _guard_chain(cfg, head, region)
+        loops.append(
+            LoopInfo(
+                head=head,
+                line=cfg.node_lines.get(head) or None,
+                back_srcs=back_srcs,
+                region=region,
+                guard_ptrs=guard_ptrs,
+                guard_data=guard_data,
+            )
+        )
+    return loops
+
+
+def _guard_chain(
+    cfg: CFG, head: int, region: FrozenSet[int]
+) -> Tuple[Tuple[str, ...], Tuple[OpAssumeData, ...]]:
+    """Assume ops on the pure-test chains from the head into the body."""
+    ptrs: List[str] = []
+    data: List[OpAssumeData] = []
+    seen: Set[int] = set()
+    stack = [head]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for edge in cfg.out_edges(node):
+            if edge.dst not in region or edge.dst == head:
+                continue
+            op = edge.op
+            if isinstance(op, OpAssumePtr):
+                if op.right is None and not op.equal and op.left not in ptrs:
+                    ptrs.append(op.left)
+            elif isinstance(op, OpAssumeData):
+                data.append(op)
+            else:
+                continue
+            succs = cfg.out_edges(edge.dst)
+            if succs and all(
+                isinstance(e.op, (OpAssumePtr, OpAssumeData)) for e in succs
+            ):
+                stack.append(edge.dst)
+    return tuple(ptrs), tuple(data)
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+
+
+def _advanced_ptrs(cfg: CFG, region: FrozenSet[int]) -> List[str]:
+    """Pointers advanced along ``next`` inside the region.
+
+    Catches both the direct ``c = c->next`` and the two-step
+    ``n = c->next; ...; c = n`` cursor idiom.
+    """
+    next_targets: Set[str] = set()
+    var_copies: List[Tuple[str, str]] = []  # target = source
+    for edge in cfg.edges:
+        if edge.src not in region or not isinstance(edge.op, OpAssignPtr):
+            continue
+        if edge.op.kind == "next":
+            next_targets.add(edge.op.target)
+        elif edge.op.kind == "var":
+            var_copies.append((edge.op.target, edge.op.source))
+    advanced = set(next_targets)
+    for target, source in var_copies:
+        if source in next_targets:
+            advanced.add(target)
+    return sorted(advanced)
+
+
+def loop_candidates(cfg: CFG, loop: LoopInfo, max_candidates: int = 12) -> List[RankCandidate]:
+    """All ranking candidates for one loop, deterministic order."""
+    out: List[RankCandidate] = []
+    seen: Set[str] = set()
+
+    def add(candidate: RankCandidate) -> None:
+        if candidate.label not in seen and len(out) < max_candidates:
+            seen.add(candidate.label)
+            out.append(candidate)
+
+    ptr_vars = [v for v in loop.guard_ptrs]
+    for v in _advanced_ptrs(cfg, loop.region):
+        if v not in ptr_vars and v in _pointer_names(cfg):
+            ptr_vars.append(v)
+    for v in ptr_vars:
+        add(RankCandidate(kind="ptr", ptr_vars=(v,), label=f"pathlen({v})"))
+    if len(loop.guard_ptrs) >= 2:
+        vs = tuple(sorted(loop.guard_ptrs))
+        add(
+            RankCandidate(
+                kind="ptr",
+                ptr_vars=vs,
+                label="pathlen(" + ")+pathlen(".join(vs) + ")",
+            )
+        )
+    for op in loop.guard_data:
+        for expr, label in _data_measures(op):
+            add(RankCandidate(kind="data", expr=expr, label=label))
+    return out
+
+
+def _pointer_names(cfg: CFG) -> Set[str]:
+    return set(cfg.pointer_vars)
+
+
+def _data_measures(op: OpAssumeData) -> List[Tuple[A.Expr, str]]:
+    gap_lr = A.BinOp("-", op.right, op.left)  # right - left
+    gap_rl = A.BinOp("-", op.left, op.right)  # left - right
+    show_l, show_r = _show(op.left), _show(op.right)
+    if op.op in ("<", "<="):
+        return [(gap_lr, f"{show_r}-{show_l}")]
+    if op.op in (">", ">="):
+        return [(gap_rl, f"{show_l}-{show_r}")]
+    return []  # == carries no direction
+
+
+def _show(expr: A.Expr) -> str:
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.DataOf):
+        return f"{expr.base.name}->data"
+    if isinstance(expr, A.BinOp):
+        return f"({_show(expr.left)}{expr.op}{_show(expr.right)})"
+    return repr(expr)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic measure evaluation (abstract side)
+
+
+def pathlen_from_node(graph: HeapGraph, node: str) -> Optional[LinExpr]:
+    """Sum of ``len(n)`` terms along the succ path from ``node`` to NULL.
+
+    None when the chain is cyclic or dangles (a node without a recorded
+    successor): the measure is undefined on such heaps.
+    """
+    expr = LinExpr.const_expr(0)
+    seen: Set[str] = set()
+    while node != NULL:
+        if node in seen or node not in graph.nodes:
+            return None
+        seen.add(node)
+        expr = expr + LinExpr.var(T.length(node))
+        nxt = graph.succ.get(node)
+        if nxt is None:
+            return None
+        node = nxt
+    return expr
+
+
+def pathlen_expr(graph: HeapGraph, var: str) -> Optional[LinExpr]:
+    node = graph.labels.get(var)
+    if node is None:
+        return None
+    return pathlen_from_node(graph, node)
+
+
+def measure_expr(candidate: RankCandidate, graph: HeapGraph) -> Optional[LinExpr]:
+    """The candidate's measure over one abstract heap's terms (or None)."""
+    if candidate.kind == "ptr":
+        total = LinExpr.const_expr(0)
+        for var in candidate.ptr_vars:
+            part = pathlen_expr(graph, var)
+            if part is None:
+                return None
+            total = total + part
+        return total
+    from repro.core.transfer import data_expr_to_linexpr
+
+    try:
+        return data_expr_to_linexpr(candidate.expr, graph)
+    except Exception:  # NULL deref, unlabeled var: measure undefined here
+        return None

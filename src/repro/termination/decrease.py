@@ -1,0 +1,260 @@
+"""Strict-decrease checking against the engine's fixpoint states.
+
+The engine's loop-head states are *invariants*: every concrete state at
+the head of the loop is in their concretization.  So one sound way to
+check that a measure ``m`` decreases across an arbitrary iteration is:
+
+1. seed a ghost data variable ``$rnk == m`` on every loop-head heap
+   (:data:`~repro.termination.candidates.RANK_VAR` — outside the LISL
+   identifier space, so it survives every transformer untouched);
+2. propagate the seeded states through the loop's body region exactly
+   once, with the engine's own transfer functions (inner loops reach
+   their own fixpoints under the usual delayed widening; calls are
+   composed read-only from the records the original analysis already
+   tabulated);
+3. at every heap arriving back at the head, recompute the measure ``m'``
+   on the *arrival* backbone and ask the entailment layer for
+   ``$rnk - m' >= 1`` (strict decrease) and — for data measures, which
+   are not structurally bounded — ``m' >= -1`` (arrival bound).
+
+Decrease at every arrival plus the arrival bound gives well-foundedness:
+arrival measures form a strictly decreasing integer sequence bounded
+below, so the loop makes at most ``m0 + 2`` head visits from an entry
+measure of ``m0`` — the derived bound the fuzz refutation lane replays
+concretely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.localheap import CutpointError, build_call_entry, compose_return
+from repro.lang.cfg import CFG, OpAssert, OpAssume, OpCall
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.shape.abstract_heap import AbstractHeap
+from repro.shape.heap_set import HeapSet
+from repro.termination.candidates import (
+    RANK_VAR,
+    LoopInfo,
+    RankCandidate,
+    measure_expr,
+)
+
+
+class TerminationIncomplete(Exception):
+    """The obligation could not be discharged (budget, missing summary)."""
+
+
+@dataclass
+class LoopCheck:
+    """Outcome of trying every candidate on one loop."""
+
+    proved: Optional[RankCandidate]  # the certificate measure, if any
+    # every candidate for which non-decrease (m' >= $rnk) is *provable*
+    # at some arrival — positive evidence the loop may spin
+    nondecreasing: List[str]
+    tried: List[str]
+
+
+def _entails(domain, value, constraint: Constraint) -> bool:
+    """One entailment query (split out so the mutant tests can lie here)."""
+    return domain.entails_constraint(value, constraint)
+
+
+class LoopPropagator:
+    """One-iteration propagation of seeded states through a loop region."""
+
+    def __init__(
+        self,
+        engine,
+        cfg: CFG,
+        max_steps: int = 4000,
+        deadline: Optional[float] = None,
+    ):
+        self.engine = engine
+        self.domain = engine.domain
+        self.transfer = engine.transfer
+        self.cfg = cfg
+        self.max_steps = max_steps
+        self.deadline = deadline
+
+    # -- edge semantics (mirrors Engine._post_edge, read-only) -------------
+
+    def _post_edge(self, edge, state: HeapSet) -> HeapSet:
+        op = edge.op
+        if isinstance(op, OpCall):
+            return self._post_call(op, state)
+        if isinstance(op, (OpAssume, OpAssert)):
+            return state
+        return state.map(self.domain, lambda h: self.transfer.post(op, h))
+
+    def _post_call(self, op: OpCall, state: HeapSet) -> HeapSet:
+        """Compose callee summaries without growing the record table.
+
+        Records are keyed on the backbone of the canonical entry heap, so
+        the ghost ``$rnk`` constraint never changes the lookup: every
+        record needed here was already tabulated by the original root
+        analysis.  A miss means that analysis was incomplete — degrade.
+        """
+        domain = self.domain
+        try:
+            callee_cfg = self.engine.icfg.cfg(op.proc)
+        except KeyError:
+            raise TerminationIncomplete(f"unknown callee {op.proc!r}")
+        results: List[AbstractHeap] = []
+        for heap in state:
+            try:
+                info = build_call_entry(domain, heap, callee_cfg, op)
+            except CutpointError as exc:
+                raise TerminationIncomplete(f"cutpoint at call: {exc}")
+            record = self.engine.record_for(op.proc, info.entry_heap)
+            if record is None:
+                raise TerminationIncomplete(
+                    f"no tabulated summary for call to {op.proc!r}"
+                )
+            for exit_heap in record.summary:
+                composed = compose_return(
+                    domain, heap, exit_heap, callee_cfg, op, info
+                )
+                if composed is None:
+                    continue
+                composed = composed.gc(domain)
+                composed = composed.fold(domain, self.transfer.k)
+                if not composed.is_bottom(domain):
+                    results.append(composed.canonicalize(domain))
+        return HeapSet.of(domain, results)
+
+    # -- the one-iteration worklist ----------------------------------------
+
+    def arrivals(self, loop: LoopInfo, seeded: HeapSet) -> HeapSet:
+        """States reaching the head via a back edge after one iteration."""
+        domain = self.domain
+        cfg = self.cfg
+        states: Dict[int, HeapSet] = {loop.head: seeded}
+        pending: List[int] = [loop.head]
+        visits: Dict[int, int] = {}
+        arrived = HeapSet.bottom()
+        steps = 0
+        while pending:
+            steps += 1
+            if steps > self.max_steps:
+                raise TerminationIncomplete(
+                    f"loop propagation exceeded {self.max_steps} steps"
+                )
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                raise TerminationIncomplete("wall-clock budget exhausted")
+            node = pending.pop(0)
+            state = states.get(node)
+            if state is None or state.is_bottom():
+                continue
+            for edge in cfg.out_edges(node):
+                if edge.dst == loop.head:
+                    # Any region -> head edge is a back edge: record the
+                    # arrival, do not re-enter the head (one iteration).
+                    out = self._post_edge(edge, state)
+                    arrived = arrived.join(out, domain)
+                    continue
+                if edge.dst not in loop.region:
+                    continue  # a loop exit; irrelevant to decrease
+                out = self._post_edge(edge, state)
+                if out.is_bottom():
+                    continue
+                old = states.get(edge.dst, HeapSet.bottom())
+                if out.leq(old, domain):
+                    continue
+                visits[edge.dst] = visits.get(edge.dst, 0) + 1
+                if edge.dst in cfg.widen_points and visits[edge.dst] > 3:
+                    new = old.widen(out.join(old, domain), domain)
+                else:
+                    new = old.join(out, domain)
+                states[edge.dst] = new
+                if edge.dst not in pending:
+                    pending.append(edge.dst)
+        return arrived
+
+
+def seed_rank(domain, heads: HeapSet, candidate: RankCandidate) -> Optional[HeapSet]:
+    """Meet ``$rnk == measure`` onto every head heap.
+
+    None when the measure is undefined on some head heap (the candidate
+    cannot rank this loop).
+    """
+    seeded: List[AbstractHeap] = []
+    for heap in heads:
+        m = measure_expr(candidate, heap.graph)
+        if m is None:
+            return None
+        constraint = Constraint.eq(LinExpr.var(RANK_VAR), m)
+        seeded.append(
+            AbstractHeap(heap.graph, domain.meet_constraint(heap.value, constraint))
+        )
+    return HeapSet.of(domain, seeded)
+
+
+def check_loop(
+    engine,
+    cfg: CFG,
+    loop: LoopInfo,
+    candidates: List[RankCandidate],
+    max_steps: int = 4000,
+    deadline: Optional[float] = None,
+) -> LoopCheck:
+    """Try every candidate; first proved one wins (certificate order)."""
+    domain = engine.domain
+    heads = _head_states(engine, cfg)
+    head_state = heads.get(loop.head)
+    check = LoopCheck(proved=None, nondecreasing=[], tried=[c.label for c in candidates])
+    if head_state is None or head_state.is_bottom():
+        # The loop is unreachable in every tabulated context: vacuously
+        # terminating (there is no iteration to rank).
+        check.proved = candidates[0] if candidates else RankCandidate(
+            kind="ptr", ptr_vars=(), label="unreachable"
+        )
+        return check
+    propagator = LoopPropagator(engine, cfg, max_steps=max_steps, deadline=deadline)
+    one = LinExpr.const_expr(1)
+    minus_one = LinExpr.const_expr(-1)
+    rank = LinExpr.var(RANK_VAR)
+    for candidate in candidates:
+        seeded = seed_rank(domain, head_state, candidate)
+        if seeded is None:
+            continue
+        arrivals = propagator.arrivals(loop, seeded)
+        decreases = True
+        nondecrease_witnessed = False
+        for heap in arrivals:
+            m_next = measure_expr(candidate, heap.graph)
+            if m_next is None:
+                decreases = False
+                break
+            if not _entails(domain, heap.value, Constraint.ge(rank - m_next, one)):
+                decreases = False
+                if _entails(domain, heap.value, Constraint.ge(m_next, rank)):
+                    nondecrease_witnessed = True
+                break
+            if not candidate.bounded_structurally() and not _entails(
+                domain, heap.value, Constraint.ge(m_next, minus_one)
+            ):
+                decreases = False
+                break
+        if decreases:
+            check.proved = candidate
+            return check
+        if nondecrease_witnessed:
+            check.nondecreasing.append(candidate.label)
+    return check
+
+
+def _head_states(engine, cfg: CFG) -> Dict[int, HeapSet]:
+    """Join the per-node states of every record of this procedure."""
+    domain = engine.domain
+    out: Dict[int, HeapSet] = {}
+    for record in engine.records.values():
+        if record.proc != cfg.proc_name:
+            continue
+        for node, state in record.states.items():
+            old = out.get(node)
+            out[node] = state if old is None else old.join(state, domain)
+    return out

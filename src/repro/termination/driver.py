@@ -1,0 +1,271 @@
+"""The termination tier's driver: per-procedure proving, honest budgets.
+
+Like :func:`repro.checker.safety.check_safety`, every selected procedure
+is analyzed as a root over its generic entries (summary caching off so
+``Record.states`` is populated), then each loop and each direct
+recursion is discharged against the resulting fixpoint states.  The AU
+domain is the default — termination needs the length terms the paper's
+universal domain carries; the multiset domain has none.
+
+``max_seconds`` is a *total* wall-clock budget shared across all
+selected procedures (the same contract
+:func:`~repro.checker.safety.check_safety` honors): when it runs out,
+remaining obligations degrade to ``unknown`` with a
+``checker.incomplete`` note instead of stalling the lint run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.localheap import CutpointError
+from repro.datawords.patterns import PatternSet
+from repro.engine import EngineOptions
+from repro.lang.cfg import CFG
+from repro.checker.findings import (
+    POSSIBLY_NONTERMINATING,
+    TERMINATING,
+    TERMINATION_RULE_IDS,
+    UNKNOWN,
+)
+from repro.termination.candidates import LoopInfo, find_loops, loop_candidates
+from repro.termination.decrease import TerminationIncomplete, check_loop
+from repro.termination.recursion import check_recursion, direct_sccs
+from repro.termination.report import Certificate, TerminationReport, TerminationSite
+
+
+@dataclass
+class TerminationOptions:
+    domain: str = "au"
+    patterns: Optional[object] = None  # defaults to the minimal EQ2 closure
+    k: int = 0
+    procs: Optional[List[str]] = None
+    rules: Optional[Iterable[str]] = None  # subset of TERMINATION_RULE_IDS
+    max_steps: Optional[int] = None
+    max_seconds: Optional[float] = None  # total across all procs
+    loop_steps: int = 4000  # step cap for one-iteration propagation
+
+
+def _loop_desc(loop: LoopInfo) -> str:
+    return f"loop at line {loop.line}" if loop.line else f"loop at node {loop.head}"
+
+
+def _unknown_loop_site(proc: str, loop: LoopInfo, reason: str) -> TerminationSite:
+    return TerminationSite(
+        proc=proc,
+        line=loop.line,
+        kind="loop",
+        verdict=UNKNOWN,
+        message=f"{_loop_desc(loop)} not proved terminating ({reason})",
+        witness={"head": loop.head, "reason": reason},
+    )
+
+
+def _loop_site(proc: str, cfg: CFG, loop: LoopInfo, check) -> TerminationSite:
+    desc = _loop_desc(loop)
+    if check.proved is not None:
+        cand = check.proved
+        return TerminationSite(
+            proc=proc,
+            line=loop.line,
+            kind="loop",
+            verdict=TERMINATING,
+            message=f"{desc} terminates: {cand.label or 'vacuous'} strictly decreases",
+            witness={
+                "head": loop.head,
+                "candidate": cand.label,
+                "tried": list(check.tried),
+            },
+            cert=Certificate(
+                kind="loop",
+                proc=proc,
+                head=loop.head,
+                back_srcs=tuple(loop.back_srcs),
+                region=tuple(sorted(loop.region)),
+                candidate=cand,
+                label=cand.label,
+            ),
+        )
+    if check.tried and len(check.nondecreasing) == len(check.tried):
+        measures = ", ".join(check.nondecreasing)
+        return TerminationSite(
+            proc=proc,
+            line=loop.line,
+            kind="loop",
+            verdict=POSSIBLY_NONTERMINATING,
+            message=f"{desc} may not terminate: every candidate measure "
+            f"({measures}) is provably non-decreasing across an iteration",
+            witness={"head": loop.head, "nondecreasing": list(check.nondecreasing)},
+        )
+    reason = (
+        "tried: " + ", ".join(check.tried) if check.tried else "no ranking candidates"
+    )
+    return _unknown_loop_site(proc, loop, reason)
+
+
+def _recursion_site(proc: str, cfg: CFG, check) -> TerminationSite:
+    line = min(check.call_lines) if check.call_lines else None
+    if check.proved is not None:
+        cand = check.proved
+        return TerminationSite(
+            proc=proc,
+            line=line,
+            kind="recursion",
+            verdict=TERMINATING,
+            message=f"recursion of '{proc}' terminates: {cand.label or 'vacuous'} "
+            "strictly decreases at every recursive call",
+            witness={
+                "candidate": cand.label,
+                "tried": list(check.tried),
+                "call_lines": list(check.call_lines),
+            },
+            cert=Certificate(
+                kind="recursion",
+                proc=proc,
+                candidate=cand,
+                label=cand.label,
+            ),
+        )
+    if check.tried and len(check.nondecreasing) == len(check.tried):
+        measures = ", ".join(check.nondecreasing)
+        return TerminationSite(
+            proc=proc,
+            line=line,
+            kind="recursion",
+            verdict=POSSIBLY_NONTERMINATING,
+            message=f"recursion of '{proc}' may not terminate: every candidate "
+            f"measure ({measures}) is provably non-decreasing at a recursive call",
+            witness={"nondecreasing": list(check.nondecreasing)},
+        )
+    reason = (
+        "tried: " + ", ".join(check.tried) if check.tried else "no ranking candidates"
+    )
+    return TerminationSite(
+        proc=proc,
+        line=line,
+        kind="recursion",
+        verdict=UNKNOWN,
+        message=f"recursion of '{proc}' not proved terminating ({reason})",
+        witness={"reason": reason},
+    )
+
+
+def _degraded_sites(
+    proc: str, cfg: CFG, loops: List[LoopInfo], recursive: bool, mutual: bool
+) -> List[TerminationSite]:
+    sites = [_unknown_loop_site(proc, loop, "analysis incomplete") for loop in loops]
+    if recursive or mutual:
+        sites.append(
+            TerminationSite(
+                proc=proc,
+                line=None,
+                kind="recursion",
+                verdict=UNKNOWN,
+                message=f"recursion of '{proc}' not proved terminating "
+                "(analysis incomplete)",
+            )
+        )
+    return sites
+
+
+def check_termination(
+    analyzer, options: Optional[TerminationOptions] = None
+) -> TerminationReport:
+    """Prove (or honestly fail to prove) termination per procedure."""
+    opts = options or TerminationOptions()
+    if opts.rules is not None:
+        unknown = set(opts.rules) - set(TERMINATION_RULE_IDS)
+        if unknown:
+            raise ValueError(f"unknown termination rules: {sorted(unknown)}")
+    patterns = opts.patterns
+    if patterns is None and opts.domain == "au":
+        # Decrease checks only query the polyhedron E (lengths and data
+        # intervals); the empty pattern set drops the universal clauses
+        # entirely, which makes the AU fixpoint orders of magnitude
+        # cheaper without losing any length precision.
+        patterns = PatternSet(())
+    procs = list(opts.procs) if opts.procs is not None else sorted(analyzer.icfg.cfgs)
+    direct, mutual = direct_sccs(analyzer.icfg)
+    report = TerminationReport()
+    started = time.perf_counter()
+    deadline = (
+        time.monotonic() + opts.max_seconds if opts.max_seconds is not None else None
+    )
+    for proc in procs:
+        cfg = analyzer.icfg.cfg(proc)
+        loops = find_loops(cfg)
+        is_direct = proc in direct
+        is_mutual = proc in mutual
+        if not loops and not is_direct and not is_mutual:
+            report.proc_status[proc] = "ok"  # no obligations: a DAG body
+            continue
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                report.proc_status[proc] = "budget: wall-clock budget exhausted"
+                report.sites.extend(
+                    _degraded_sites(proc, cfg, loops, is_direct, is_mutual)
+                )
+                continue
+        try:
+            result = analyzer.analyze(
+                proc,
+                domain=opts.domain,
+                patterns=patterns,
+                k=opts.k,
+                max_steps=opts.max_steps,
+                max_seconds=remaining,
+                engine_opts=EngineOptions(use_cache=False),
+            )
+        except CutpointError as exc:
+            report.proc_status[proc] = f"cutpoint: {exc}"
+            report.sites.extend(
+                _degraded_sites(proc, cfg, loops, is_direct, is_mutual)
+            )
+            continue
+        if not result.ok:
+            report.proc_status[proc] = "budget: " + "; ".join(
+                str(d) for d in result.diagnostics
+            )
+            report.sites.extend(
+                _degraded_sites(proc, cfg, loops, is_direct, is_mutual)
+            )
+            continue
+        engine = result.engine
+        sites: List[TerminationSite] = []
+        for loop in loops:
+            candidates = loop_candidates(cfg, loop)
+            try:
+                check = check_loop(
+                    engine,
+                    cfg,
+                    loop,
+                    candidates,
+                    max_steps=opts.loop_steps,
+                    deadline=deadline,
+                )
+            except TerminationIncomplete as exc:
+                sites.append(_unknown_loop_site(proc, loop, str(exc)))
+                continue
+            sites.append(_loop_site(proc, cfg, loop, check))
+        if is_direct:
+            sites.append(_recursion_site(proc, cfg, check_recursion(engine, cfg)))
+        if is_mutual:
+            sites.append(
+                TerminationSite(
+                    proc=proc,
+                    line=None,
+                    kind="recursion",
+                    verdict=UNKNOWN,
+                    message=f"recursion of '{proc}' through other procedures "
+                    "is outside the prover's scope",
+                    witness={"reason": "mutual recursion"},
+                )
+            )
+        report.proc_status[proc] = "ok"
+        report.sites.extend(sites)
+    report.seconds = time.perf_counter() - started
+    return report

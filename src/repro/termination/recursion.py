@@ -1,0 +1,184 @@
+"""Termination of recursive procedures via entry-snapshot comparison.
+
+The engine already gives us exactly the relation a size-change argument
+needs: inside every record of a procedure ``p``, the abstract states
+carry the *entry snapshots* of the formals (``x$0`` labels for list
+formals, ``i$0 == i``-at-entry constraints for int formals — see
+:func:`repro.core.localheap.build_call_entry`).  So at every recursive
+call site ``p(a, ...)`` we can ask the entailment layer whether the
+actual is strictly smaller than what the formal was at entry:
+
+* list formal ``f``:  ``pathlen(f$0) - pathlen(a) >= 1``;
+* int  formal ``f``:  ``f$0 - a >= 1``  and  ``a >= 0`` (well-founded).
+
+If one formal slot (or the sum of all list formals) satisfies this in
+every heap of every tabulated state at every recursive call edge, every
+recursion chain strictly shrinks a well-founded measure and must bottom
+out.
+
+Only *direct* self-recursion is handled rigorously; procedures on a
+multi-procedure call-graph cycle degrade honestly to ``unknown`` (the
+benchmark suite, like the paper's, recurses only directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datawords import terms as T
+from repro.lang import ast as A
+from repro.lang.cfg import CFG, ICFG, Edge, OpCall
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.termination import decrease
+from repro.termination.candidates import pathlen_expr
+
+
+@dataclass(frozen=True)
+class SlotCandidate:
+    """One per-call measure: a formal slot (or the all-lists sum)."""
+
+    formals: Tuple[str, ...]  # formal names (list or int, never mixed)
+    type: str  # A.LIST or A.INT
+    label: str
+
+
+@dataclass
+class RecursionCheck:
+    """Outcome of trying every slot candidate on one recursive proc."""
+
+    proved: Optional[SlotCandidate]
+    nondecreasing: List[str]
+    tried: List[str]
+    call_lines: Tuple[int, ...] = ()
+
+
+def direct_sccs(icfg: ICFG) -> Tuple[Set[str], Set[str]]:
+    """(purely self-recursive procs, procs on multi-procedure cycles).
+
+    A proc that self-recurses *and* sits on a cycle through another proc
+    goes in the second set: the slot check below only covers its direct
+    calls, so claiming a proof would be unsound.
+    """
+    graph = icfg.call_graph()
+    recursive = icfg.recursive_procs()
+    mutual = {name for name in recursive if _on_multi_cycle(graph, name)}
+    direct = {
+        name
+        for name in recursive
+        if name in graph.get(name, ()) and name not in mutual
+    }
+    return direct, mutual
+
+
+def _on_multi_cycle(graph: Dict[str, Set[str]], start: str) -> bool:
+    """Does ``start`` sit on a cycle through some *other* procedure?"""
+    for first in graph.get(start, ()):
+        if first == start:
+            continue
+        stack, seen = [first], {first}
+        while stack:
+            current = stack.pop()
+            if current == start:
+                return True
+            for callee in graph.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+    return False
+
+
+def slot_candidates(cfg: CFG) -> List[SlotCandidate]:
+    out: List[SlotCandidate] = []
+    list_formals = [p.name for p in cfg.inputs if p.type == A.LIST]
+    for p in cfg.inputs:
+        if p.type == A.LIST:
+            out.append(SlotCandidate((p.name,), A.LIST, f"pathlen({p.name})"))
+        elif p.type == A.INT:
+            out.append(SlotCandidate((p.name,), A.INT, p.name))
+    if len(list_formals) >= 2:
+        out.append(
+            SlotCandidate(
+                tuple(list_formals),
+                A.LIST,
+                "pathlen(" + ")+pathlen(".join(list_formals) + ")",
+            )
+        )
+    return out
+
+
+def _slot_exprs(
+    candidate: SlotCandidate, op: OpCall, cfg: CFG, graph
+) -> Optional[Tuple[LinExpr, LinExpr]]:
+    """(entry measure, actual-argument measure) on one heap, or None."""
+    formal_pos = {p.name: i for i, p in enumerate(cfg.inputs)}
+    entry = LinExpr.const_expr(0)
+    actual = LinExpr.const_expr(0)
+    for formal in candidate.formals:
+        arg = op.args[formal_pos[formal]]
+        if candidate.type == A.LIST:
+            e = pathlen_expr(graph, T.entry_copy(formal))
+            a = pathlen_expr(graph, arg)
+            if e is None or a is None:
+                return None
+            entry, actual = entry + e, actual + a
+        else:
+            entry = entry + LinExpr.var(T.entry_copy(formal))
+            actual = actual + LinExpr.var(arg)
+    return entry, actual
+
+
+def check_recursion(engine, cfg: CFG) -> RecursionCheck:
+    """Try every slot candidate against every tabulated self-call state."""
+    domain = engine.domain
+    self_calls: List[Edge] = [
+        e for e in cfg.call_sites() if e.op.proc == cfg.proc_name
+    ]
+    candidates = slot_candidates(cfg)
+    check = RecursionCheck(
+        proved=None,
+        nondecreasing=[],
+        tried=[c.label for c in candidates],
+        call_lines=tuple(sorted({e.line for e in self_calls if e.line})),
+    )
+    # Every (call edge, heap) pair the analysis tabulated for this proc.
+    sites: List[Tuple[Edge, object, object]] = []  # (edge, heap, value)
+    for record in engine.records.values():
+        if record.proc != cfg.proc_name:
+            continue
+        for edge in self_calls:
+            state = record.states.get(edge.src)
+            if state is None:
+                continue
+            for heap in state:
+                sites.append((edge, heap.graph, heap.value))
+    if not sites:
+        # No reachable self-call in any context: vacuously terminating.
+        check.proved = candidates[0] if candidates else SlotCandidate((), A.INT, "unreachable")
+        return check
+    one = LinExpr.const_expr(1)
+    for candidate in candidates:
+        holds = True
+        nondecrease_witnessed = False
+        for edge, graph, value in sites:
+            exprs = _slot_exprs(candidate, edge.op, cfg, graph)
+            if exprs is None:
+                holds = False
+                break
+            entry, actual = exprs
+            if not decrease._entails(domain, value, Constraint.ge(entry - actual, one)):
+                holds = False
+                if decrease._entails(domain, value, Constraint.ge(actual - entry)):
+                    nondecrease_witnessed = True
+                break
+            if candidate.type == A.INT and not decrease._entails(
+                domain, value, Constraint.ge(actual)
+            ):
+                holds = False
+                break
+        if holds:
+            check.proved = candidate
+            return check
+        if nondecrease_witnessed:
+            check.nondecreasing.append(candidate.label)
+    return check

@@ -1,0 +1,138 @@
+"""Termination sites, report aggregation and the findings adapter.
+
+Mirrors :mod:`repro.checker.safety`'s report shape so the driver,
+service cache and CLI treat the termination tier uniformly: one
+:class:`TerminationSite` per discharged obligation (a loop head or a
+recursive procedure), an ``ok``/``cutpoint``/``budget`` status per
+procedure, and a :meth:`TerminationReport.findings` view that suppresses
+*terminating* proofs unless asked (``--include-safe``) and appends
+``checker.incomplete`` notes for degraded procedures.
+
+The three-valued vocabulary is deliberately asymmetric:
+
+* ``terminating`` — every obligation carries a proved ranking certificate;
+* ``possibly-nonterminating`` — *positive* evidence: the analysis
+  completed and, for every candidate measure, non-decrease across an
+  iteration (or a recursive call) is itself provable;
+* ``unknown`` — everything else, including every budget degradation.
+
+So a terminating program can never be flagged possibly-nonterminating by
+a failed proof alone, and the fuzz lane can hold ``terminating`` to a
+hard contract (a concrete run past the derived bound refutes it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checker.findings import (
+    CheckFinding,
+    POSSIBLY_NONTERMINATING,
+    RULE_CHECKER_INCOMPLETE,
+    RULE_SAFETY_TERMINATION,
+    TERMINATING,
+    UNKNOWN,
+    sort_findings,
+)
+
+
+@dataclass
+class Certificate:
+    """What was proved (or disproved), in replayable form.
+
+    ``candidate`` keeps the live object
+    (:class:`~repro.termination.candidates.RankCandidate` for loops,
+    :class:`~repro.termination.recursion.SlotCandidate` for recursion) so
+    the fuzz refutation lane can evaluate the same measure concretely;
+    node ids align with the interpreter's CFG because both sides run on
+    the same normalized ICFG.
+    """
+
+    kind: str  # "loop" | "recursion"
+    proc: str
+    head: Optional[int] = None  # loop head node (loops only)
+    back_srcs: tuple = ()
+    region: tuple = ()
+    candidate: Optional[object] = None
+    label: str = ""
+
+
+@dataclass
+class TerminationSite:
+    """One obligation (a loop, or a procedure's recursion) with verdict."""
+
+    proc: str
+    line: Optional[int]
+    kind: str  # "loop" | "recursion"
+    verdict: str
+    message: str
+    witness: Dict[str, object] = field(default_factory=dict)
+    cert: Optional[Certificate] = None  # only on proved (terminating) sites
+
+    def to_finding(self) -> CheckFinding:
+        return CheckFinding(
+            rule_id=RULE_SAFETY_TERMINATION,
+            verdict=self.verdict,
+            message=self.message,
+            procedure=self.proc,
+            line=self.line,
+            witness=dict(self.witness),
+        )
+
+
+@dataclass
+class TerminationReport:
+    sites: List[TerminationSite] = field(default_factory=list)
+    # proc -> "ok" | "cutpoint: ..." | "budget: ..." | "mutual recursion"
+    proc_status: Dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def findings(self, include_safe: bool = False) -> List[CheckFinding]:
+        out = [
+            site.to_finding()
+            for site in self.sites
+            if include_safe or site.verdict != TERMINATING
+        ]
+        for proc, status in sorted(self.proc_status.items()):
+            if status in ("ok", "mutual recursion"):
+                continue
+            out.append(
+                CheckFinding(
+                    rule_id=RULE_CHECKER_INCOMPLETE,
+                    verdict=UNKNOWN,
+                    message=f"analysis of '{proc}' incomplete ({status}); "
+                    "termination verdicts degraded to unknown",
+                    procedure=proc,
+                )
+            )
+        return sort_findings(out)
+
+    # -- per-procedure aggregation (the benchmark column & cross-check API) --
+
+    def proc_verdict(self, proc: str) -> str:
+        """possibly-nonterminating > unknown > terminating.
+
+        A procedure with no loops and no recursion has no obligations
+        and is terminating outright (its own control flow is a DAG;
+        callees carry their own verdicts).
+        """
+        verdicts = [s.verdict for s in self.sites if s.proc == proc]
+        if POSSIBLY_NONTERMINATING in verdicts:
+            return POSSIBLY_NONTERMINATING
+        if UNKNOWN in verdicts:
+            return UNKNOWN
+        return TERMINATING
+
+    def certificates(self, proc: str) -> List[Certificate]:
+        return [
+            s.cert
+            for s in self.sites
+            if s.proc == proc and s.cert is not None and s.verdict == TERMINATING
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for site in self.sites:
+            out[site.verdict] = out.get(site.verdict, 0) + 1
+        return out

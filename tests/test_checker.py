@@ -273,6 +273,7 @@ class TestStability:
             "safety.null-deref",
             "safety.leak",
             "safety.acyclic",
+            "safety.termination",
             "frontend.parse-error",
             "frontend.type-error",
             "checker.incomplete",
