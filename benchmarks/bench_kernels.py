@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Cold-path kernel benchmark: Table 1 wall clock, fast vs reference.
+
+Runs the Table 1 smoke subset (every function in AHS(AM) plus the
+``AU_FAST`` rows in AHS(AU)) sequentially in one process, once per
+requested kernel mode, and records per-row wall time **and** the
+canonical stable hashes of every synthesized summary.
+
+The hash column is the regression gate: the optimized kernels
+(``repro.kernels`` mode ``fast``) must produce summaries whose canonical
+hashes are bit-identical to the reference kernels on every row.  With
+``--check-identity`` (implied by ``--mode both``) any mismatch fails the
+run with exit code 1 — this is what CI enforces.
+
+Results are written as JSON (default ``BENCH_table1.json`` at the repo
+root, the committed artifact):
+
+    {"rows": [...], "modes": {"reference": {...}, "fast": {...}},
+     "speedup": 3.1, "identity_ok": true}
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # both modes
+    PYTHONPATH=src python benchmarks/bench_kernels.py --mode fast
+    PYTHONPATH=src python benchmarks/bench_kernels.py --only init,mapadd
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from table1_common import AU_FAST, fresh_analyzer  # noqa: E402
+
+from repro import kernels  # noqa: E402
+from repro.engine.canon import graph_hash, heapset_hash  # noqa: E402
+from repro.lang.benchlib import TABLE1  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def smoke_rows():
+    return [(e.name, "am") for e in TABLE1] + [(n, "au") for n in AU_FAST]
+
+
+def run_row(name: str, domain: str, budget) -> dict:
+    """One Table 1 row in a fresh analyzer; returns time + summary hashes."""
+    analyzer = fresh_analyzer()
+    start = time.perf_counter()
+    note = ""
+    hashes = []
+    try:
+        result = analyzer.analyze(
+            name, domain=domain, max_steps=400_000, max_seconds=budget
+        )
+        if result.diagnostics:
+            note = result.diagnostics[0].kind
+        hashes = sorted(
+            (graph_hash(entry.graph), heapset_hash(summary, result.domain))
+            for entry, summary in result.summaries
+        )
+    except Exception as exc:  # cutpoints or unsupported constructs
+        note = type(exc).__name__
+    return {
+        "name": name,
+        "domain": domain,
+        "time": time.perf_counter() - start,
+        "note": note,
+        "hashes": hashes,
+    }
+
+
+def run_mode(mode: str, rows, budget, verbose: bool) -> dict:
+    kernels.set_mode(mode)
+    out = []
+    wall = time.perf_counter()
+    for name, domain in rows:
+        row = run_row(name, domain, budget)
+        out.append(row)
+        if verbose:
+            print(
+                f"  [{mode}] {name}/{domain}: {row['time']:.2f}s"
+                + (f" ({row['note']})" if row["note"] else ""),
+                flush=True,
+            )
+    return {"mode": mode, "wall_seconds": time.perf_counter() - wall, "rows": out}
+
+
+def check_identity(ref: dict, fast: dict) -> list:
+    """Rows whose summary hashes differ between modes (the gate)."""
+    ref_by = {(r["name"], r["domain"]): r for r in ref["rows"]}
+    bad = []
+    for row in fast["rows"]:
+        mate = ref_by.get((row["name"], row["domain"]))
+        if mate is None:
+            continue
+        if row["hashes"] != mate["hashes"] or row["note"] != mate["note"]:
+            bad.append(f"{row['name']}/{row['domain']}")
+    return bad
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--mode",
+        choices=["fast", "reference", "both"],
+        default="both",
+        help="kernel mode(s) to benchmark (default: both, with identity gate)",
+    )
+    ap.add_argument(
+        "--only",
+        default="",
+        help="comma-separated function names to restrict the row set",
+    )
+    ap.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-row wall-clock budget in seconds (rows over budget are partial)",
+    )
+    ap.add_argument(
+        "--out",
+        default=str(ROOT / "BENCH_table1.json"),
+        help="output JSON path (default: BENCH_table1.json at the repo root)",
+    )
+    ap.add_argument(
+        "--check-identity",
+        action="store_true",
+        help="fail (exit 1) if fast and reference summary hashes differ",
+    )
+    ap.add_argument(
+        "--baseline",
+        default="",
+        help="path to a recorded pre-optimization run (JSON with a "
+        "wall_seconds field); merged into the report as "
+        "modes['baseline'] with a baseline_speedup vs fast",
+    )
+    ap.add_argument("--quiet", action="store_true", help="suppress per-row lines")
+    args = ap.parse_args(argv)
+
+    rows = smoke_rows()
+    if args.only:
+        keep = {n.strip() for n in args.only.split(",") if n.strip()}
+        rows = [(n, d) for n, d in rows if n in keep]
+
+    previous = kernels.mode()
+    modes = ["reference", "fast"] if args.mode == "both" else [args.mode]
+    report = {"rows": [f"{n}/{d}" for n, d in rows], "modes": {}}
+    try:
+        for mode in modes:
+            print(f"== mode {mode}: {len(rows)} rows ==", flush=True)
+            result = run_mode(mode, rows, args.budget, not args.quiet)
+            report["modes"][mode] = result
+            print(f"== mode {mode}: {result['wall_seconds']:.2f}s ==", flush=True)
+    finally:
+        kernels.set_mode(previous)
+
+    ref = report["modes"].get("reference")
+    fast = report["modes"].get("fast")
+    if ref and fast:
+        bad = check_identity(ref, fast)
+        report["identity_ok"] = not bad
+        report["speedup"] = ref["wall_seconds"] / max(fast["wall_seconds"], 1e-9)
+        print(f"speedup: {report['speedup']:.2f}x  identity_ok: {not bad}")
+        if bad:
+            print("IDENTITY GATE TRIPPED on rows: " + ", ".join(bad))
+
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        report["modes"]["baseline"] = base
+        if fast:
+            report["baseline_speedup"] = base["wall_seconds"] / max(
+                fast["wall_seconds"], 1e-9
+            )
+            print(
+                f"baseline ({base.get('label', 'recorded')}): "
+                f"{base['wall_seconds']:.2f}s -> fast "
+                f"{fast['wall_seconds']:.2f}s = "
+                f"{report['baseline_speedup']:.2f}x"
+            )
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if (args.check_identity or args.mode == "both") and ref and fast:
+        if not report["identity_ok"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,16 @@ def main():
         default=1,
         help="worker processes; rows are independent root analyses",
     )
+    parser.add_argument(
+        "--partial-out",
+        type=str,
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "table1_results_partial.txt",
+        ),
+        help="stream per-row outcomes here as they finish (the default "
+        "path is gitignored); pass '' to disable",
+    )
     args = parser.parse_args()
 
     from repro.lang.benchlib import TABLE1
@@ -81,7 +91,19 @@ def main():
     if not args.skip_au:
         pairs += [(e.name, "au") for e in rows]
 
-    results, wall = run_suite(pairs, jobs=args.jobs, budget=args.budget)
+    partial = open(args.partial_out, "w") if args.partial_out else None
+
+    def stream_partial(outcome):
+        if partial is not None:
+            partial.write(
+                f"{outcome.task_id:<24} {outcome.status:<8} "
+                f"{outcome.wall_time:7.2f}s\n"
+            )
+            partial.flush()
+
+    results, wall = run_suite(
+        pairs, jobs=args.jobs, budget=args.budget, on_outcome=stream_partial
+    )
     checker = (
         {}
         if args.skip_checker
@@ -137,6 +159,11 @@ def main():
         f"{len(pairs)} analyses in {wall:.1f}s wall with --jobs {args.jobs} "
         f"(sum of per-row analysis times: {analysis_seconds:.1f}s)"
     )
+    if partial is not None:
+        partial.write(
+            f"done: {len(pairs)} analyses in {wall:.1f}s wall\n"
+        )
+        partial.close()
     if checker:
         checker_seconds = sum(
             row["checker_time"]

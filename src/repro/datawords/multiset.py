@@ -125,12 +125,12 @@ class MultisetDomain(LDWDomain):
         for col in columns:
             row: Row = {}
             for i, a in enumerate(rows_a):
-                k = a.get(col, Fraction(0))
-                if k != 0:
+                k = a.get(col)
+                if k:
                     row[f"x{i}"] = k
             for j, b in enumerate(rows_b):
-                k = b.get(col, Fraction(0))
-                if k != 0:
+                k = b.get(col)
+                if k:
                     row[f"z{j}"] = -k
             if row:
                 eq_rows.append(row)
@@ -140,10 +140,10 @@ class MultisetDomain(LDWDomain):
         for vec in null_basis:
             combo: Row = {}
             for i, a in enumerate(rows_a):
-                k = vec.get(f"x{i}", Fraction(0))
-                if k != 0:
+                k = vec.get(f"x{i}")
+                if k:
                     for c, v in a.items():
-                        combo[c] = combo.get(c, Fraction(0)) + k * v
+                        combo[c] = combo.get(c, 0) + k * v
             combo = {c: v for c, v in combo.items() if v != 0}
             if combo:
                 out_rows.append(combo)
@@ -205,8 +205,8 @@ class MultisetDomain(LDWDomain):
         fresh = "$concat"
         row: Row = {fresh: Fraction(-1), T.mtl(parts[0]): Fraction(1)}
         for p in parts[1:]:
-            row[T.mhd(p)] = row.get(T.mhd(p), Fraction(0)) + 1
-            row[T.mtl(p)] = row.get(T.mtl(p), Fraction(0)) + 1
+            row[T.mhd(p)] = row.get(T.mhd(p), 0) + 1
+            row[T.mtl(p)] = row.get(T.mtl(p), 0) + 1
         rows = list(value.rows) + [row]
         out = MultisetValue(rows)
         drop = {T.mtl(parts[0])}
@@ -229,8 +229,8 @@ class MultisetDomain(LDWDomain):
             k = r.get(T.mtl(word), Fraction(0))
             new = {c: v for c, v in r.items() if c != T.mtl(word)}
             if k != 0:
-                new[T.mhd(tail)] = new.get(T.mhd(tail), Fraction(0)) + k
-                new[T.mtl(tail)] = new.get(T.mtl(tail), Fraction(0)) + k
+                new[T.mhd(tail)] = new.get(T.mhd(tail), 0) + k
+                new[T.mtl(tail)] = new.get(T.mtl(tail), 0) + k
             rows.append(new)
         rows.append({T.mtl(word): Fraction(1)})
         return MultisetValue(rows)
@@ -307,7 +307,7 @@ class MultisetDomain(LDWDomain):
             m = self._term_of_expr(LinExpr({term: 1}))
             if m is None:
                 return False
-            row[m] = row.get(m, Fraction(0)) + k
+            row[m] = row.get(m, 0) + k
         row = {c: k for c, k in row.items() if k != 0}
         if not row:
             return True
@@ -367,13 +367,13 @@ class MultisetDomain(LDWDomain):
                     continue
                 combo: Row = dict(base[i])
                 for c, k in base[j].items():
-                    combo[c] = combo.get(c, Fraction(0)) + k
+                    combo[c] = combo.get(c, 0) + k
                 combo = {c: k for c, k in combo.items() if k != 0}
                 if combo:
                     candidates.append(combo)
                 diff: Row = dict(base[i])
                 for c, k in base[j].items():
-                    diff[c] = diff.get(c, Fraction(0)) - k
+                    diff[c] = diff.get(c, 0) - k
                 diff = {c: k for c, k in diff.items() if k != 0}
                 if diff:
                     candidates.append(diff)
@@ -383,7 +383,8 @@ class MultisetDomain(LDWDomain):
             k = row.get(term, Fraction(0))
             if k == 0:
                 continue
-            scaled = {c: v / (-k) for c, v in row.items()}
+            inv = Fraction(-1) / k  # exact: never int/int
+            scaled = {c: v * inv for c, v in row.items()}
             # term = sum of scaled RHS; positive entries bound term from above.
             rhs = [
                 (c, int(v))

@@ -191,13 +191,24 @@ def _make_checker(
     oracle_config: OracleConfig,
     check_safety: bool,
     check_termination: bool = False,
+    check_kernels: bool = False,
 ):
     """The differential judge: the gamma-soundness oracle, or — under
-    ``--check-safety`` / ``--check-termination`` — a cross-validation
-    harness.  All three share the
+    ``--check-safety`` / ``--check-termination`` / ``--check-kernels`` —
+    a cross-validation harness.  All four share the
     ``check_program``/``check_source``/``check_views``/``skips``
     interface, so the fuzz loop, shrinker, and corpus replay are agnostic.
     """
+    if check_kernels:
+        from repro.fuzz.kernelcheck import KernelCheckConfig, KernelChecker
+
+        return KernelChecker(
+            KernelCheckConfig(
+                domains=tuple(oracle_config.domains),
+                engine_max_steps=oracle_config.engine_max_steps,
+                engine_max_seconds=oracle_config.engine_max_seconds,
+            )
+        )
     if not (check_safety or check_termination):
         return Oracle(oracle_config)
     from repro.checker.crosscheck import CrossCheckConfig
@@ -229,6 +240,7 @@ def _fuzz_chunk(
     shrink_checks: int,
     check_safety: bool = False,
     check_termination: bool = False,
+    check_kernels: bool = False,
 ) -> dict:
     """Pool worker: fuzz one contiguous iteration range.
 
@@ -237,7 +249,9 @@ def _fuzz_chunk(
     parent to aggregate.  Signature dedup is per-chunk; duplicate
     signatures across chunks are deduplicated by the parent.
     """
-    oracle = _make_checker(oracle_config, check_safety, check_termination)
+    oracle = _make_checker(
+        oracle_config, check_safety, check_termination, check_kernels
+    )
     failures = fuzz(
         seed=seed,
         iters=count,
@@ -263,6 +277,7 @@ def fuzz_parallel(
     shrink_checks: int,
     check_safety: bool = False,
     check_termination: bool = False,
+    check_kernels: bool = False,
 ) -> Tuple[List[Finding], dict]:
     """Fan iteration ranges out over the worker pool.
 
@@ -294,6 +309,7 @@ def fuzz_parallel(
                     shrink_checks,
                     check_safety,
                     check_termination,
+                    check_kernels,
                 ),
             )
         )
@@ -369,6 +385,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runs (a run past a derived bound refutes 'terminating')",
     )
     ap.add_argument(
+        "--check-kernels",
+        action="store_true",
+        help="cross-validate optimized kernels against reference: "
+        "summary hashes must be bit-identical in both modes",
+    )
+    ap.add_argument(
         "--shrink-checks",
         type=int,
         default=150,
@@ -382,9 +404,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "to a sequential run; corpus saves are race-free)",
     )
     args = ap.parse_args(argv)
-    if args.check_safety and args.check_termination:
-        print("error: --check-safety and --check-termination are exclusive",
-              file=sys.stderr)
+    if sum([args.check_safety, args.check_termination,
+            args.check_kernels]) > 1:
+        print("error: --check-safety, --check-termination and "
+              "--check-kernels are exclusive", file=sys.stderr)
         return 2
 
     oracle_config = OracleConfig(
@@ -394,7 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else ("am", "au"),
     )
     oracle = _make_checker(oracle_config, args.check_safety,
-                           args.check_termination)
+                           args.check_termination, args.check_kernels)
     gen_config = GenConfig(n_procs=args.max_procs)
 
     corpus_failures = 0
@@ -415,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             shrink_checks=args.shrink_checks,
             check_safety=args.check_safety,
             check_termination=args.check_termination,
+            check_kernels=args.check_kernels,
         )
         skips = {
             key: skips.get(key, 0) + fuzz_skips.get(key, 0)

@@ -1,0 +1,61 @@
+"""Kernel mode switch: optimized vs reference numeric/heap kernels.
+
+The cold-path speed program (fast integer simplex, warm-started
+entailment, incremental canonicalization, heap-set join pre-filters)
+keeps every optimized kernel behind this switch, paired with the
+original reference implementation.  The contract is *representation
+identity*: with the same inputs, the fast and reference paths must
+produce summaries whose canonical stable hashes are bit-identical —
+the fuzz lane (``python -m repro.fuzz --check-kernels``) and the
+corpus-wide suite in ``tests/test_kernels.py`` enforce it.
+
+Default is ``fast``; set ``REPRO_KERNELS=reference`` (or call
+:func:`set_mode`) to run the unoptimized baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+FAST_MODE = "fast"
+REFERENCE_MODE = "reference"
+
+_VALID = (FAST_MODE, REFERENCE_MODE)
+
+# Module-level flag read directly by the hot paths (attribute access is
+# the cheapest call-site test Python offers).
+FAST: bool = os.environ.get("REPRO_KERNELS", FAST_MODE) != REFERENCE_MODE
+
+
+def mode() -> str:
+    return FAST_MODE if FAST else REFERENCE_MODE
+
+
+def set_mode(new_mode: str) -> None:
+    """Switch kernel mode and drop caches populated under the old one.
+
+    Caches are representation-identical across modes (that is the
+    identity gate), but clearing them keeps differential timing honest:
+    a reference run never rides on results the fast path computed.
+    """
+    if new_mode not in _VALID:
+        raise ValueError(f"unknown kernel mode {new_mode!r}")
+    global FAST
+    FAST = new_mode != REFERENCE_MODE
+    from repro.numeric import simplex
+    from repro.numeric import polyhedra
+
+    simplex.clear_caches()
+    polyhedra.clear_caches()
+
+
+@contextmanager
+def mode_ctx(new_mode: str):
+    """Temporarily run under ``new_mode`` (used by the identity gates)."""
+    old = mode()
+    set_mode(new_mode)
+    try:
+        yield
+    finally:
+        set_mode(old)

@@ -164,11 +164,11 @@ class IntervalEnv:
             # k*var >= -rest
             if k > 0:
                 if rest_iv.hi is not None:
-                    bound = -rest_iv.hi / k
+                    bound = -Fraction(rest_iv.hi) / k  # exact: never int/int
                     out = out.set(var, out.get(var).meet(Interval(bound, None)))
             else:
                 if rest_iv.hi is not None:
-                    bound = rest_iv.hi / (-k)
+                    bound = Fraction(rest_iv.hi) / (-k)
                     out = out.set(var, out.get(var).meet(Interval(None, bound)))
             if out._bottom:
                 return out

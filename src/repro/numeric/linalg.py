@@ -2,69 +2,143 @@
 
 Shared by the AM multiset domain (row spaces of multiset equalities) and
 the polyhedra join (affine-hull intersection).  Rows are dicts mapping
-column names to Fractions; systems are homogeneous.
+column names to exact rationals (Fraction or int); systems are
+homogeneous.
+
+``rref`` runs fraction-free: each input row is scaled to coprime
+integers (legal because the system is homogeneous -- scaling a row does
+not change its span), elimination works on integer rows with a gcd
+reduction after every combination, and pivot rows are divided down to a
+unit lead only at the end.  The reduced row echelon form of a row space
+is unique, so the result is the same canonical basis the naive
+Fraction-by-Fraction elimination produces -- just without the millions
+of intermediate Fraction allocations.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Tuple
 
 Row = Dict[str, Fraction]
 
 
+def _int_row(row: Row) -> Dict[str, int]:
+    """Scale a homogeneous row to coprime integers, dropping zeros."""
+    lcm = 1
+    for k in row.values():
+        d = k.denominator
+        if d != 1:
+            lcm = lcm * d // gcd(lcm, d)
+    if lcm == 1:
+        out = {c: k.numerator for c, k in row.items() if k}
+    else:
+        out = {}
+        for c, k in row.items():
+            if k:
+                out[c] = k.numerator * (lcm // k.denominator)
+    return _gcd_reduce(out)
+
+
+def _gcd_reduce(row: Dict[str, int]) -> Dict[str, int]:
+    g = 0
+    for v in row.values():
+        g = gcd(g, v)
+        if g == 1:
+            return row
+    if g > 1:
+        return {c: v // g for c, v in row.items()}
+    return row
+
+
 def rref(rows: List[Row], columns: List[str]) -> List[Row]:
     """Reduced row echelon form of homogeneous rows over ordered columns."""
-    work = [dict(r) for r in rows]
-    pivots: List[Tuple[int, str]] = []
+    work = [r for r in (_int_row(dict(r)) for r in rows) if r]
+    pivots: List[str] = []
     row_idx = 0
     for col in columns:
         pivot_row = None
         for r in range(row_idx, len(work)):
-            if work[r].get(col, Fraction(0)) != 0:
+            if work[r].get(col):
                 pivot_row = r
                 break
         if pivot_row is None:
             continue
         work[row_idx], work[pivot_row] = work[pivot_row], work[row_idx]
-        inv = Fraction(1) / work[row_idx][col]
-        work[row_idx] = {c: k * inv for c, k in work[row_idx].items() if k != 0}
+        lead_row = work[row_idx]
+        p = lead_row[col]
         for r in range(len(work)):
             if r == row_idx:
                 continue
-            factor = work[r].get(col, Fraction(0))
-            if factor != 0:
-                new = dict(work[r])
-                for c, k in work[row_idx].items():
-                    new[c] = new.get(c, Fraction(0)) - factor * k
-                work[r] = {c: k for c, k in new.items() if k != 0}
-        pivots.append((row_idx, col))
+            f = work[r].get(col)
+            if f:
+                new = {c: k * p for c, k in work[r].items()}
+                for c, k in lead_row.items():
+                    cur = new.get(c)
+                    nv = -f * k if cur is None else cur - f * k
+                    if nv:
+                        new[c] = nv
+                    elif cur is not None:
+                        del new[c]
+                work[r] = _gcd_reduce(new)
+        pivots.append(col)
         row_idx += 1
-    return [r for r in work[:row_idx] if r]
+    out: List[Row] = []
+    for i, col in enumerate(pivots):
+        r = work[i]
+        p = r[col]
+        if p == 1:
+            out.append(r)
+        else:
+            # Exact unit-lead normalization; Fraction(v, p) keeps the
+            # denominator positive and reduces automatically.
+            out.append({c: Fraction(v, p) for c, v in r.items()})
+    return out
+
+
+def _lead_of(row: Row, col_pos: Dict[str, int]):
+    """The row's leading column (smallest in the column order), or None.
+
+    Scans only the row's nonzero entries instead of the full column list.
+    """
+    lead = None
+    best = -1
+    for c in row:
+        p = col_pos.get(c)
+        if p is not None and (lead is None or p < best):
+            lead = c
+            best = p
+    return lead
 
 
 def reduce_against(row: Row, basis: List[Row], columns: List[str]) -> Row:
     """Reduce one row against an RREF basis; zero result means membership."""
+    col_pos = {c: i for i, c in enumerate(columns)}
     work = dict(row)
     for b in basis:
-        lead = next((c for c in columns if b.get(c, Fraction(0)) != 0), None)
+        lead = _lead_of(b, col_pos)
         if lead is None:
             continue
-        factor = work.get(lead, Fraction(0)) / b[lead]
-        if factor != 0:
-            for c, k in b.items():
-                work[c] = work.get(c, Fraction(0)) - factor * k
-    return {c: k for c, k in work.items() if k != 0}
-
-
+        factor_raw = work.get(lead)
+        if not factor_raw:
+            continue
+        pivot = b[lead]
+        # RREF basis rows have a unit lead; divide exactly if not.
+        factor = factor_raw if pivot == 1 else Fraction(factor_raw) / pivot
+        for c, k in b.items():
+            cur = work.get(c)
+            work[c] = -factor * k if cur is None else cur - factor * k
+    return {c: k for c, k in work.items() if k}
 
 
 def nullspace(rows: List[Row], unknowns: List[str]) -> List[Row]:
     """Basis of the null space of a homogeneous system over ``unknowns``."""
     reduced = rref([dict(r) for r in rows], unknowns)
+    col_pos = {c: i for i, c in enumerate(unknowns)}
     pivot_cols: Dict[str, Row] = {}
     for r in reduced:
-        lead = next((c for c in unknowns if r.get(c, Fraction(0)) != 0), None)
+        lead = _lead_of(r, col_pos)
         if lead is not None:
             pivot_cols[lead] = r
     free = [c for c in unknowns if c not in pivot_cols]
@@ -72,10 +146,8 @@ def nullspace(rows: List[Row], unknowns: List[str]) -> List[Row]:
     for f in free:
         vec: Row = {f: Fraction(1)}
         for lead, row in pivot_cols.items():
-            k = row.get(f, Fraction(0))
-            if k != 0:
+            k = row.get(f)
+            if k:
                 vec[lead] = -k
         basis.append(vec)
     return basis
-
-

@@ -19,8 +19,17 @@ GE = ">="
 EQ = "=="
 
 
-def _frac(value: Coeff) -> Fraction:
-    return value if isinstance(value, Fraction) else Fraction(value)
+def _frac(value: Coeff):
+    """Coerce to an exact rational, keeping plain ints as ints.
+
+    ``int`` is a drop-in exact rational here: it supports ``.numerator``/
+    ``.denominator``, promotes through mixed arithmetic with Fraction,
+    and hashes/compares equal to the same-valued Fraction -- while its
+    add/mul skip Fraction's per-operation gcd normalization.  The few
+    true divisions over coefficient values coerce their operands
+    explicitly (see intervals/multiset/simplex).
+    """
+    return value if isinstance(value, (Fraction, int)) else Fraction(value)
 
 
 def _intish(value: Fraction):
@@ -51,7 +60,7 @@ class LinExpr:
     @staticmethod
     def var(name: str) -> "LinExpr":
         """The expression consisting of the single term ``name``."""
-        return LinExpr({name: Fraction(1)})
+        return LinExpr({name: 1})
 
     @staticmethod
     def const_expr(value: Coeff) -> "LinExpr":
@@ -69,8 +78,8 @@ class LinExpr:
             self._support = frozenset(self.coeffs)
         return self._support
 
-    def coeff(self, var: str) -> Fraction:
-        return self.coeffs.get(var, Fraction(0))
+    def coeff(self, var: str):
+        return self.coeffs.get(var, 0)
 
     # -- arithmetic -------------------------------------------------------
 
@@ -79,7 +88,7 @@ class LinExpr:
             return LinExpr(self.coeffs, self.const + _frac(other))
         coeffs = dict(self.coeffs)
         for var, c in other.coeffs.items():
-            coeffs[var] = coeffs.get(var, Fraction(0)) + c
+            coeffs[var] = coeffs.get(var, 0) + c
         return LinExpr(coeffs, self.const + other.const)
 
     def __sub__(self, other: Union["LinExpr", Coeff]) -> "LinExpr":
@@ -92,24 +101,35 @@ class LinExpr:
 
     def scale(self, k: Coeff) -> "LinExpr":
         fk = _frac(k)
+        if fk == 1:
+            return self
+        if fk == -1:  # negation needs no gcd work
+            return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
         return LinExpr({v: c * fk for v, c in self.coeffs.items()}, self.const * fk)
 
     def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
         """Replace each term in ``mapping`` by the given expression."""
-        result = LinExpr({}, self.const)
+        if not any(var in mapping for var in self.coeffs):
+            return self
+        coeffs: Dict[str, Fraction] = {}
+        const = self.const
+        zero = Fraction(0)
         for var, c in self.coeffs.items():
-            if var in mapping:
-                result = result + mapping[var].scale(c)
+            repl = mapping.get(var)
+            if repl is None:
+                coeffs[var] = coeffs.get(var, zero) + c
             else:
-                result = result + LinExpr({var: c})
-        return result
+                const += repl.const * c
+                for v, k in repl.coeffs.items():
+                    coeffs[v] = coeffs.get(v, zero) + k * c
+        return LinExpr(coeffs, const)
 
     def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
         """Rename terms (non-renamed terms are kept)."""
         coeffs: Dict[str, Fraction] = {}
         for var, c in self.coeffs.items():
             new = mapping.get(var, var)
-            coeffs[new] = coeffs.get(new, Fraction(0)) + c
+            coeffs[new] = coeffs.get(new, 0) + c
         return LinExpr(coeffs, self.const)
 
     def evaluate(self, env: Mapping[str, Coeff]) -> Fraction:
@@ -133,19 +153,35 @@ class LinExpr:
         if not self.coeffs and self.const == 0:
             self._norm = self
             return self
-        denoms = [c.denominator for c in self.coeffs.values()]
-        denoms.append(self.const.denominator)
-        lcm = 1
-        for d in denoms:
-            lcm = lcm * d // gcd(lcm, d)
-        nums = [abs(int(c * lcm)) for c in self.coeffs.values() if c != 0]
-        if self.const != 0:
-            nums.append(abs(int(self.const * lcm)))
-        g = 0
-        for n in nums:
-            g = gcd(g, n)
-        factor = Fraction(lcm, g if g else 1)
-        result = self.scale(factor) if factor != 1 else self
+        lcm = self.const.denominator
+        for c in self.coeffs.values():
+            d = c.denominator
+            if d != 1:
+                lcm = lcm * d // gcd(lcm, d)
+        if lcm == 1:
+            # All-integer expression (the common case): divide out the
+            # gcd with plain int arithmetic.
+            g = abs(self.const.numerator)
+            for c in self.coeffs.values():
+                g = gcd(g, c.numerator)
+                if g == 1:
+                    break
+            if g <= 1:
+                result = self
+            else:
+                result = LinExpr(
+                    {v: c.numerator // g for v, c in self.coeffs.items()},
+                    self.const.numerator // g,
+                )
+        else:
+            nums = [abs(int(c * lcm)) for c in self.coeffs.values() if c != 0]
+            if self.const != 0:
+                nums.append(abs(int(self.const * lcm)))
+            g = 0
+            for n in nums:
+                g = gcd(g, n)
+            factor = Fraction(lcm, g if g else 1)
+            result = self.scale(factor) if factor != 1 else self
         result._norm = result
         self._norm = result
         return result
@@ -191,7 +227,7 @@ class LinExpr:
 class Constraint:
     """A linear constraint ``expr >= 0`` (``GE``) or ``expr == 0`` (``EQ``)."""
 
-    __slots__ = ("expr", "rel", "_hash", "_key", "_norm", "_frow")
+    __slots__ = ("expr", "rel", "_hash", "_key", "_norm", "_frow", "_dir")
 
     def __init__(self, expr: LinExpr, rel: str):
         if rel not in (GE, EQ):
@@ -202,6 +238,7 @@ class Constraint:
         self._key = None
         self._norm = None
         self._frow = None  # cached float view for the LP fast path
+        self._dir = None  # cached (direction, eff const); see polyhedra
 
     def float_row(self):
         """((var, float coeff)...), float const -- cached for the LP layer."""

@@ -17,10 +17,47 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import kernels
 from repro.numeric.linexpr import EQ, GE, Constraint, LinExpr
 from repro.numeric import simplex
 
 _FM_BLOWUP_CAP = 600
+
+# Join memo (fast-kernel mode): hull joins recur heavily across fixpoint
+# iterations -- the same pair of constraint systems is joined at every
+# visit of a loop head.  Keyed on the ORDERED constraint-key tuples of
+# both operands: a Polyhedron's constraint tuple is a deterministic
+# function of the ordered normalized keys, so equal keys mean
+# representation-identical operands and the cached result is
+# representation-identical to a fresh join.
+_JOIN_CACHE: dict = {}
+_JOIN_CACHE_MAX = 50_000
+_JOIN_STATS = {"hits": 0, "misses": 0}
+
+# minimized() memo.  Keyed on the exact (non-normalized) constraint tuple:
+# Constraint.__hash__/__eq__ compare representations bit-for-bit, so a hit
+# returns the very Polyhedron a fresh sweep over the same list would build.
+_MIN_CACHE: dict = {}
+_MIN_CACHE_MAX = 50_000
+_MIN_STATS = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict:
+    return {
+        "join_hits": _JOIN_STATS["hits"],
+        "join_misses": _JOIN_STATS["misses"],
+        "join_entries": len(_JOIN_CACHE),
+        "min_hits": _MIN_STATS["hits"],
+        "min_misses": _MIN_STATS["misses"],
+        "min_entries": len(_MIN_CACHE),
+    }
+
+
+def clear_caches() -> None:
+    _JOIN_CACHE.clear()
+    _JOIN_STATS["hits"] = _JOIN_STATS["misses"] = 0
+    _MIN_CACHE.clear()
+    _MIN_STATS["hits"] = _MIN_STATS["misses"] = 0
 
 
 def _direction_of(constraint: Constraint) -> Tuple[Tuple, Fraction]:
@@ -29,13 +66,15 @@ def _direction_of(constraint: Constraint) -> Tuple[Tuple, Fraction]:
     Two GE constraints with the same direction key are parallel; the one
     with the smaller effective constant is the tighter.
     """
+    if constraint._dir is not None:
+        return constraint._dir
     expr = constraint.expr
-    scale = None
     items = sorted(expr.coeffs.items())
     first = items[0][1]
     scale = Fraction(1) / abs(first)
     direction = tuple((v, k * scale) for v, k in items)
-    return direction, expr.const * scale
+    constraint._dir = (direction, expr.const * scale)
+    return constraint._dir
 
 
 class Polyhedron:
@@ -242,10 +281,24 @@ class Polyhedron:
             return self
         if self is other:
             return self
-        hull = self._hull_join(other)
-        if hull is not None:
-            return hull
-        return self._weak_join(other)
+        if kernels.FAST:
+            memo_key = (
+                tuple(c.key() for c in self.constraints),
+                tuple(c.key() for c in other.constraints),
+            )
+            cached = _JOIN_CACHE.get(memo_key)
+            if cached is not None:
+                _JOIN_STATS["hits"] += 1
+                return cached
+            _JOIN_STATS["misses"] += 1
+        result = self._hull_join(other)
+        if result is None:
+            result = self._weak_join(other)
+        if kernels.FAST:
+            if len(_JOIN_CACHE) > _JOIN_CACHE_MAX:
+                _JOIN_CACHE.clear()
+            _JOIN_CACHE[memo_key] = result
+        return result
 
     def _hull_join(self, other: "Polyhedron") -> Optional["Polyhedron"]:
         variables = sorted(self.support() | other.support())
@@ -275,7 +328,7 @@ class Polyhedron:
         cons.append(Constraint.le(LinExpr.var(lam), 1))
         combined = Polyhedron(cons)
         eliminate = [lam] + [aux[v] for v in variables]
-        result = combined._project_capped(eliminate, cap=90)
+        result = combined._project_capped(eliminate, cap=48)
         if result is None:
             return None
         return result.reduced()
@@ -392,12 +445,32 @@ class Polyhedron:
         cons = list(self.constraints)
         if len(cons) <= 1:
             return self
-        kept: List[Constraint] = []
-        for i, c in enumerate(cons):
-            rest = kept + cons[i + 1 :]
-            if not simplex.entails(rest, c, assume_feasible=True):
-                kept.append(c)
-        return Polyhedron(kept)
+        if kernels.FAST:
+            mkey = tuple(cons)
+            cached = _MIN_CACHE.get(mkey)
+            if cached is not None:
+                _MIN_STATS["hits"] += 1
+                return cached
+            _MIN_STATS["misses"] += 1
+        result = None
+        if kernels.FAST and len(cons) > simplex._INT_DIRECT_MAX:
+            # Large sweeps share one warm-started LP model instead of
+            # building a model per entailment check.
+            kept = simplex.minimize_constraints(cons)
+            if kept is not None:
+                result = Polyhedron(kept)
+        if result is None:
+            kept = []
+            for i, c in enumerate(cons):
+                rest = kept + cons[i + 1 :]
+                if not simplex.entails(rest, c, assume_feasible=True):
+                    kept.append(c)
+            result = Polyhedron(kept)
+        if kernels.FAST:
+            if len(_MIN_CACHE) > _MIN_CACHE_MAX:
+                _MIN_CACHE.clear()
+            _MIN_CACHE[mkey] = result
+        return result
 
     def equalities(self) -> List[Constraint]:
         return [c for c in self.constraints if c.rel == EQ]
@@ -458,13 +531,53 @@ def _eliminate(cons: List[Constraint], var: str) -> Optional[List[Constraint]]:
         kp = p.expr.coeffs[var]
         for q in neg:
             kq = q.expr.coeffs[var]
-            combo = p.expr.scale(-kq) + q.expr.scale(kp)
+            combo = _fm_combo(p.expr, q.expr, kp, kq)
             new = Constraint(combo, GE)
             if new.is_contradiction():
                 return None
             if not new.is_trivial():
                 rest_cons.append(new)
     return rest_cons
+
+
+def _fm_combo(pe: LinExpr, qe: LinExpr, kp: Fraction, kq: Fraction) -> LinExpr:
+    """The FM combination ``pe * (-kq) + qe * kp`` in one pass.
+
+    Equivalent to ``pe.scale(-kq) + qe.scale(kp)`` without the two
+    intermediate expressions; when every value involved is an integer
+    (the common case -- stored constraints are normalized to coprime
+    integers, and integer combos stay integral) the accumulation runs on
+    plain ints, skipping Fraction's per-operation gcd normalization.
+    """
+    a = -kq
+    b = kp
+    if (
+        a.denominator == 1
+        and b.denominator == 1
+        and pe.const.denominator == 1
+        and qe.const.denominator == 1
+    ):
+        ia = a.numerator
+        ib = b.numerator
+        coeffs: dict = {}
+        for v, k in pe.coeffs.items():
+            if k.denominator != 1:
+                break
+            coeffs[v] = k.numerator * ia
+        else:
+            for v, k in qe.coeffs.items():
+                if k.denominator != 1:
+                    break
+                coeffs[v] = coeffs.get(v, 0) + k.numerator * ib
+            else:
+                return LinExpr(
+                    coeffs, pe.const.numerator * ia + qe.const.numerator * ib
+                )
+    coeffs = {v: k * a for v, k in pe.coeffs.items()}
+    for v, k in qe.coeffs.items():
+        cur = coeffs.get(v)
+        coeffs[v] = k * b if cur is None else cur + k * b
+    return LinExpr(coeffs, pe.const * a + qe.const * b)
 
 
 def _recover_equalities(inequalities: Sequence[Constraint]) -> List[Constraint]:

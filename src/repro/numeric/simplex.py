@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import os
 from fractions import Fraction
+from math import gcd
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.numeric.linexpr import EQ, GE, Constraint, LinExpr
 
 OPTIMAL = "optimal"
@@ -127,9 +129,45 @@ def _simplex_phase(
 # here.  Keyed on the *canonical* constraint system (order-independent
 # frozenset of constraint keys) plus objective and sense; LPResult values
 # are immutable, so sharing them is safe.
+#
+# Key-aliasing audit (see tests/test_kernels.py): a collision would need
+# two semantically different inputs mapping to the same key.  That cannot
+# happen because (a) ``Constraint.key()`` starts with the relation, so a
+# GE and an EQ over the same expression never collide; (b) keys are built
+# from ``normalized()`` forms — coprime integer coefficients with a sign
+# convention applied only to equalities — so two keys are equal iff the
+# constraints are positive multiples of each other, i.e. the same
+# half-space/hyperplane; (c) duplicate constraints collapsing in the
+# frozenset is harmless (conjunction is idempotent); (d) trivial
+# constraints are filtered *before* keying in every caller, so presence
+# or absence of ``0 >= 0`` cannot alias two systems; and (e) the
+# objective's key includes its constant and the ``maximize`` sense is a
+# separate key component.
 _SOLVE_CACHE: dict = {}
 _SOLVE_CACHE_MAX = 200_000
 _SOLVE_STATS = {"hits": 0, "misses": 0}
+
+# Warm-start snapshots of the fast integer simplex: for a constraint
+# system already driven through phase 1, later queries over the same
+# system (new objective) restart at phase 2, and queries that add one
+# constraint re-enter phase 1 with a single artificial row instead of m.
+_BASIS_CACHE: dict = {}
+_BASIS_CACHE_MAX = 20_000
+_BASIS_STATS = {"phase2_reuse": 0, "incremental_reuse": 0, "int_solves": 0,
+                "int_fallbacks": 0}
+
+# Integer tableau entries past this bit-length abort the fast solver in
+# favour of the exact-Fraction reference ("overflow risk" for the fast
+# path: Python ints cannot overflow, but unreduced blowup costs more
+# than the reference would).
+_INT_BLOWUP_BITS = 2048
+
+# Up to this many constraints, fast-kernel mode answers boolean queries
+# with the (memoized, warm-started) integer simplex directly: HiGHS
+# model-build overhead dominates sub-millisecond problems, and the same
+# small systems recur across entailment sweeps where the basis cache
+# pays off.  Larger systems keep the float pre-pass.
+_INT_DIRECT_MAX = 20
 
 
 def cache_stats() -> dict:
@@ -140,13 +178,20 @@ def cache_stats() -> dict:
         "solve_misses": _SOLVE_STATS["misses"],
         "solve_entries": len(_SOLVE_CACHE),
         "entails_entries": len(_ENTAILS_CACHE),
+        "basis_phase2_reuse": _BASIS_STATS["phase2_reuse"],
+        "basis_incremental_reuse": _BASIS_STATS["incremental_reuse"],
+        "int_solves": _BASIS_STATS["int_solves"],
+        "int_fallbacks": _BASIS_STATS["int_fallbacks"],
     }
 
 
 def clear_caches() -> None:
     _SOLVE_CACHE.clear()
     _ENTAILS_CACHE.clear()
+    _BASIS_CACHE.clear()
     _SOLVE_STATS["hits"] = _SOLVE_STATS["misses"] = 0
+    for key in _BASIS_STATS:
+        _BASIS_STATS[key] = 0
 
 
 def solve_lp(
@@ -167,17 +212,25 @@ def solve_lp(
         if c.is_contradiction():
             return LPResult(INFEASIBLE)
 
-    memo_key = (
-        frozenset(c.key() for c in cons),
-        objective.key(),
-        maximize,
-    )
+    sys_key = frozenset(c.key() for c in cons)
+    # The objective must be memoized EXACTLY, not via LinExpr.key():
+    # key() normalizes scale away, so the objectives ``2*x`` and ``x``
+    # (or the constants ``5`` and ``1``) would alias one cache slot and
+    # return each other's optima.  Constraint keys may normalize (the
+    # feasible set is scale-invariant); the objective value is not.
+    memo_key = (sys_key, objective, maximize)
     cached = _SOLVE_CACHE.get(memo_key)
     if cached is not None:
         _SOLVE_STATS["hits"] += 1
         return cached
     _SOLVE_STATS["misses"] += 1
-    result = _solve_lp_uncached(cons, objective, maximize)
+    result = None
+    if kernels.FAST:
+        result = _solve_lp_int(cons, objective, maximize, sys_key)
+        if result is None:
+            _BASIS_STATS["int_fallbacks"] += 1
+    if result is None:
+        result = _solve_lp_uncached(cons, objective, maximize)
     if len(_SOLVE_CACHE) > _SOLVE_CACHE_MAX:
         _SOLVE_CACHE.clear()
     _SOLVE_CACHE[memo_key] = result
@@ -198,9 +251,11 @@ def _solve_lp_uncached(
     for c in cons:
         coeffs = [Fraction(0)] * n_free
         for var, k in c.expr.coeffs.items():
-            coeffs[var_index[var]] = k
+            # Coerce: coefficients may be plain ints, but the tableau must
+            # stay Fraction-valued (the ratio test divides raw entries).
+            coeffs[var_index[var]] = Fraction(k)
         # expr >= 0  <=>  sum coeffs*x >= -const
-        rows.append((coeffs, -c.expr.const, c.rel))
+        rows.append((coeffs, Fraction(-c.expr.const), c.rel))
 
     n_slack = sum(1 for _, _, rel in rows if rel == GE)
     m = len(rows)
@@ -268,6 +323,407 @@ def _solve_lp_uncached(
     for var, j in var_index.items():
         k = objective.coeffs.get(var, Fraction(0))
         value += k * (assignment[j] - assignment[n_free + j])
+    return LPResult(OPTIMAL, value)
+
+
+# -- fast integer simplex ----------------------------------------------------
+#
+# The optimized twin of ``_solve_lp_uncached``: the same two-phase primal
+# simplex over the same column layout, but with each tableau row held as
+# integer numerators over one positive integer denominator.  A pivot is
+# then pure integer arithmetic (one gcd pass per touched row instead of a
+# gcd inside every Fraction operation), which measures several times
+# faster at this scale.  The optimum of an LP is unique, so results are
+# bit-identical to the reference path by construction; status flags are
+# properties of the problem, not of the pivot order.
+#
+# On top of the raw solver sits a warm-start cache (``_BASIS_CACHE``):
+# the post-phase-1 tableau of each solved constraint system is kept so
+# that (a) a later query over the *same* system with a different
+# objective runs phase 2 only, and (b) a query over the system plus
+# exactly one new constraint re-enters phase 1 with a single appended
+# row/artificial rather than re-solving all m rows from scratch.
+
+
+def _row_gcd_reduce(nums, den):
+    """Divide a row (numerators + positive denominator) by its gcd."""
+    g = den
+    for n in nums:
+        if n:
+            g = gcd(g, n)
+            if g == 1:
+                return nums, den
+    if g > 1:
+        return [n // g for n in nums], den // g
+    return nums, den
+
+
+def _pivot_int(rows, dens, basis, row, col):
+    """Integer pivot on (row, col); mirrors ``_pivot`` over Fractions."""
+    prow = rows[row]
+    pn = prow[col]
+    if pn < 0:  # normalize so the new basic column has positive value
+        prow = [-x for x in prow]
+        pn = -pn
+    nums, den = _row_gcd_reduce(list(prow), pn)
+    rows[row] = nums
+    dens[row] = den
+    for r in range(len(rows)):
+        if r == row:
+            continue
+        factor = rows[r][col]
+        if factor == 0:
+            continue
+        e = dens[r]
+        rrow = rows[r]
+        new = [m * den - factor * n for m, n in zip(rrow, nums)]
+        new, nden = _row_gcd_reduce(new, e * den)
+        rows[r] = new
+        dens[r] = nden
+    basis[row] = col
+
+
+def _phase_int(rows, dens, basis, cost, allowed):
+    """Minimize an integer cost vector in place; OPTIMAL/UNBOUNDED.
+
+    Returns None when tableau denominators blow past the bit-length
+    guard -- the caller falls back to the exact-Fraction reference.
+    """
+    num_cols = len(rows[0]) - 1
+    m = len(rows)
+    while True:
+        # Reduced costs scaled by the lcm of the active basic-row
+        # denominators (a positive factor: sign tests and Bland's
+        # smallest-index choice are invariant under it).  Bland's rule
+        # needs only the FIRST negative entry, so the scan is lazy per
+        # column: near optimality (or when the entering column is early)
+        # this skips most of the O(m*n) reduced-cost row.
+        active = []
+        scale = 1
+        for r in range(m):
+            cb = cost[basis[r]]
+            if cb:
+                d = dens[r]
+                scale = scale * d // gcd(scale, d)
+                active.append((r, cb))
+        factors = [(cb * (scale // dens[r]), rows[r]) for r, cb in active]
+        entering = -1
+        for j in range(num_cols):  # Bland: smallest eligible index.
+            if not allowed[j]:
+                continue
+            rj = cost[j] * scale
+            for f, rrow in factors:
+                a = rrow[j]
+                if a:
+                    rj -= f * a
+            if rj < 0:
+                entering = j
+                break
+        if entering < 0:
+            return OPTIMAL
+        leaving = -1
+        best_num = best_den = 0  # ratio = rhs/a, compared cross-multiplied
+        for r in range(m):
+            a = rows[r][entering]
+            if a > 0:
+                rhs = rows[r][-1]
+                if (
+                    leaving < 0
+                    or rhs * best_den < best_num * a
+                    or (rhs * best_den == best_num * a
+                        and basis[r] < basis[leaving])
+                ):
+                    best_num, best_den = rhs, a
+                    leaving = r
+        if leaving < 0:
+            return UNBOUNDED
+        _pivot_int(rows, dens, basis, leaving, entering)
+        if max(dens).bit_length() > _INT_BLOWUP_BITS:
+            return None
+
+
+def _int_row(c, index, n_free, width):
+    """One constraint as an integer x+/x- row: (row ints, rhs int)."""
+    lcm = c.expr.const.denominator
+    for k in c.expr.coeffs.values():
+        d = k.denominator
+        lcm = lcm * d // gcd(lcm, d)
+    row = [0] * width
+    for var, k in c.expr.coeffs.items():
+        ik = int(k * lcm)
+        j = index[var]
+        row[j] = ik
+        row[n_free + j] = -ik
+    # expr >= 0  <=>  sum coeffs*x >= -const  (matches the reference)
+    return row, -int(c.expr.const * lcm)
+
+
+def _snapshot(rows, dens, basis, variables, art_cols):
+    return (
+        [list(r) for r in rows],
+        list(dens),
+        list(basis),
+        variables,
+        art_cols,
+    )
+
+
+def _store_basis(sys_key, rows, dens, basis, variables, art_cols):
+    if len(_BASIS_CACHE) > _BASIS_CACHE_MAX:
+        _BASIS_CACHE.clear()
+    _BASIS_CACHE[sys_key] = _snapshot(
+        rows, dens, basis, tuple(variables), frozenset(art_cols)
+    )
+
+
+_INFEASIBLE_MARK = object()
+
+
+def _solve_lp_int(cons, objective, maximize, sys_key):
+    """Fast-path exact solve; None means "fall back to the reference"."""
+    _BASIS_STATS["int_solves"] += 1
+    state = _BASIS_CACHE.get(sys_key)
+    if state is not None:
+        _BASIS_STATS["phase2_reuse"] += 1
+        rows, dens, basis, variables, art_cols = _snapshot(*state)
+        if not objective.support() <= set(variables):
+            # Feasible system (phase 1 succeeded) with an objective term
+            # it does not constrain: unbounded in that free direction.
+            return LPResult(UNBOUNDED)
+        return _phase2_int(rows, dens, basis, variables, art_cols,
+                           objective, maximize)
+    if len(cons) >= 2 and len(sys_key) == len(cons):
+        grown = _try_incremental(cons, sys_key)
+        if grown is _INFEASIBLE_MARK:
+            return LPResult(INFEASIBLE)
+        if grown is not None:
+            rows, dens, basis, variables, art_cols = grown
+            _store_basis(sys_key, rows, dens, basis, variables, art_cols)
+            if not objective.support() <= set(variables):
+                return LPResult(UNBOUNDED)
+            return _phase2_int(rows, dens, basis, variables, art_cols,
+                               objective, maximize)
+
+    variables = tuple(sorted(
+        set().union(*[c.support() for c in cons], objective.support())
+        or set()
+    ))
+    n_free = len(variables)
+    index = {v: i for i, v in enumerate(variables)}
+    m = len(cons)
+    if m == 0:
+        if objective.coeffs:
+            return LPResult(UNBOUNDED)
+        return LPResult(OPTIMAL, objective.const)
+    n_slack = sum(1 for c in cons if c.rel == GE)
+    art_lo = 2 * n_free + n_slack
+    # A GE row ``row.x - s = rhs`` with rhs <= 0 can be negated to seat
+    # its slack directly in the starting basis (``-row.x + s = -rhs``),
+    # so only EQ rows and GE rows with rhs > 0 need an artificial --
+    # phase 1 then starts with a much smaller infeasibility objective.
+    raw = []
+    n_art = 0
+    for c in cons:
+        row, rhs = _int_row(c, index, n_free, art_lo + 1)
+        needs_art = c.rel == EQ or rhs > 0
+        raw.append((c, row, rhs, needs_art))
+        if needs_art:
+            n_art += 1
+    n_cols = art_lo + n_art
+    rows, dens, basis = [], [], []
+    slack_i = 0
+    art_i = 0
+    for c, row, rhs, needs_art in raw:
+        row = row[:-1] + [0] * n_art + [0]
+        if needs_art:
+            if rhs < 0:  # only EQ rows land here; normalize the sign
+                row = [-x for x in row]
+                rhs = -rhs
+            elif c.rel == GE:  # rhs > 0: slack enters with -1, not basic
+                row[2 * n_free + slack_i] = -1
+                slack_i += 1
+            row[art_lo + art_i] = 1
+            basis.append(art_lo + art_i)
+            art_i += 1
+        else:  # GE with rhs <= 0: negate, slack is basic
+            row = [-x for x in row]
+            rhs = -rhs
+            row[2 * n_free + slack_i] = 1
+            basis.append(2 * n_free + slack_i)
+            slack_i += 1
+        row[-1] = rhs
+        rows.append(row)
+        dens.append(1)
+
+    art_cols = frozenset(range(art_lo, n_cols))
+    if n_art:
+        phase1_cost = [0] * n_cols
+        for j in range(art_lo, n_cols):
+            phase1_cost[j] = 1
+        status = _phase_int(rows, dens, basis, phase1_cost, [True] * n_cols)
+        if status is None:
+            return None
+        assert status == OPTIMAL  # bounded below by 0
+        if any(rows[r][-1] for r in range(m) if basis[r] in art_cols):
+            return LPResult(INFEASIBLE)
+    _drive_out_artificials(rows, dens, basis, art_cols)
+    _store_basis(sys_key, rows, dens, basis, variables, art_cols)
+    return _phase2_int(rows, dens, basis, variables, art_cols,
+                       objective, maximize)
+
+
+def _drive_out_artificials(rows, dens, basis, art_cols):
+    for r in range(len(rows)):
+        if basis[r] in art_cols:
+            for j in range(len(rows[0]) - 1):
+                if j not in art_cols and rows[r][j]:
+                    _pivot_int(rows, dens, basis, r, j)
+                    break
+
+
+def _try_incremental(cons, sys_key):
+    """Warm-start from a cached basis of ``cons`` minus one constraint.
+
+    Returns a grown working tableau, ``_INFEASIBLE_MARK`` when the added
+    constraint contradicts the cached system, or None when no one-smaller
+    system is cached (or the warm start cannot apply).
+    """
+    for added in cons:
+        smaller = sys_key - {added.key()}
+        if len(smaller) != len(sys_key) - 1:
+            continue  # duplicate keys; ambiguous removal
+        state = _BASIS_CACHE.get(smaller)
+        if state is None:
+            continue
+        rows, dens, basis, variables, art_cols = _snapshot(*state)
+        if not added.support() <= set(variables):
+            continue  # new columns needed; fall back to a fresh solve
+        grown = _append_row(rows, dens, basis, variables, art_cols, added)
+        if grown is _INFEASIBLE_MARK:
+            return _INFEASIBLE_MARK
+        if grown is not None:
+            _BASIS_STATS["incremental_reuse"] += 1
+            return grown
+    return None
+
+
+def _append_row(rows, dens, basis, variables, art_cols, added):
+    """Add one constraint row to a phase-1-complete tableau.
+
+    The row enters with its own slack column (GE); if the current vertex
+    already satisfies the constraint the slack is basic and no pivoting
+    happens, otherwise one artificial column and a one-row phase 1
+    restore feasibility.
+    """
+    n_free = len(variables)
+    index = {v: i for i, v in enumerate(variables)}
+    old_cols = len(rows[0]) - 1
+    raw, rhs = _int_row(added, index, n_free, old_cols)
+    # Layout: [old columns][slack][artificial][rhs]
+    slack_col = old_cols
+    art_col = old_cols + 1
+    new = raw + [0, 0, rhs]
+    if added.rel == GE:
+        new[slack_col] = -1
+    den = 1
+    # Reduce against the basis so basic columns read zero; each basic
+    # column lives in exactly one row, so one pass suffices.
+    for r in range(len(rows)):
+        factor = new[basis[r]]
+        if factor == 0:
+            continue
+        rrow = rows[r]
+        rden = dens[r]
+        merged = [
+            a * rden - factor * b
+            for a, b in zip(new[:old_cols], rrow[:old_cols])
+        ]
+        new = merged + [
+            new[slack_col] * rden,
+            new[art_col] * rden,
+            new[-1] * rden - factor * rrow[-1],
+        ]
+        den *= rden
+    new, den = _row_gcd_reduce(new, den)
+    if not any(new[j] for j in range(len(new) - 1)):
+        if new[-1] != 0:
+            return _INFEASIBLE_MARK
+        return None  # redundant row: adding nothing; use a fresh solve
+    grown_rows = [r[:old_cols] + [0, 0, r[-1]] for r in rows]
+    grown_dens = list(dens)
+    grown_basis = list(basis)
+    if added.rel == GE and new[-1] <= 0:
+        # Vertex satisfies the constraint: slack value -rhs/den >= 0.
+        # Flip so the slack coefficient is positive, then normalize its
+        # value to exactly 1 by taking it as the row denominator.
+        flipped = [-x for x in new]
+        k = flipped[slack_col]
+        assert k > 0
+        flipped, fden = _row_gcd_reduce(flipped, k)
+        grown_rows.append(flipped)
+        grown_dens.append(fden)
+        grown_basis.append(slack_col)
+        return (grown_rows, grown_dens, grown_basis, variables, art_cols)
+    # General case: flip for a non-negative rhs, seat an artificial.
+    if new[-1] < 0:
+        new = [-x for x in new]
+    new[art_col] = den  # artificial value exactly 1
+    grown_rows.append(new)
+    grown_dens.append(den)
+    grown_basis.append(art_col)
+    new_art_cols = frozenset(art_cols) | {art_col}
+    n_cols = len(grown_rows[0]) - 1
+    cost = [0] * n_cols
+    cost[art_col] = 1
+    allowed = [j not in new_art_cols for j in range(n_cols)]
+    status = _phase_int(grown_rows, grown_dens, grown_basis, cost, allowed)
+    if status is None or status == UNBOUNDED:
+        return None  # blowup (or impossible unbounded phase 1): fresh solve
+    for r in range(len(grown_rows)):
+        if grown_basis[r] == art_col and grown_rows[r][-1]:
+            return _INFEASIBLE_MARK
+    _drive_out_artificials(grown_rows, grown_dens, grown_basis, {art_col})
+    return (grown_rows, grown_dens, grown_basis, variables, new_art_cols)
+
+
+def _phase2_int(rows, dens, basis, variables, art_cols, objective, maximize):
+    """Phase 2 from a feasible basis; exact optimum as an LPResult."""
+    n_free = len(variables)
+    var_index = {v: i for i, v in enumerate(variables)}
+    n_cols = len(rows[0]) - 1
+    sense = -1 if maximize else 1
+    # Scale the objective to integers (a positive factor: pivot choices
+    # and optimality tests are invariant; the value is recomputed exactly
+    # from the final assignment below).
+    lcm = 1
+    for k in objective.coeffs.values():
+        d = k.denominator
+        lcm = lcm * d // gcd(lcm, d)
+    cost = [0] * n_cols
+    for var, j in var_index.items():
+        k = objective.coeffs.get(var)
+        if k:
+            ik = int(k * lcm) * sense
+            cost[j] = ik
+            cost[n_free + j] = -ik
+    allowed = [j not in art_cols for j in range(n_cols)]
+    status = _phase_int(rows, dens, basis, cost, allowed)
+    if status is None:
+        return None
+    if status == UNBOUNDED:
+        return LPResult(UNBOUNDED)
+    value = objective.const
+    assignment = {}
+    for r, var in enumerate(basis):
+        if rows[r][-1]:
+            assignment[var] = Fraction(rows[r][-1], dens[r])
+    zero = Fraction(0)
+    for var, j in var_index.items():
+        k = objective.coeffs.get(var)
+        if k:
+            value += k * (
+                assignment.get(j, zero) - assignment.get(n_free + j, zero)
+            )
     return LPResult(OPTIMAL, value)
 
 
@@ -395,6 +851,8 @@ def _float_lp_direct(
 def is_feasible(constraints: Iterable[Constraint]) -> bool:
     """Rational feasibility of a constraint conjunction."""
     cons = list(constraints)
+    if kernels.FAST and len(cons) <= _INT_DIRECT_MAX:
+        return solve_lp(cons, LinExpr()).status != INFEASIBLE
     fast = _float_lp(cons, LinExpr(), False)
     if fast is not None:
         return fast[0] != INFEASIBLE
@@ -477,8 +935,18 @@ def _min_nonnegative(constraints: Sequence[Constraint], expr: LinExpr) -> bool:
     """Is ``min expr >= 0`` over the constraints (True if infeasible)?
 
     Uses the float LP when its verdict has a clear margin; ambiguous
-    results fall back to the exact simplex.
+    results fall back to the exact simplex.  Small systems in fast-kernel
+    mode skip the float pass entirely: the exact integer simplex (with
+    its memo and warm-start caches) beats the HiGHS per-call overhead
+    there, and its verdicts need no margin handling.
     """
+    if kernels.FAST and len(constraints) <= _INT_DIRECT_MAX:
+        result = solve_lp(constraints, expr, maximize=False)
+        if result.status == INFEASIBLE:
+            return True
+        if result.status == UNBOUNDED:
+            return False
+        return result.value >= 0
     fast = _float_lp(constraints, expr, maximize=False)
     if fast is not None:
         status, value = fast
@@ -496,6 +964,132 @@ def _min_nonnegative(constraints: Sequence[Constraint], expr: LinExpr) -> bool:
     if result.status == UNBOUNDED:
         return False
     return result.value >= 0
+
+
+def minimize_constraints(
+    cons: Sequence[Constraint],
+) -> Optional[List[Constraint]]:
+    """Batch redundancy elimination over one shared float-LP model.
+
+    Fast-kernel twin of the reference loop in ``Polyhedron.minimized()``:
+    for each constraint, entailment from the remaining system is tested
+    by deactivating its row (bounds to +-inf) and minimizing its
+    expression over ONE HiGHS model that is modified and warm-started
+    between queries -- large sweeps pay the model build once instead of
+    per check.  Dropped rows stay deactivated, so query ``i`` sees
+    exactly ``kept + cons[i+1:]``, the reference's ``rest``.
+
+    Clear-margin float verdicts decide directly (same ``_CLEAR`` /
+    ``_TIGHT`` policy as ``_min_nonnegative``); ambiguous ones delegate
+    to :func:`entails` on the reference path.  Returns the kept list, or
+    None when the shared model cannot be built or misbehaves -- the
+    caller then runs the reference loop.
+    """
+    if _highs_core is None or _EXACT_ONLY:
+        return None
+    core = _highs_core
+    variables = sorted(set().union(set(), *[c.support() for c in cons]))
+    index = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+    if n == 0:
+        return None
+    inf = core.kHighsInf
+    starts = [0]
+    idx: List[int] = []
+    vals: List[float] = []
+    lower: List[float] = []
+    upper: List[float] = []
+    for c in cons:
+        row, const = c.float_row()
+        for var, k in row:
+            idx.append(index[var])
+            vals.append(k)
+        starts.append(len(idx))
+        lower.append(-const)
+        upper.append(-const if c.rel == EQ else inf)
+    try:
+        lp = core.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = len(cons)
+        lp.col_cost_ = _np.zeros(n)
+        lp.col_lower_ = _np.full(n, -inf)
+        lp.col_upper_ = _np.full(n, inf)
+        lp.row_lower_ = _np.asarray(lower, dtype=float)
+        lp.row_upper_ = _np.asarray(upper, dtype=float)
+        lp.a_matrix_.format_ = core.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = _np.asarray(starts, dtype=_np.int32)
+        lp.a_matrix_.index_ = _np.asarray(idx, dtype=_np.int32)
+        lp.a_matrix_.value_ = _np.asarray(vals, dtype=float)
+        solver = core._Highs()
+        solver.setOptionValue("output_flag", False)
+        solver.passModel(lp)
+        # One zero-objective probe: an infeasible system needs the
+        # reference path (its component-restricted entailment can answer
+        # differently than the whole-system LP would).
+        solver.run()
+        if solver.getModelStatus() != core.HighsModelStatus.kOptimal:
+            return None
+    except Exception:  # pragma: no cover - solver hiccup
+        return None
+
+    obj_cols: List[int] = []
+
+    def float_min(coeffs, const) -> Optional[Tuple[str, float]]:
+        try:
+            for j in obj_cols:
+                solver.changeColCost(j, 0.0)
+            obj_cols.clear()
+            for var, k in coeffs.items():
+                j = index[var]
+                solver.changeColCost(j, float(k))
+                obj_cols.append(j)
+            solver.run()
+            status = solver.getModelStatus()
+            if status == core.HighsModelStatus.kInfeasible:
+                return (INFEASIBLE, 0.0)
+            if status == core.HighsModelStatus.kUnbounded:
+                return (UNBOUNDED, 0.0)
+            if status != core.HighsModelStatus.kOptimal:
+                return None
+            value = solver.getInfo().objective_function_value + float(const)
+            return (OPTIMAL, value)
+        except Exception:  # pragma: no cover - solver hiccup
+            return None
+
+    def margin_verdict(result) -> Optional[bool]:
+        if result is None:
+            return None
+        status, value = result
+        if status == INFEASIBLE:
+            return True
+        if status == UNBOUNDED:
+            return False
+        if value >= -_TIGHT:
+            return True
+        if value < -_CLEAR:
+            return False
+        return None
+
+    kept: List[Constraint] = []
+    cons = list(cons)
+    for i, c in enumerate(cons):
+        try:
+            solver.changeRowBounds(i, -inf, inf)
+        except Exception:  # pragma: no cover
+            return None
+        verdict = margin_verdict(float_min(c.expr.coeffs, c.expr.const))
+        if verdict is True and c.rel == EQ:
+            neg = c.expr.scale(-1)
+            verdict = margin_verdict(float_min(neg.coeffs, neg.const))
+        if verdict is None:  # ambiguous: decide exactly as the reference
+            verdict = entails(kept + cons[i + 1:], c, assume_feasible=True)
+        if not verdict:
+            kept.append(c)
+            try:
+                solver.changeRowBounds(i, lower[i], upper[i])
+            except Exception:  # pragma: no cover
+                return None
+    return kept
 
 
 def sample_point(constraints: Sequence[Constraint]) -> Optional[dict]:

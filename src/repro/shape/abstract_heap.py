@@ -41,6 +41,10 @@ class AbstractHeap:
 
     def canonicalize(self, domain: LDWDomain) -> "AbstractHeap":
         graph, renaming = self.graph.canonical()
+        if graph is self.graph:
+            # Identity renaming: this heap already is its canonical form.
+            # Returning self keeps the cached _stable_hash slot alive.
+            return self
         nontrivial = {a: b for a, b in renaming.items() if a != b}
         if not nontrivial:
             return AbstractHeap(graph, self.value)
@@ -62,8 +66,13 @@ class AbstractHeap:
             return True
         mine = self.canonicalize(domain)
         theirs = other.canonicalize(domain)
-        if mine.graph != theirs.graph:
-            return False
+        if mine.graph is not theirs.graph:
+            # Unequal signatures prove non-isomorphism without touching
+            # the (larger) node/succ/label dict comparison.
+            if mine.graph.signature() != theirs.graph.signature():
+                return False
+            if mine.graph != theirs.graph:
+                return False
         return domain.leq(mine.value, theirs.value)
 
     def join(self, other: "AbstractHeap", domain: LDWDomain) -> "AbstractHeap":

@@ -28,7 +28,8 @@ class ShapeError(Exception):
 class HeapGraph:
     """An immutable backbone: nodes, successor map, variable labels."""
 
-    __slots__ = ("nodes", "succ", "labels", "_key", "_stable_hash")
+    __slots__ = ("nodes", "succ", "labels", "_key", "_stable_hash",
+                 "_renaming", "_sig")
 
     def __init__(
         self,
@@ -41,6 +42,8 @@ class HeapGraph:
         self.labels: Dict[str, str] = dict(labels)
         self._key = None
         self._stable_hash = None  # filled by repro.engine.canon.graph_hash
+        self._renaming = None  # cached canonical renaming (BFS order)
+        self._sig = None  # cached cheap isomorphism-invariant signature
         if NULL in self.succ:
             raise ShapeError("NULL has no successor")
         for n, m in self.succ.items():
@@ -169,6 +172,8 @@ class HeapGraph:
 
     def canonical_renaming(self) -> Dict[str, str]:
         """Deterministic BFS naming from the sorted variable labels."""
+        if self._renaming is not None:
+            return self._renaming
         order: List[str] = []
         seen: Set[str] = set([NULL])
         for var in sorted(self.labels):
@@ -181,11 +186,41 @@ class HeapGraph:
         # Unreachable (garbage) nodes, in sorted order, at the end.
         for node in sorted(self.nodes - seen):
             order.append(node)
-        return {n: f"n{i}" for i, n in enumerate(order)}
+        self._renaming = {n: f"n{i}" for i, n in enumerate(order)}
+        return self._renaming
 
     def canonical(self) -> Tuple["HeapGraph", Dict[str, str]]:
         renaming = self.canonical_renaming()
+        if all(a == b for a, b in renaming.items()):
+            # Already canonically named: renaming is the identity, so the
+            # renamed graph would equal this one -- reuse it (and its
+            # cached key/hash/signature slots) instead of rebuilding.
+            return self, renaming
         return self.rename_nodes(renaming), renaming
+
+    def signature(self) -> Tuple:
+        """Cheap isomorphism-invariant fingerprint (pre-filter for keys).
+
+        Components -- node count, edge count, and program variables
+        grouped by their target node (with a NULL marker) -- are all
+        invariant under node renaming, so unequal signatures prove two
+        graphs non-isomorphic without computing a canonical renaming.
+        Equal signatures decide nothing; callers fall through to the
+        full canonical key.
+        """
+        if self._sig is None:
+            groups: Dict[str, List[str]] = {}
+            for var, node in self.labels.items():
+                groups.setdefault(node, []).append(var)
+            self._sig = (
+                len(self.nodes),
+                len(self.succ),
+                tuple(sorted(
+                    (tuple(sorted(vs)), node == NULL)
+                    for node, vs in groups.items()
+                )),
+            )
+        return self._sig
 
     def key(self) -> Tuple:
         """Hashable canonical key: equal iff graphs are isomorphic
@@ -200,6 +235,8 @@ class HeapGraph:
         return self._key
 
     def isomorphic(self, other: "HeapGraph") -> bool:
+        if self.signature() != other.signature():
+            return False
         return self.key() == other.key()
 
     def __eq__(self, other) -> bool:

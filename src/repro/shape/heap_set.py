@@ -66,6 +66,10 @@ class HeapSet:
         return True
 
     def join(self, other: "HeapSet", domain: LDWDomain) -> "HeapSet":
+        if not other.heaps or other is self:
+            return self
+        if not self.heaps:
+            return other
         out = dict(self.heaps)
         for key, heap in other.heaps.items():
             mine = out.get(key)
@@ -73,6 +77,10 @@ class HeapSet:
         return HeapSet(out)
 
     def widen(self, other: "HeapSet", domain: LDWDomain) -> "HeapSet":
+        if not other.heaps or other is self:
+            return self
+        if not self.heaps:
+            return other
         out = dict(self.heaps)
         for key, heap in other.heaps.items():
             mine = out.get(key)
@@ -88,8 +96,16 @@ class HeapSet:
     ) -> "HeapSet":
         """Apply a heap transformer (possibly one-to-many) and renormalize."""
         results: List[AbstractHeap] = []
+        identical = True
         for heap in self.heaps.values():
-            results.extend(transform(heap))
+            outs = list(transform(heap))
+            if identical and not (len(outs) == 1 and outs[0] is heap):
+                identical = False
+            results.extend(outs)
+        if identical:
+            # Identity transform: members are already canonical and keyed;
+            # reuse this set (and its cached stable hash) unchanged.
+            return self
         return HeapSet.of(domain, results)
 
     def describe(self, domain: LDWDomain) -> str:

@@ -1,0 +1,192 @@
+"""Optimized-kernel regression tests (repro.kernels fast vs reference).
+
+Covers the LP memo aliasing bug this PR fixes, bit-identical cache
+replay, the HeapSet.map identity fast path, and corpus-wide
+representation identity of fast-mode summaries against the reference
+kernels.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import kernels
+from repro.core.api import Analyzer
+from repro.engine.canon import graph_hash, heapset_hash
+from repro.lang.benchlib import benchmark_program
+from repro.numeric import simplex
+from repro.numeric.linexpr import Constraint, LinExpr
+from repro.numeric.polyhedra import Polyhedron
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Each test starts and ends with cold kernel caches in fast mode."""
+    kernels.set_mode("fast")
+    yield
+    kernels.set_mode("fast")
+
+
+def _x():
+    return LinExpr.var("x")
+
+
+def _system():
+    # 1 <= x <= 5
+    return [
+        Constraint.ge(_x(), 1),
+        Constraint.le(_x(), 5),
+    ]
+
+
+# -- LP memo-key aliasing (the bug this PR fixes) ------------------------------
+
+
+def test_scaled_objectives_do_not_alias():
+    """``min 2x`` after ``min x`` must not replay the cached ``min x``.
+
+    LinExpr.key() normalizes scale away, so memoizing the objective by
+    key aliased ``x`` and ``2x`` (and any two positive constants) to one
+    cache slot; the second query returned the first's optimum.
+    """
+    cons = _system()
+    first = simplex.solve_lp(cons, _x())
+    second = simplex.solve_lp(cons, _x().scale(2))
+    assert first.value == 1
+    assert second.value == 2
+
+
+def test_constant_objectives_do_not_alias():
+    cons = _system()
+    five = simplex.solve_lp(cons, LinExpr({}, Fraction(5)))
+    one = simplex.solve_lp(cons, LinExpr({}, Fraction(1)))
+    assert five.value == 5
+    assert one.value == 1
+
+
+def test_negated_objective_not_aliased_with_maximize():
+    cons = _system()
+    lo = simplex.solve_lp(cons, _x())
+    hi = simplex.solve_lp(cons, _x(), maximize=True)
+    assert (lo.value, hi.value) == (1, 5)
+
+
+# -- cache replay is bit-identical --------------------------------------------
+
+
+def test_cache_hit_is_bit_identical():
+    cons = _system()
+    cold = simplex.solve_lp(cons, _x())
+    hits_before = simplex.cache_stats()["solve_hits"]
+    warm = simplex.solve_lp(cons, _x())
+    assert simplex.cache_stats()["solve_hits"] == hits_before + 1
+    assert warm is cold  # the memo returns the very same LPResult
+    simplex.clear_caches()
+    recomputed = simplex.solve_lp(cons, _x())
+    assert recomputed.status == cold.status
+    assert recomputed.value == cold.value
+    assert repr(recomputed) == repr(cold)
+
+
+def test_fast_and_reference_lp_agree_exactly():
+    cons = _system() + [Constraint.ge(LinExpr.var("y"), _x())]
+    objectives = [
+        _x(),
+        _x().scale(3),
+        LinExpr.var("y") + _x(),
+        LinExpr({}, Fraction(7, 2)),
+    ]
+    for objective in objectives:
+        for maximize in (False, True):
+            kernels.set_mode("fast")
+            fast = simplex.solve_lp(cons, objective, maximize)
+            kernels.set_mode("reference")
+            ref = simplex.solve_lp(cons, objective, maximize)
+            assert fast.status == ref.status
+            assert fast.value == ref.value
+            assert repr(fast) == repr(ref)
+
+
+# -- minimized() memo ----------------------------------------------------------
+
+
+def test_minimized_memo_returns_same_representation():
+    cons = [
+        Constraint.ge(_x(), 0),
+        Constraint.ge(_x(), -1),  # redundant
+        Constraint.le(_x(), 9),
+    ]
+    first = Polyhedron(list(cons)).minimized()
+    second = Polyhedron(list(cons)).minimized()
+    assert [c.key() for c in first.constraints] == [
+        c.key() for c in second.constraints
+    ]
+    kernels.set_mode("reference")
+    ref = Polyhedron(list(cons)).minimized()
+    assert [repr(c) for c in ref.constraints] == [
+        repr(c) for c in first.constraints
+    ]
+
+
+# -- HeapSet.map identity fast path -------------------------------------------
+
+
+def test_heapset_map_identity_returns_self():
+    analyzer = Analyzer(benchmark_program())
+    result = analyzer.analyze("addfst", domain="am")
+    for _, summary in result.summaries:
+        if summary.is_bottom():
+            continue
+        mapped = summary.map(result.domain, lambda heap: [heap])
+        assert mapped is summary
+        changed = summary.map(result.domain, lambda heap: [heap, heap])
+        assert changed is not summary
+
+
+# -- corpus-wide representation identity --------------------------------------
+
+IDENTITY_ROWS = [
+    ("addfst", "am"),
+    ("delfst", "am"),
+    ("insertsort", "am"),
+    ("merge", "am"),
+    ("create", "au"),
+    ("delfst", "au"),
+]
+
+
+def _summary_hashes(name, domain):
+    analyzer = Analyzer(benchmark_program())
+    result = analyzer.analyze(name, domain=domain, max_steps=400_000)
+    assert not result.diagnostics, (name, domain, result.diagnostics)
+    return sorted(
+        (graph_hash(entry.graph), heapset_hash(summary, result.domain))
+        for entry, summary in result.summaries
+    )
+
+
+@pytest.mark.parametrize("name,domain", IDENTITY_ROWS)
+def test_fast_summaries_identical_to_reference(name, domain):
+    kernels.set_mode("fast")
+    fast = _summary_hashes(name, domain)
+    kernels.set_mode("reference")
+    ref = _summary_hashes(name, domain)
+    assert fast == ref
+
+
+def test_fuzz_corpus_entries_identical_to_reference():
+    """Every checked-in fuzz corpus entry passes the kernel-identity oracle."""
+    from pathlib import Path
+
+    from repro.fuzz.__main__ import load_corpus_entry
+    from repro.fuzz.kernelcheck import KernelChecker
+
+    corpus = sorted(
+        (Path(__file__).parent / "corpus").glob("*.lisl")
+    )
+    assert corpus, "fuzz corpus is missing"
+    checker = KernelChecker()
+    for path in corpus:
+        entry = load_corpus_entry(path)
+        findings = checker.check_source(entry.source, entry.root, entry.inputs)
+        assert not findings, (path, [f.describe() for f in findings])

@@ -137,8 +137,9 @@ def test_interval_widen_stabilizes(a, others):
         if not nxt.leq(w):
             w = nxt
             steps += 1
-    # each unstable step drops at least one finite bound to infinity
-    assert steps <= 2
+    # each unstable step drops at least one finite bound to infinity;
+    # starting from an empty interval spends one extra step escaping bottom
+    assert steps <= (3 if a.is_empty() else 2)
 
 
 @settings(max_examples=80, deadline=None)
