@@ -30,11 +30,18 @@ class Telemetry:
         collect_events: bool = False,
         clock=time.perf_counter,
         cpu_clock=time.process_time,
+        sample_window: int = 1024,
     ):
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}  # wall seconds per phase
         self.cpu_timers: Dict[str, float] = {}  # CPU seconds per phase
         self.gauges: Dict[str, float] = {}  # point-in-time values (last wins)
+        # name -> bounded ring of recent observations (latency samples);
+        # percentiles are computed over the window, so they track the
+        # recent distribution rather than the whole process lifetime.
+        self.samples: Dict[str, List[float]] = {}
+        self._sample_counts: Dict[str, int] = {}  # total observed, ever
+        self._sample_window = max(2, sample_window)
         self.events: List[Dict[str, Any]] = []
         self._clock = clock
         self._cpu_clock = cpu_clock
@@ -58,6 +65,37 @@ class Telemetry:
         size, hit rate); unlike counters, later values replace earlier
         ones.  Used by the service layer for per-request telemetry."""
         self.gauges[name] = value
+
+    # -- sample windows ------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation (a latency, a queue wait) to ``name``'s
+        bounded sliding window; old samples fall off ring-buffer style."""
+        ring = self.samples.setdefault(name, [])
+        total = self._sample_counts.get(name, 0)
+        if len(ring) < self._sample_window:
+            ring.append(value)
+        else:
+            ring[total % self._sample_window] = value
+        self._sample_counts[name] = total + 1
+
+    def percentile(self, name: str, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0..100) of ``name``'s recent window,
+        by the nearest-rank method; ``None`` when nothing was observed."""
+        ring = self.samples.get(name)
+        if not ring:
+            return None
+        ordered = sorted(ring)
+        rank = max(0, min(len(ordered) - 1, int(len(ordered) * q / 100.0)))
+        return ordered[rank]
+
+    def sample_count(self, name: str) -> int:
+        """Total observations ever made to ``name`` (not just the window)."""
+        return self._sample_counts.get(name, 0)
+
+    def sample_sum(self, name: str) -> float:
+        """Sum of the *windowed* samples (Prometheus summary helper)."""
+        return sum(self.samples.get(name, ()))
 
     # -- timers --------------------------------------------------------------
 
@@ -118,6 +156,9 @@ class Telemetry:
             out[f"cpu.{name}"] = round(total, 6)
         for name, value in sorted(self.gauges.items()):
             out[f"gauge.{name}"] = value
+        for name in sorted(self.samples):
+            out[f"p50.{name}"] = round(self.percentile(name, 50.0), 6)
+            out[f"p99.{name}"] = round(self.percentile(name, 99.0), 6)
         if self.tracing:
             out["events"] = self._seq
         return out

@@ -1,0 +1,41 @@
+"""Async multi-tenant analysis gateway (the serving tier).
+
+The PR 4 daemon (:mod:`repro.service.server`) is one thread-per-
+connection process with a single global bounded queue — fine for one
+user, fatal under heavy multi-tenant traffic: a greedy client fills the
+global queue and every other client sees ``queue_full``.  This package
+is the serving-stack answer, built from four pieces:
+
+- :mod:`repro.gateway.scheduler` — per-tenant weighted-fair admission:
+  bounded per-tenant queues, start-time fair queuing across tenants,
+  429-style shedding with ``retry_after_ms`` and per-request deadlines;
+- :mod:`repro.gateway.sessions` — multi-tenant incremental sessions
+  (each tenant keeps its own dirty-cone state) under an LRU bound;
+- :mod:`repro.gateway.storetier` — a compacting, size-budgeted wrapper
+  around the one-file-per-key PR 3 store (generational pack files +
+  background GC) so the layout survives millions of keys;
+- :mod:`repro.gateway.server` — the asyncio front end speaking the PR 4
+  NDJSON protocol plus a ``metrics`` verb and an HTTP-ish ``GET
+  /metrics`` endpoint in Prometheus exposition format
+  (:mod:`repro.gateway.metrics`).
+
+``repro-gateway`` (:mod:`repro.gateway.__main__`) is the recommended
+entry point for serving more than one client; ``repro-serve`` remains
+for single-user use.
+"""
+
+from repro.gateway.scheduler import FairScheduler, SchedulerConfig, Shed
+from repro.gateway.server import AnalysisGateway, GatewayConfig
+from repro.gateway.sessions import SessionManager
+from repro.gateway.storetier import CompactingStore, StoreBudget
+
+__all__ = [
+    "AnalysisGateway",
+    "GatewayConfig",
+    "FairScheduler",
+    "SchedulerConfig",
+    "Shed",
+    "SessionManager",
+    "CompactingStore",
+    "StoreBudget",
+]

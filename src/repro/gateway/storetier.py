@@ -1,0 +1,274 @@
+"""Size-budgeted store tier: generational compaction + GC for the
+one-file-per-key summary store.
+
+:class:`repro.parallel.store.PersistentSummaryStore` writes one JSON
+file per content-hash key.  That layout is ideal for lock-free
+concurrent writers, but it does not survive millions of keys: directory
+scans and inode pressure grow linearly, and there is no size bound at
+all.  :class:`CompactingStore` keeps the same ``get``/``put`` surface
+(so it can be handed to ``EngineOptions(cache=...)``) and adds:
+
+- **generational compaction** — when enough *loose* files accumulate
+  (the young generation), they are bundled into one immutable *pack
+  file* under ``packs/`` (the old generation) and the loose files are
+  unlinked.  Reads stay correct throughout: the base store's read path
+  is pack-aware and a key always exists as a loose file or in a pack
+  (the pack is published **before** the loose files go away);
+- **byte-budget GC** — when the store exceeds ``max_bytes``, whole
+  oldest-generation packs are deleted first (coldest entries — every
+  compaction cycle re-packs whatever got re-written since), then the
+  oldest loose files.  Evicting an entry is always safe: the store is a
+  cache of deterministic analysis results, so a later miss recomputes
+  the byte-identical payload;
+- **concurrent-writer safety** — compaction never rewrites or locks
+  anything a worker touches: workers only ever *create* loose files
+  (atomic ``os.replace``), packs are immutable once published, and the
+  content-addressed keys mean a worker racing a compaction writes a
+  byte-identical loose copy at worst.
+
+Maintenance runs inline every ``check_interval`` puts (cheap: one
+directory scan) or on demand via :meth:`maintain`, which is what the
+gateway's background task and the ``repro-store`` CLI call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.engine.canon import stable_digest
+from repro.parallel.store import PersistentSummaryStore
+
+
+@dataclass
+class StoreBudget:
+    """Compaction and GC policy knobs."""
+
+    max_bytes: Optional[int] = None  # None = unbounded (no GC)
+    compact_min_loose: int = 256  # compact when this many loose files
+    check_interval: int = 64  # puts between inline maintenance checks
+
+
+class CompactingStore:
+    """A :class:`PersistentSummaryStore` with packs, budgets, and GC."""
+
+    def __init__(
+        self,
+        directory: str,
+        budget: Optional[StoreBudget] = None,
+        fingerprint: Optional[str] = None,
+    ):
+        self.budget = budget or StoreBudget()
+        self.inner = PersistentSummaryStore(directory, fingerprint=fingerprint)
+        self.compactions = 0
+        self.compacted_entries = 0
+        self.gc_runs = 0
+        self.gc_evicted_files = 0
+        self.gc_evicted_bytes = 0
+        self._puts_since_check = 0
+
+    # -- cache surface (EngineOptions-compatible) --------------------------------
+
+    def get(self, key) -> Optional[Any]:
+        return self.inner.get(key)
+
+    def put(self, key, payload: Any) -> None:
+        self.inner.put(key, payload)
+        self._puts_since_check += 1
+        if self._puts_since_check >= max(1, self.budget.check_interval):
+            self._puts_since_check = 0
+            self.maintain()
+
+    def __contains__(self, key) -> bool:
+        return key in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def clear(self) -> None:
+        self.inner.clear()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def maintain(self) -> Dict[str, int]:
+        """One maintenance step: compact if the young generation is big
+        enough, then GC if over budget.  Idempotent and cheap when
+        there is nothing to do."""
+        out = {"compacted": 0, "gc_files": 0, "gc_bytes": 0}
+        if self.inner.loose_count() >= self.budget.compact_min_loose:
+            out["compacted"] = self.compact()
+        if (
+            self.budget.max_bytes is not None
+            and self.inner.total_bytes() > self.budget.max_bytes
+        ):
+            gc = self.gc()
+            out["gc_files"] = gc["evicted_files"]
+            out["gc_bytes"] = gc["evicted_bytes"]
+        return out
+
+    def compact(self) -> int:
+        """Bundle the current loose files into one new pack; returns the
+        number of entries packed.
+
+        Publication order is the safety argument: the pack is fully
+        written and ``os.replace``-d into ``packs/`` *before* any loose
+        file is unlinked, so a concurrent reader always finds every key
+        in at least one place, and a concurrent writer's fresh loose
+        file (same content-addressed bytes) simply wins the next read.
+        """
+        directory = self.inner.directory
+        entries: Dict[str, Any] = {}
+        packed_files = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json") or name.startswith(".tmp-"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except Exception:
+                continue  # torn/corrupt loose file: leave it alone
+            if doc.get("fingerprint") != self.inner.fingerprint:
+                try:  # stale generation: drop instead of packing
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            entries[name[: -len(".json")]] = doc
+            packed_files.append(path)
+        if not entries:
+            return 0
+        pack_dir = self.inner.pack_directory
+        os.makedirs(pack_dir, exist_ok=True)
+        seq = self._next_generation()
+        content_tag = stable_digest(sorted(entries))[:8]
+        pack_name = f"pack-{seq:08d}-{content_tag}.json"
+        fd, tmp = tempfile.mkstemp(dir=pack_dir, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "schema": "repro-pack/1",
+                        "generation": seq,
+                        "created": time.time(),
+                        "fingerprint": self.inner.fingerprint,
+                        "entries": entries,
+                    },
+                    fh,
+                )
+            os.replace(tmp, os.path.join(pack_dir, pack_name))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return 0
+        for path in packed_files:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.compactions += 1
+        self.compacted_entries += len(entries)
+        return len(entries)
+
+    def _next_generation(self) -> int:
+        latest = 0
+        try:
+            for name in os.listdir(self.inner.pack_directory):
+                if name.startswith("pack-") and name.endswith(".json"):
+                    try:
+                        latest = max(latest, int(name.split("-")[1]))
+                    except (IndexError, ValueError):
+                        pass
+        except OSError:
+            pass
+        return latest + 1
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Evict until the store fits ``max_bytes`` (default: the
+        configured budget).  Oldest pack generations go first, then the
+        oldest loose files by mtime."""
+        limit = self.budget.max_bytes if max_bytes is None else max_bytes
+        evicted_files = 0
+        evicted_bytes = 0
+        if limit is None:
+            return {"evicted_files": 0, "evicted_bytes": 0,
+                    "bytes": self.inner.total_bytes()}
+        pack_dir = self.inner.pack_directory
+
+        def victims():
+            # Pack files, oldest generation first...
+            try:
+                packs = sorted(
+                    name
+                    for name in os.listdir(pack_dir)
+                    if name.startswith("pack-") and name.endswith(".json")
+                )
+            except OSError:
+                packs = []
+            for name in packs:
+                yield os.path.join(pack_dir, name)
+            # ...then loose files, oldest mtime first.
+            try:
+                loose = [
+                    os.path.join(self.inner.directory, name)
+                    for name in os.listdir(self.inner.directory)
+                    if name.endswith(".json") and not name.startswith(".tmp-")
+                ]
+            except OSError:
+                loose = []
+
+            def mtime(path):
+                try:
+                    return os.path.getmtime(path)
+                except OSError:
+                    return 0.0
+            for path in sorted(loose, key=mtime):
+                yield path
+
+        total = self.inner.total_bytes()
+        for path in victims():
+            if total <= limit:
+                break
+            try:
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted_files += 1
+            evicted_bytes += size
+        self.gc_runs += 1
+        self.gc_evicted_files += evicted_files
+        self.gc_evicted_bytes += evicted_bytes
+        return {
+            "evicted_files": evicted_files,
+            "evicted_bytes": evicted_bytes,
+            "bytes": total,
+        }
+
+    # -- accounting --------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()
+
+    def stats(self) -> Dict[str, Any]:
+        out = self.inner.stats()
+        out.update(
+            max_bytes=self.budget.max_bytes,
+            compactions=self.compactions,
+            compacted_entries=self.compacted_entries,
+            gc_runs=self.gc_runs,
+            gc_evicted_files=self.gc_evicted_files,
+            gc_evicted_bytes=self.gc_evicted_bytes,
+        )
+        return out

@@ -1,0 +1,175 @@
+"""Warm per-procedure checker-finding cache, shared by both serving tiers.
+
+The ``check`` verb caches findings per procedure under keys that track
+exactly what each tier's findings depend on (PR 5/6 semantics):
+
+- Tier-A lints are a pure function of one procedure's body, so they are
+  cached under its body hash — *folded* with a line/declaration
+  signature, because the normalized-CFG hashes deliberately ignore
+  source lines and never-referenced locals while lint findings carry
+  lines and the unused-local lint is about declarations;
+- Tier-B safety and termination verdicts depend on the whole call cone
+  (the engine analyzes callees transitively), so they are cached under
+  the cone fingerprint — the same key the incremental analyzer trusts —
+  plus the same line signature.
+
+This class holds the key computation, the dirty/reused partition, and
+the merge-and-answer bookkeeping.  It was factored out of the PR 4/5
+thread server so the asyncio gateway reuses the identical invalidation
+logic (one implementation, two front ends); it is thread-safe because
+both front ends touch it from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+
+class CheckFindingCache:
+    """``program_id`` -> per-procedure cached findings, keyed per tier."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # program_id -> {"config": (tier, domain, k),
+        #                "procs": {proc: {"lint": (key, [records]),
+        #                                 "safety": (key, [records], status),
+        #                                 "termination": (key, [records], status)}}}
+        self._caches: Dict[str, Dict[str, Any]] = {}
+
+    @staticmethod
+    def keys_for(program, icfg, index) -> Dict[str, Tuple[str, str]]:
+        """proc -> (Tier-A key, Tier-B key) for cached checker findings."""
+        from repro.engine.canon import stable_digest
+
+        proc_lines = {p.name: p.line for p in program.procedures}
+        keys: Dict[str, Tuple[str, str]] = {}
+        for proc in index.bodies:
+            cfg = icfg.cfg(proc)
+            signature = (
+                proc_lines.get(proc, 0),
+                tuple(
+                    (p.name, p.type, p.line)
+                    for p in list(cfg.inputs) + list(cfg.outputs)
+                    + list(cfg.locals)
+                ),
+                tuple(e.line for e in cfg.edges),
+            )
+            keys[proc] = (
+                stable_digest(index.bodies[proc], signature),
+                stable_digest(index.cone_fingerprint(proc), signature),
+            )
+        return keys
+
+    def partition(
+        self,
+        program_id: str,
+        config: Tuple[str, str, int],
+        requested: List[str],
+        keys: Dict[str, Tuple[str, str]],
+        want_lint: bool,
+        want_safety: bool,
+        want_termination: bool,
+    ) -> List[str]:
+        """The dirty subset of ``requested`` (procedures whose cached
+        findings are missing or keyed differently).  A config change
+        (tier/domain/k) invalidates the whole program's cache."""
+        with self._lock:
+            cache = self._caches.setdefault(program_id, {})
+            if cache.get("config") != config:
+                cache.clear()
+                cache["config"] = config
+                cache["procs"] = {}
+            cached: Dict[str, Dict[str, Any]] = cache["procs"]
+            dirty: List[str] = []
+            for proc in requested:
+                entry = cached.get(proc, {})
+                lint_ok = (not want_lint) or (
+                    "lint" in entry and entry["lint"][0] == keys[proc][0]
+                )
+                safety_ok = (not want_safety) or (
+                    "safety" in entry and entry["safety"][0] == keys[proc][1]
+                )
+                # Termination verdicts depend on the whole call cone
+                # (callee summaries feed the recursion/loop checks), so
+                # they share Tier B's cone-fingerprint key.
+                termination_ok = (not want_termination) or (
+                    "termination" in entry
+                    and entry["termination"][0] == keys[proc][1]
+                )
+                if not (lint_ok and safety_ok and termination_ok):
+                    dirty.append(proc)
+        return dirty
+
+    def merge_and_answer(
+        self,
+        program_id: str,
+        requested: List[str],
+        dirty: List[str],
+        keys: Dict[str, Tuple[str, str]],
+        fresh: Dict[str, Any],
+        want_lint: bool,
+        want_safety: bool,
+        want_termination: bool,
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, str]]:
+        """Fold ``fresh`` results into the cache, then answer every
+        requested procedure from it; returns (sorted records,
+        proc_status)."""
+        records: List[Dict[str, Any]] = []
+        proc_status: Dict[str, str] = {}
+        with self._lock:
+            cached = self._caches[program_id]["procs"]
+            for proc in dirty:
+                entry = cached.setdefault(proc, {})
+                if want_lint:
+                    entry["lint"] = (
+                        keys[proc][0], fresh["lint"].get(proc, [])
+                    )
+                if want_safety:
+                    entry["safety"] = (
+                        keys[proc][1],
+                        fresh["safety"].get(proc, []),
+                        fresh["proc_status"].get(proc, "ok"),
+                    )
+                if want_termination:
+                    entry["termination"] = (
+                        keys[proc][1],
+                        fresh["termination"].get(proc, []),
+                        fresh["termination_status"].get(proc, "ok"),
+                    )
+            for proc in requested:
+                entry = cached.get(proc, {})
+                if want_lint and "lint" in entry:
+                    records.extend(entry["lint"][1])
+                if want_safety and "safety" in entry:
+                    records.extend(entry["safety"][1])
+                    if entry["safety"][2] != "ok":
+                        proc_status[proc] = entry["safety"][2]
+                if want_termination and "termination" in entry:
+                    records.extend(entry["termination"][1])
+                    if entry["termination"][2] != "ok":
+                        proc_status[proc] = entry["termination"][2]
+        records.sort(
+            key=lambda r: (
+                r.get("procedure") or "",
+                r.get("line") or 0,
+                r.get("ruleId") or "",
+                r.get("verdict") or "",
+                r.get("message") or "",
+            )
+        )
+        return records, proc_status
+
+    def flush(self, program_id: Any = None) -> int:
+        """Drop cached findings (one program or all); returns the count
+        of dropped per-procedure entries."""
+        dropped = 0
+        with self._lock:
+            if program_id is None:
+                for cache in self._caches.values():
+                    dropped += len(cache.get("procs") or {})
+                self._caches.clear()
+            elif program_id in self._caches:
+                cache = self._caches.pop(program_id)
+                dropped += len(cache.get("procs") or {})
+        return dropped

@@ -103,6 +103,19 @@ class ServiceClient:
 
     # -- verbs -------------------------------------------------------------------
 
+    @staticmethod
+    def _tenant_fields(
+        fields: Dict[str, Any],
+        tenant: Optional[str],
+        deadline_ms: Optional[int],
+    ) -> Dict[str, Any]:
+        """Gateway-tier extras; the single-process daemon ignores both."""
+        if tenant is not None:
+            fields["tenant"] = tenant
+        if deadline_ms is not None:
+            fields["deadline_ms"] = int(deadline_ms)
+        return fields
+
     def ping(self) -> Dict[str, Any]:
         response = self.request("ping")
         if not response.get("ok"):
@@ -117,6 +130,8 @@ class ServiceClient:
         k: int = 0,
         program_id: str = "default",
         max_seconds: Optional[float] = None,
+        tenant: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         fields: Dict[str, Any] = {
             "source": source,
@@ -128,6 +143,7 @@ class ServiceClient:
             fields["procs"] = list(procs)
         if max_seconds is not None:
             fields["max_seconds"] = max_seconds
+        self._tenant_fields(fields, tenant, deadline_ms)
         return self.request("analyze", **fields)
 
     def check_asserts(
@@ -136,12 +152,15 @@ class ServiceClient:
         procs: Optional[Sequence[str]] = None,
         domain: str = "au",
         max_seconds: Optional[float] = None,
+        tenant: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         fields: Dict[str, Any] = {"source": source, "domain": domain}
         if procs is not None:
             fields["procs"] = list(procs)
         if max_seconds is not None:
             fields["max_seconds"] = max_seconds
+        self._tenant_fields(fields, tenant, deadline_ms)
         return self.request("assert", **fields)
 
     def check(
@@ -153,6 +172,8 @@ class ServiceClient:
         k: int = 0,
         program_id: str = "default",
         max_seconds: Optional[float] = None,
+        tenant: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Run the two-tier checker; warm runs reuse per-proc findings."""
         fields: Dict[str, Any] = {
@@ -166,6 +187,7 @@ class ServiceClient:
             fields["procs"] = list(procs)
         if max_seconds is not None:
             fields["max_seconds"] = max_seconds
+        self._tenant_fields(fields, tenant, deadline_ms)
         return self.request("check", **fields)
 
     def equivalence(
@@ -185,8 +207,23 @@ class ServiceClient:
     def status(self) -> Dict[str, Any]:
         return self.request("status")
 
-    def flush(self, program_id: Optional[str] = None) -> Dict[str, Any]:
-        fields = {} if program_id is None else {"program_id": program_id}
+    def metrics(self) -> str:
+        """The server's Prometheus exposition text (daemon or gateway)."""
+        response = self.request("metrics")
+        if not response.get("ok"):
+            raise ServiceError(f"metrics failed: {response}")
+        return response["result"]["text"]
+
+    def flush(
+        self,
+        program_id: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {}
+        if program_id is not None:
+            fields["program_id"] = program_id
+        if tenant is not None:
+            fields["tenant"] = tenant
         return self.request("flush", **fields)
 
     def shutdown(self) -> Dict[str, Any]:

@@ -29,11 +29,37 @@ RULE_BUDGET = "budget"  # suffixed with the budget kind: "budget.wall_clock"
 RULE_EQUIVALENCE = "equivalence"
 RULE_WORKER_CRASH = "worker.crashed"
 RULE_WORKER_FAILED = "worker.failed"
-RULE_QUEUE_REJECTED = "queue.rejected"
+# Admission-control rejection, shared by the single-process daemon
+# (global bounded queue) and the multi-tenant gateway (per-tenant
+# queues): clients key retry logic on one rule id for both tiers.  The
+# record's witness carries a ``retry_after_ms`` hint.
+RULE_QUEUE_SHED = "queue.shed"
+RULE_QUEUE_REJECTED = RULE_QUEUE_SHED  # pre-gateway alias, kept importable
+# Gateway-tier verdicts.
+RULE_GATEWAY_DEADLINE = "gateway.deadline"  # request deadline expired
+RULE_GATEWAY_SESSION_EVICTED = "gateway.session-evicted"  # LRU bound hit
+RULE_GATEWAY_DRAINING = "gateway.draining"  # refused during shutdown
 # Frontend failures (parse / typecheck), shared with the checker CLI so a
 # type error is one more diagnostics record instead of a bare traceback.
 RULE_PARSE_ERROR = "frontend.parse-error"
 RULE_TYPE_ERROR = "frontend.type-error"
+
+# Frozen inventory of the service/gateway-tier rule ids (the checker has
+# its own in repro.checker.findings.ALL_RULE_IDS); the ``budget.`` family
+# is suffixed by kind at runtime, so it appears here as its prefix.
+SERVICE_RULE_IDS = (
+    RULE_ASSERTION,
+    RULE_BUDGET,
+    RULE_EQUIVALENCE,
+    RULE_WORKER_CRASH,
+    RULE_WORKER_FAILED,
+    RULE_QUEUE_SHED,
+    RULE_GATEWAY_DEADLINE,
+    RULE_GATEWAY_SESSION_EVICTED,
+    RULE_GATEWAY_DRAINING,
+    RULE_PARSE_ERROR,
+    RULE_TYPE_ERROR,
+)
 
 # Verdicts.
 PASS = "pass"

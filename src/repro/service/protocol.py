@@ -34,7 +34,7 @@ PROTOCOL_VERSION = 1
 
 # Job verbs go through the bounded queue; control verbs answer inline.
 JOB_VERBS = ("analyze", "assert", "equivalence", "check")
-CONTROL_VERBS = ("status", "flush", "shutdown", "ping")
+CONTROL_VERBS = ("status", "flush", "shutdown", "ping", "metrics")
 VERBS = JOB_VERBS + CONTROL_VERBS
 
 MAX_LINE_BYTES = 8 * 1024 * 1024  # one request line; programs are small
@@ -42,6 +42,8 @@ MAX_LINE_BYTES = 8 * 1024 * 1024  # one request line; programs are small
 # Error kinds.
 E_BAD_REQUEST = "bad_request"
 E_QUEUE_FULL = "queue_full"
+E_SHED = "shed"  # per-tenant admission control (429-style, retryable)
+E_DEADLINE = "deadline"  # request deadline expired before dispatch
 E_SHUTTING_DOWN = "shutting_down"
 E_INTERNAL = "internal"
 
@@ -117,11 +119,14 @@ def error_response(
     message: str,
     verb: Optional[str] = None,
     diagnostics: Optional[Dict[str, Any]] = None,
+    retry_after_ms: Optional[int] = None,
 ) -> Dict[str, Any]:
     out: Dict[str, Any] = {
         "ok": False,
         "error": {"kind": kind, "message": message},
     }
+    if retry_after_ms is not None:
+        out["error"]["retry_after_ms"] = int(retry_after_ms)
     if verb is not None:
         out["verb"] = verb
     if request is not None and "id" in request:
@@ -129,3 +134,37 @@ def error_response(
     if diagnostics is not None:
         out["diagnostics"] = diagnostics
     return out
+
+
+def shed_response(
+    request: Optional[Dict[str, Any]],
+    message: str,
+    retry_after_ms: int,
+    verb: Optional[str] = None,
+    kind: str = E_SHED,
+    rule_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """A 429-style load-shedding rejection, uniform across tiers.
+
+    Both the single-process daemon (global ``queue_full``) and the
+    gateway (per-tenant ``shed`` / ``deadline``) answer with this shape:
+    a retryable error kind, a ``retry_after_ms`` hint, and a diagnostics
+    record under the shared ``queue.shed`` rule id (or the gateway's
+    ``gateway.*`` family), so one client retry loop handles every tier.
+    """
+    from repro.service import diagnostics as D
+
+    record = D.DiagnosticRecord(
+        rule_id=rule_id or D.RULE_QUEUE_SHED,
+        verdict=D.ERROR,
+        message=message,
+        witness={"retry_after_ms": int(retry_after_ms)},
+    )
+    return error_response(
+        request,
+        kind,
+        message,
+        verb,
+        diagnostics=D.run_envelope([record]),
+        retry_after_ms=retry_after_ms,
+    )

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.engine.telemetry import Telemetry
 from repro.service import diagnostics as D
 from repro.service import protocol as P
+from repro.service.checkcache import CheckFindingCache
 from repro.service.jobs import (
     AssertRequest,
     CheckRequest,
@@ -79,11 +80,9 @@ class AnalysisServer:
         self.config = config or ServerConfig()
         self.sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
-        # program_id -> checker finding cache (dispatcher-thread only):
-        #   {"config": (tier, domain, k),
-        #    "procs": {proc: {"lint": (body_hash, [records]),
-        #                     "safety": (cone_fp, [records], status)}}}
-        self._check_caches: Dict[str, Dict[str, Any]] = {}
+        # Warm per-procedure checker findings (shared implementation
+        # with the gateway; see repro.service.checkcache).
+        self._check_cache = CheckFindingCache()
         self.queue: "queue.Queue[Optional[_Job]]" = queue.Queue(
             maxsize=max(1, self.config.queue_limit)
         )
@@ -234,23 +233,25 @@ class AnalysisServer:
         try:
             self.queue.put_nowait(job)
         except queue.Full:
-            self.telemetry.count("requests.rejected")
-            record = D.DiagnosticRecord(
-                rule_id=D.RULE_QUEUE_REJECTED,
-                verdict=D.ERROR,
-                message=f"request queue full ({self.config.queue_limit} pending)",
-            )
+            self.telemetry.count("requests.shed")
             reply(
-                P.error_response(
+                P.shed_response(
                     request,
-                    P.E_QUEUE_FULL,
                     f"request queue full ({self.config.queue_limit} pending)",
-                    verb,
-                    diagnostics=D.run_envelope([record]),
+                    retry_after_ms=self._retry_after_ms(),
+                    verb=verb,
+                    kind=P.E_QUEUE_FULL,
                 )
             )
             return
         self.telemetry.gauge("queue.depth", self.queue.qsize())
+
+    def _retry_after_ms(self) -> int:
+        """Backoff hint for shed requests: the time to drain the queue at
+        the recent median execution latency (clamped to [100ms, 60s])."""
+        exec_p50 = self.telemetry.percentile("request.exec_s", 50.0) or 1.0
+        estimate = (self.queue.qsize() + 1) * exec_p50 * 1000.0
+        return int(min(60_000.0, max(100.0, estimate)))
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -272,9 +273,12 @@ class AnalysisServer:
                     job.verb,
                 )
             telemetry = message.setdefault("telemetry", {})
+            exec_s = time.monotonic() - start
             telemetry["queue_wait_s"] = round(queue_wait, 6)
-            telemetry["exec_s"] = round(time.monotonic() - start, 6)
+            telemetry["exec_s"] = round(exec_s, 6)
             self.telemetry.gauge("queue.wait_s", round(queue_wait, 6))
+            self.telemetry.observe("request.queue_wait_s", queue_wait)
+            self.telemetry.observe("request.exec_s", exec_s)
             job.reply(message)
             if self.shutting_down.is_set() and self.queue.empty():
                 break
@@ -321,14 +325,17 @@ class AnalysisServer:
                 )
                 for session in targets:
                     dropped += session.flush()
-                if program_id is None:
-                    for cache in self._check_caches.values():
-                        dropped += len(cache.get("procs") or {})
-                    self._check_caches.clear()
-                elif program_id in self._check_caches:
-                    cache = self._check_caches.pop(program_id)
-                    dropped += len(cache.get("procs") or {})
+            dropped += self._check_cache.flush(program_id)
             return P.response(request, verb, {"dropped": dropped})
+        if verb == "metrics":
+            from repro.gateway.metrics import render_prometheus
+
+            self.telemetry.gauge("queue.depth", self.queue.qsize())
+            return P.response(
+                request,
+                verb,
+                {"text": render_prometheus(self.telemetry)},
+            )
         if verb == "shutdown":
             self.shutting_down.set()
             self._wake_dispatcher()
@@ -488,38 +495,6 @@ class AnalysisServer:
         out["telemetry"] = telemetry
         return out
 
-    @staticmethod
-    def _check_keys(program, icfg, index) -> Dict[str, Tuple[str, str]]:
-        """proc -> (Tier-A key, Tier-B key) for cached checker findings.
-
-        ``body_hash``/``cone_fingerprint`` deliberately ignore source
-        line numbers and never-referenced locals (summaries don't depend
-        on them) — but checker findings carry source lines and the
-        unused-local lint *is* about never-referenced declarations, so
-        the checker keys fold the declaration/line signature of each
-        procedure on top of the analysis keys.
-        """
-        from repro.engine.canon import stable_digest
-
-        proc_lines = {p.name: p.line for p in program.procedures}
-        keys: Dict[str, Tuple[str, str]] = {}
-        for proc in index.bodies:
-            cfg = icfg.cfg(proc)
-            signature = (
-                proc_lines.get(proc, 0),
-                tuple(
-                    (p.name, p.type, p.line)
-                    for p in list(cfg.inputs) + list(cfg.outputs)
-                    + list(cfg.locals)
-                ),
-                tuple(e.line for e in cfg.edges),
-            )
-            keys[proc] = (
-                stable_digest(index.bodies[proc], signature),
-                stable_digest(index.cone_fingerprint(proc), signature),
-            )
-        return keys
-
     def _execute_check(
         self,
         request: Dict[str, Any],
@@ -565,32 +540,11 @@ class AnalysisServer:
         want_safety = tier in ("safety", "all")
         want_termination = tier == "termination"
 
-        keys = self._check_keys(program, icfg, index)
-        with self._sessions_lock:
-            cache = self._check_caches.setdefault(program_id, {})
-            if cache.get("config") != (tier, domain, k):
-                cache.clear()
-                cache["config"] = (tier, domain, k)
-                cache["procs"] = {}
-            cached: Dict[str, Dict[str, Any]] = cache["procs"]
-            dirty: List[str] = []
-            for proc in requested:
-                entry = cached.get(proc, {})
-                lint_ok = (not want_lint) or (
-                    "lint" in entry and entry["lint"][0] == keys[proc][0]
-                )
-                safety_ok = (not want_safety) or (
-                    "safety" in entry and entry["safety"][0] == keys[proc][1]
-                )
-                # Termination verdicts depend on the whole call cone
-                # (callee summaries feed the recursion/loop checks), so
-                # they share Tier B's cone-fingerprint key.
-                termination_ok = (not want_termination) or (
-                    "termination" in entry
-                    and entry["termination"][0] == keys[proc][1]
-                )
-                if not (lint_ok and safety_ok and termination_ok):
-                    dirty.append(proc)
+        keys = CheckFindingCache.keys_for(program, icfg, index)
+        dirty = self._check_cache.partition(
+            program_id, (tier, domain, k), requested, keys,
+            want_lint, want_safety, want_termination,
+        )
         reused = [p for p in requested if p not in set(dirty)]
 
         fresh: Dict[str, Any] = {"lint": {}, "safety": {}, "termination": {},
@@ -646,47 +600,9 @@ class AnalysisServer:
 
         # Merge fresh results into the cache, then answer every requested
         # procedure from it.
-        records: List[Dict[str, Any]] = []
-        proc_status: Dict[str, str] = {}
-        with self._sessions_lock:
-            for proc in dirty:
-                entry = cached.setdefault(proc, {})
-                if want_lint:
-                    entry["lint"] = (
-                        keys[proc][0], fresh["lint"].get(proc, [])
-                    )
-                if want_safety:
-                    entry["safety"] = (
-                        keys[proc][1],
-                        fresh["safety"].get(proc, []),
-                        fresh["proc_status"].get(proc, "ok"),
-                    )
-                if want_termination:
-                    entry["termination"] = (
-                        keys[proc][1],
-                        fresh["termination"].get(proc, []),
-                        fresh["termination_status"].get(proc, "ok"),
-                    )
-            for proc in requested:
-                entry = cached.get(proc, {})
-                if want_lint and "lint" in entry:
-                    records.extend(entry["lint"][1])
-                if want_safety and "safety" in entry:
-                    records.extend(entry["safety"][1])
-                    if entry["safety"][2] != "ok":
-                        proc_status[proc] = entry["safety"][2]
-                if want_termination and "termination" in entry:
-                    records.extend(entry["termination"][1])
-                    if entry["termination"][2] != "ok":
-                        proc_status[proc] = entry["termination"][2]
-        records.sort(
-            key=lambda r: (
-                r.get("procedure") or "",
-                r.get("line") or 0,
-                r.get("ruleId") or "",
-                r.get("verdict") or "",
-                r.get("message") or "",
-            )
+        records, proc_status = self._check_cache.merge_and_answer(
+            program_id, requested, dirty, keys, fresh,
+            want_lint, want_safety, want_termination,
         )
         for record in records:
             self.telemetry.count(f"checker.rule.{record['ruleId']}")

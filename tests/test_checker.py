@@ -258,26 +258,8 @@ def test_clean_corpus_and_examples_finding_free(path):
 
 
 class TestStability:
-    def test_rule_inventory_is_frozen(self):
-        # Rule ids are a public contract (golden corpora, SARIF
-        # consumers, service telemetry): additions are fine, renames and
-        # removals are breaking.  Update this list consciously.
-        assert set(ALL_RULE_IDS) == {
-            "lint.use-before-init",
-            "lint.dead-store",
-            "lint.unreachable",
-            "lint.null-deref",
-            "lint.missing-return",
-            "lint.unused-local",
-            "lint.unused-param",
-            "safety.null-deref",
-            "safety.leak",
-            "safety.acyclic",
-            "safety.termination",
-            "frontend.parse-error",
-            "frontend.type-error",
-            "checker.incomplete",
-        }
+    # The frozen rule-id inventory moved to tests/test_rule_inventory.py,
+    # which freezes the service/gateway tier's rule ids alongside these.
 
     def test_sarif_is_deterministic_and_well_formed(self):
         uri = "tests/corpus/buggy/leak_push.lisl"

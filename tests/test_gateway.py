@@ -1,0 +1,549 @@
+"""Tests of the multi-tenant analysis gateway (``repro.gateway``).
+
+Five layers:
+
+- **scheduler**: start-time fair queuing dispatch order, weights, bounded
+  per-tenant queues (shed with a retry hint), deadline shedding — all as
+  a pure data structure, deterministically;
+- **store tier**: pack compaction roundtrip (reads stay correct through
+  and after compaction, concurrent writers are never lost), byte-budget
+  GC keeps a seeded 10k-key store under budget, and warm re-analysis
+  after eviction stays hash-identical to cold (a miss just recomputes);
+- **sessions**: LRU residency bound with eviction accounting;
+- **gateway end-to-end**: per-tenant isolation, fairness under a gated
+  dispatcher (a greedy flood cannot starve a light tenant), deterministic
+  shed, deadline rejection, a SIGKILLed worker mid-request surfacing as a
+  structured error while the gateway survives;
+- **metrics**: the Prometheus exposition document over NDJSON and HTTP.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.api import Analyzer
+from repro.gateway.scheduler import FairScheduler, SchedulerConfig, Shed
+from repro.gateway.server import AnalysisGateway, GatewayConfig, GatewayThread
+from repro.gateway.sessions import SessionManager
+from repro.gateway.storetier import CompactingStore, StoreBudget
+from repro.parallel.store import PersistentSummaryStore
+from repro.service.client import ServiceClient
+from repro.service.diagnostics import envelope_records
+from repro.service.session import Session
+
+CHAIN = """
+proc leaf(x: list) returns (r: list) { r = x; }
+proc mid(x: list) returns (r: list) { r = leaf(x); }
+proc top(x: list) returns (r: list) { r = mid(x); }
+proc other(x: list) returns (r: list) { r = x; }
+"""
+
+ASSERT_SRC = """
+proc f(n: int) returns (r: int) {
+  r = n + 1;
+  assert r > n;
+  assert r > n + 1;
+}
+"""
+
+
+def edit_procedure(source: str, proc: str) -> str:
+    """Scripted single-procedure edit (same helper as test_service)."""
+    at = source.index(f"proc {proc}(")
+    open_brace = source.index("{", at)
+    depth, close_brace = 0, -1
+    for i in range(open_brace, len(source)):
+        if source[i] == "{":
+            depth += 1
+        elif source[i] == "}":
+            depth -= 1
+            if depth == 0:
+                close_brace = i
+                break
+    assert close_brace > open_brace
+    return (
+        source[: open_brace + 1]
+        + " local __edit: int; "
+        + source[open_brace + 1 : close_brace]
+        + " __edit = 1; "
+        + source[close_brace:]
+    )
+
+
+# -- scheduler ------------------------------------------------------------------
+
+
+class TestFairScheduler:
+    def test_flood_cannot_starve_light_tenant(self):
+        sched = FairScheduler(SchedulerConfig(tenant_queue_limit=100))
+        for i in range(10):
+            sched.submit("greedy", f"g{i}")
+        sched.submit("light", "l0")
+        order = [item.payload for item in sched.drain()]
+        # The light request's tag ties the flood's *first* tag, so it is
+        # dispatched second at the latest — not after the whole backlog.
+        assert order.index("l0") <= 1
+        assert order[0] == "g0"  # admission order breaks the tie
+
+    def test_interleaving_is_weight_proportional(self):
+        sched = FairScheduler(
+            SchedulerConfig(
+                tenant_queue_limit=100, tenant_weights={"paid": 2.0}
+            )
+        )
+        for i in range(8):
+            sched.submit("paid", f"p{i}")
+            sched.submit("free", f"f{i}")
+        first8 = [item.tenant for item in sched.drain()][:8]
+        # Weight 2 gets ~2 of every 3 dispatches while both are backlogged.
+        assert first8.count("paid") >= 5
+
+    def test_tenant_queue_bound_sheds_with_hint(self):
+        sched = FairScheduler(SchedulerConfig(tenant_queue_limit=2))
+        sched.submit("t", 1)
+        sched.submit("t", 2)
+        with pytest.raises(Shed) as exc:
+            sched.submit("t", 3)
+        assert exc.value.rule_id == "queue.shed"
+        assert exc.value.retry_after_ms > 0
+        # Another tenant is unaffected by the full queue.
+        sched.submit("other", 4)
+        assert sched.depth("other") == 1
+
+    def test_expired_deadline_is_shed_at_admission(self):
+        sched = FairScheduler()
+        with pytest.raises(Shed) as exc:
+            sched.submit("t", 1, deadline=time.monotonic() - 0.1)
+        assert exc.value.rule_id == "gateway.deadline"
+        assert exc.value.retry_after_ms == 0
+
+    def test_accounting(self):
+        sched = FairScheduler(SchedulerConfig(tenant_queue_limit=1))
+        sched.submit("a", 1)
+        with pytest.raises(Shed):
+            sched.submit("a", 2)
+        sched.next()
+        rows = sched.tenants()
+        assert rows["a"]["served"] == 1
+        assert rows["a"]["shed"] == 1
+        assert rows["a"]["depth"] == 0
+
+
+# -- store tier -----------------------------------------------------------------
+
+
+class TestCompactingStore:
+    def test_pack_roundtrip_preserves_every_key(self, tmp_path):
+        store = CompactingStore(str(tmp_path), StoreBudget(compact_min_loose=1))
+        for i in range(50):
+            store.inner.put(("k", i), {"v": i})
+        assert store.compact() == 50
+        assert store.inner.loose_count() == 0
+        assert store.inner.packed_count() == 50
+        for i in range(50):
+            assert store.get(("k", i)) == {"v": i}
+            assert ("k", i) in store.inner
+
+    def test_writer_racing_compaction_is_never_lost(self, tmp_path):
+        # A writer that lands a loose file *after* compaction scanned the
+        # directory keeps its entry: compaction only unlinks the files it
+        # packed, and reads prefer loose files over packs.
+        store = CompactingStore(str(tmp_path))
+        writer = PersistentSummaryStore(str(tmp_path))  # separate handle
+        for i in range(20):
+            store.inner.put(("k", i), {"v": i})
+        real_listdir = os.listdir
+        raced = {"done": False}
+
+        def listdir_then_write(path):
+            names = real_listdir(path)
+            if not raced["done"] and path == str(tmp_path):
+                raced["done"] = True
+                writer.put(("late", 99), {"late": True})
+            return names
+
+        import repro.gateway.storetier as storetier_mod
+
+        orig = storetier_mod.os.listdir
+        storetier_mod.os.listdir = listdir_then_write
+        try:
+            store.compact()
+        finally:
+            storetier_mod.os.listdir = orig
+        assert store.get(("late", 99)) == {"late": True}
+        for i in range(20):
+            assert store.get(("k", i)) == {"v": i}
+
+    def test_generations_stack_and_newest_wins(self, tmp_path):
+        store = CompactingStore(str(tmp_path))
+        store.inner.put(("a",), {"gen": 1})
+        assert store.compact() == 1
+        store.inner.put(("b",), {"gen": 2})
+        assert store.compact() == 1
+        assert store.inner.stats()["packs"] == 2
+        assert store.get(("a",)) == {"gen": 1}
+        assert store.get(("b",)) == {"gen": 2}
+
+    def test_gc_keeps_10k_key_store_under_budget(self, tmp_path):
+        budget = 256 * 1024
+        store = CompactingStore(
+            str(tmp_path),
+            StoreBudget(
+                max_bytes=budget, compact_min_loose=1000, check_interval=256
+            ),
+        )
+        for i in range(10_000):
+            store.put(("key", i), {"summary": i, "payload": "x" * 32})
+        store.maintain()
+        assert store.total_bytes() <= budget
+        assert store.compactions >= 1  # generations were packed...
+        assert store.gc_evicted_files >= 1  # ...and the oldest evicted
+        # Whatever survived still reads back exactly.
+        alive = sum(
+            1 for i in range(10_000) if store.get(("key", i)) is not None
+        )
+        assert 0 < alive < 10_000
+
+    def test_warm_reanalysis_after_eviction_matches_cold(self, tmp_path):
+        # Evicting the whole store between runs must not change results:
+        # a store miss recomputes the byte-identical summaries.
+        store_dir = str(tmp_path / "store")
+        session = Session(
+            Analyzer.from_source(CHAIN).program, store_dir=store_dir, jobs=0
+        )
+        session.analyze(domains=("am",))
+        CompactingStore(store_dir).gc(max_bytes=0)  # evict everything
+        edited = edit_procedure(CHAIN, "leaf")
+        session.update_source(edited)
+        warm = session.analyze(domains=("am",))
+        cold = Analyzer.from_source(edited).analyze_batch(
+            domains=("am",), jobs=0
+        )
+        cold_hashes = {
+            out.task_id: out.result.summary_hashes for out in cold.outcomes
+        }
+        warm_hashes = {
+            tid: out.summary_hashes for tid, out in warm.outputs.items()
+        }
+        assert warm_hashes == cold_hashes
+        session.close()
+
+
+# -- sessions -------------------------------------------------------------------
+
+
+class TestSessionManager:
+    def test_lru_eviction_bound(self, tmp_path):
+        programs = {
+            name: f"proc {name}(x: list) returns (r: list) {{ r = x; }}"
+            for name in ("a", "b", "c")
+        }
+        mgr = SessionManager(max_sessions=2, store_dir=str(tmp_path))
+        for tenant in ("a", "b", "c"):
+            mgr.acquire(tenant, "p", Analyzer.from_source(
+                programs[tenant]).program)
+        assert len(mgr) == 2
+        assert mgr.evictions == 1
+        # 'a' (the LRU victim) is gone; 'b' and 'c' are resident.
+        assert set(mgr.describe()) == {"b/p", "c/p"}
+        mgr.close()
+
+    def test_touch_refreshes_recency(self, tmp_path):
+        program = Analyzer.from_source(CHAIN).program
+        mgr = SessionManager(max_sessions=2, store_dir=str(tmp_path))
+        mgr.acquire("a", "p", program)
+        mgr.acquire("b", "p", program)
+        mgr.acquire("a", "p", program)  # touch: 'a' is now most recent
+        mgr.acquire("c", "p", program)  # evicts 'b'
+        assert set(mgr.describe()) == {"a/p", "c/p"}
+        mgr.close()
+
+
+# -- gateway end-to-end ---------------------------------------------------------
+
+
+def _lines_client(gw):
+    """Raw pipelining socket: send many request lines, then collect the
+    replies (the synchronous ServiceClient is strictly request/reply)."""
+    _, (host, port) = gw.address
+    sock = socket.create_connection((host, port), timeout=30)
+    fh = sock.makefile("rwb")
+    return sock, fh
+
+
+def _send(fh, **request):
+    fh.write((json.dumps(request) + "\n").encode())
+    fh.flush()
+
+
+def _recv(fh):
+    return json.loads(fh.readline())
+
+
+@pytest.fixture
+def gateway(tmp_path):
+    gw = GatewayThread(
+        GatewayConfig(
+            jobs=0,
+            workers=1,
+            tenant_queue_limit=4,
+            store_dir=str(tmp_path / "store"),
+        )
+    ).start()
+    yield gw
+    gw.stop()
+
+
+def _client(gw) -> ServiceClient:
+    _, (host, port) = gw.address
+    return ServiceClient.connect_tcp(host, port)
+
+
+class TestGateway:
+    def test_tenants_keep_independent_sessions(self, gateway):
+        with _client(gateway) as client:
+            a1 = client.analyze(CHAIN, domains=["am"], tenant="alice")
+            assert a1["ok"] and a1["result"]["incremental"]["reused"] == 0
+            b1 = client.analyze(CHAIN, domains=["am"], tenant="bob")
+            assert b1["ok"]
+            # bob edits; alice's warm session is untouched.
+            edited = edit_procedure(CHAIN, "leaf")
+            b2 = client.analyze(edited, domains=["am"], tenant="bob")
+            assert b2["result"]["delta"]["changed"] == ["leaf"]
+            a2 = client.analyze(CHAIN, domains=["am"], tenant="alice")
+            assert a2["result"]["incremental"]["analyzed"] == 0  # all warm
+            status = client.status()["result"]
+            assert status["tier"] == "gateway"
+            assert status["sessions_resident"] == 2
+            served = {
+                name: row["served"]
+                for name, row in status["tenants"].items()
+            }
+            assert served == {"alice": 2, "bob": 2}
+
+    def test_check_verb_warm_reuse_per_tenant(self, gateway):
+        with _client(gateway) as client:
+            cold = client.check(CHAIN, tenant="alice")
+            assert cold["ok"] is True
+            assert len(cold["result"]["checked"]) == 4
+            warm = client.check(CHAIN, tenant="alice")
+            assert warm["result"]["reused"] == ["leaf", "mid", "other", "top"]
+            # A different tenant starts cold (no cross-tenant cache).
+            other = client.check(CHAIN, tenant="bob")
+            assert len(other["result"]["checked"]) == 4
+
+    def test_gated_dispatcher_fairness_and_deterministic_shed(
+        self, gateway, monkeypatch
+    ):
+        """With the single dispatcher gated on a slow request, a greedy
+        tenant fills its bounded queue (deterministic sheds) while a
+        light tenant's request overtakes the whole backlog."""
+        import repro.gateway.server as gateway_mod
+
+        gate = threading.Event()
+        real = gateway_mod.run_assert_request
+
+        def gated(request):
+            gate.wait(30)
+            return real(request)
+
+        monkeypatch.setattr(gateway_mod, "run_assert_request", gated)
+        sock, fh = _lines_client(gateway)
+        try:
+            # One request occupies the (gated) dispatcher...
+            _send(fh, verb="assert", id=0, tenant="greedy", source=ASSERT_SRC)
+            deadline = time.monotonic() + 10
+            while gateway.gateway.telemetry.counters.get(
+                "requests.assert", 0
+            ) < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            while (gateway.gateway.scheduler.tenants().get("greedy", {})
+                   .get("served", 0) < 1) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # ...the flood fills greedy's queue (limit 4): 4 admitted,
+            # the rest shed deterministically with a retry hint.
+            for i in range(1, 7):
+                _send(fh, verb="assert", id=i, tenant="greedy",
+                      source=ASSERT_SRC)
+            # The light tenant's request is admitted behind the flood.
+            _send(fh, verb="analyze", id=100, tenant="light", source=CHAIN,
+                  domains=["am"])
+            sheds = [_recv(fh) for _ in range(2)]  # ids 5, 6 overflow
+            for response in sheds:
+                assert response["id"] in (5, 6)
+                assert response["error"]["kind"] == "shed"
+                assert response["error"]["retry_after_ms"] > 0
+                records = envelope_records(response["diagnostics"])
+                assert records[0]["ruleId"] == "queue.shed"
+            gate.set()
+            rest = [_recv(fh) for _ in range(6)]  # 0..4 + light's 100
+            order = [r["id"] for r in rest]
+            # SFQ: light's single request carries a virtual tag that ties
+            # the *first* queued greedy request, so it is dispatched after
+            # at most one of the backlog — never behind the whole flood.
+            assert order[0] == 0
+            assert order.index(100) <= 2
+            assert order.index(100) < min(order.index(i) for i in (2, 3, 4))
+            light = rest[order.index(100)]
+            assert light["ok"] is True
+            greedy_waits = [
+                r["telemetry"]["queue_wait_s"] for r in rest if r["id"] in
+                (3, 4)
+            ]
+            assert light["telemetry"]["queue_wait_s"] < min(greedy_waits)
+        finally:
+            gate.set()
+            sock.close()
+
+    def test_deadline_expired_is_shed_with_rule(self, gateway):
+        with _client(gateway) as client:
+            response = client.analyze(
+                CHAIN, domains=["am"], tenant="t", deadline_ms=0
+            )
+            assert not response["ok"]
+            assert response["error"]["kind"] == "deadline"
+            assert response["error"]["retry_after_ms"] == 0
+            records = envelope_records(response["diagnostics"])
+            assert records[0]["ruleId"] == "gateway.deadline"
+            # The tenant is not poisoned: a normal request succeeds.
+            assert client.analyze(CHAIN, domains=["am"], tenant="t")["ok"]
+
+    def test_session_lru_eviction_over_gateway(self, tmp_path):
+        gw = GatewayThread(
+            GatewayConfig(jobs=0, workers=1, max_sessions=2,
+                          store_dir=str(tmp_path / "store"))
+        ).start()
+        try:
+            with _client(gw) as client:
+                for tenant in ("a", "b", "c"):
+                    assert client.analyze(
+                        CHAIN, domains=["am"], tenant=tenant
+                    )["ok"]
+                status = client.status()["result"]
+                assert status["sessions_resident"] == 2
+                assert status["sessions_evicted"] == 1
+                # The evicted tenant still works (recreated, store-warm).
+                again = client.analyze(CHAIN, domains=["am"], tenant="a")
+                assert again["ok"]
+        finally:
+            gw.stop()
+
+    def test_flush_and_equivalence(self, gateway):
+        with _client(gateway) as client:
+            assert client.analyze(CHAIN, domains=["am"], tenant="t")["ok"]
+            flushed = client.flush(tenant="t")
+            assert flushed["ok"] and flushed["result"]["dropped"] >= 1
+            eq = client.equivalence(CHAIN, "leaf", "other")
+            assert eq["ok"]
+
+    def test_bad_requests_are_structured(self, gateway):
+        sock, fh = _lines_client(gateway)
+        try:
+            fh.write(b"this is not json\n")
+            fh.flush()
+            response = _recv(fh)
+            assert not response["ok"]
+            assert response["error"]["kind"] == "bad_request"
+            _send(fh, verb="analyze", id=2, source="proc broken(")
+            response = _recv(fh)
+            assert not response["ok"]
+            assert "parse" in response["error"]["message"]
+        finally:
+            sock.close()
+
+
+class TestGatewayPoolIsolation:
+    """Robustness with real worker processes (jobs=1)."""
+
+    def test_sigkilled_worker_is_structured_and_gateway_survives(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.gateway.server as gateway_mod
+
+        def die(request):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        gw = GatewayThread(
+            GatewayConfig(jobs=1, workers=1, hard_grace=5.0,
+                          store_dir=str(tmp_path / "store"))
+        ).start()
+        try:
+            monkeypatch.setattr(gateway_mod, "run_assert_request", die)
+            with _client(gw) as client:
+                response = client.check_asserts(ASSERT_SRC, tenant="t")
+                assert not response["ok"]
+                assert response["error"]["kind"] == "crashed"
+                records = envelope_records(response["diagnostics"])
+                assert records[0]["ruleId"] == "worker.crashed"
+                monkeypatch.undo()
+                # Gateway survives; the next request succeeds.
+                again = client.check_asserts(ASSERT_SRC, tenant="t")
+                assert again["ok"]
+                verdicts = [
+                    r["verdict"] for r in again["result"]["results"]
+                ]
+                assert verdicts == ["pass", "fail"]
+        finally:
+            gw.stop()
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_exposition_over_ndjson_and_http(self, gateway):
+        with _client(gateway) as client:
+            assert client.analyze(CHAIN, domains=["am"], tenant="alice")["ok"]
+            text = client.metrics()
+        assert 'repro_requests_total{verb="analyze"} 1' in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_tenant_requests_total{tenant="alice"} 1' in text
+        assert "repro_queue_depth 0" in text
+        assert "repro_request_exec_s_count 1" in text
+        assert 'repro_request_exec_s{quantile="0.5"}' in text
+        # HTTP scrape of the same port returns the same document shape.
+        _, (host, port) = gateway.address
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.sendall(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+        sock.close()
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        assert b"repro_tenant_requests_total" in body
+
+    def test_http_unknown_path_is_404(self, gateway):
+        _, (host, port) = gateway.address
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+        data = sock.recv(65536)
+        sock.close()
+        assert data.startswith(b"HTTP/1.0 404")
+
+    def test_daemon_metrics_verb_shares_renderer(self, tmp_path):
+        from repro.service.server import AnalysisServer, ServerConfig
+
+        srv = AnalysisServer(
+            ServerConfig(port=0, jobs=0, store_dir=str(tmp_path / "s"))
+        )
+        srv.start()
+        try:
+            _, (host, port) = srv.address
+            with ServiceClient.connect_tcp(host, port) as client:
+                assert client.analyze(CHAIN, domains=["am"])["ok"]
+                text = client.metrics()
+            assert 'repro_requests_total{verb="analyze"} 1' in text
+            assert "repro_queue_depth" in text
+        finally:
+            if not srv.stopped.is_set():
+                srv.stop()

@@ -525,8 +525,13 @@ class TestDaemon:
                 response = client.analyze(CHAIN, domains=["am"])
                 assert not response["ok"]
                 assert response["error"]["kind"] == "queue_full"
+                # Shed responses are uniform across the daemon and the
+                # gateway: a stable queue.shed rule id plus a
+                # retry_after_ms backoff hint.
+                assert response["error"]["retry_after_ms"] >= 100
                 records = envelope_records(response["diagnostics"])
-                assert records[0]["ruleId"] == "queue.rejected"
+                assert records[0]["ruleId"] == "queue.shed"
+                assert records[0]["witness"]["retry_after_ms"] >= 100
         finally:
             release.set()
             server._execute = original
