@@ -34,6 +34,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from dll_suite import DLL_AU_FAST, DLL_TABLE, fresh_dll_analyzer  # noqa: E402
 from table1_common import AU_FAST, fresh_analyzer  # noqa: E402
 
 from repro import kernels  # noqa: E402
@@ -44,12 +45,23 @@ ROOT = Path(__file__).resolve().parent.parent
 
 
 def smoke_rows():
-    return [(e.name, "am") for e in TABLE1] + [(n, "au") for n in AU_FAST]
+    return (
+        [(e.name, "am") for e in TABLE1]
+        + [(n, "au") for n in AU_FAST]
+        + [(e.name, "am") for e in DLL_TABLE]
+        + [(n, "au") for n in DLL_AU_FAST]
+    )
 
 
 def run_row(name: str, domain: str, budget) -> dict:
-    """One Table 1 row in a fresh analyzer; returns time + summary hashes."""
-    analyzer = fresh_analyzer()
+    """One suite row in a fresh analyzer; returns time + summary hashes.
+
+    DLL suite rows (``dll_*``) analyze against the DLL benchmark program;
+    everything else is a Table 1 row of the paper's singly-linked suite.
+    """
+    analyzer = (
+        fresh_dll_analyzer() if name.startswith("dll_") else fresh_analyzer()
+    )
     start = time.perf_counter()
     note = ""
     hashes = []

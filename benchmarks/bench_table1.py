@@ -24,6 +24,7 @@ import pytest
 
 from repro.lang.benchlib import TABLE1, entry
 
+from dll_suite import DLL_AU_FAST, DLL_TABLE, dll_task
 from table1_common import (
     AM_CHECKS,
     AU_CHECKS,
@@ -62,6 +63,26 @@ def test_table1_au_fast(benchmark, analyzer, name):
     assert not row.note, f"{name} AU analysis failed: {row.note}"
     if row.summary_ok is not None:
         assert row.summary_ok, f"{name}: AU summary weaker than paper's"
+
+
+@pytest.mark.parametrize("name", [e.name for e in DLL_TABLE])
+def test_dll_suite_am(benchmark, name):
+    """DLL suite rows in AHS(AM): analysis completes and the Tier-B
+    checker proves safety.dll-consistent (zero false alarms)."""
+    row = benchmark.pedantic(
+        dll_task, args=(name, "am"), rounds=1, iterations=1
+    )
+    assert not row["note"], f"{name} AM analysis failed: {row['note']}"
+    assert row["ok"], f"{name}: safety.dll-consistent not proved in AM"
+
+
+@pytest.mark.parametrize("name", DLL_AU_FAST)
+def test_dll_suite_au_fast(benchmark, name):
+    row = benchmark.pedantic(
+        dll_task, args=(name, "au"), rounds=1, iterations=1
+    )
+    assert not row["note"], f"{name} AU analysis failed: {row['note']}"
+    assert row["ok"], f"{name}: safety.dll-consistent not proved in AU"
 
 
 @pytest.mark.parametrize("name", [e.name for e in TABLE1])

@@ -60,6 +60,8 @@ def main():
     parser.add_argument("--budget", type=float, default=240.0)
     parser.add_argument("--only", type=str, default=None)
     parser.add_argument("--skip-au", action="store_true")
+    parser.add_argument("--skip-dll", action="store_true",
+                        help="omit the doubly-linked-list suite block")
     parser.add_argument("--skip-checker", action="store_true",
                         help="omit the Tier-B checker timing column")
     parser.add_argument("--skip-termination", action="store_true",
@@ -181,6 +183,47 @@ def main():
         )
         if unsafe_rows:
             print(f"checker: UNSAFE verdicts in: {', '.join(unsafe_rows)}")
+    if not args.skip_dll and args.only is None:
+        from dll_suite import DLL_TABLE, dll_suite_run
+
+        dll_pairs = [(e.name, "am") for e in DLL_TABLE]
+        if not args.skip_au:
+            dll_pairs += [(e.name, "au") for e in DLL_TABLE]
+        dll_results = dll_suite_run(
+            dll_pairs, jobs=args.jobs, budget=args.budget
+        )
+        print()
+        print(
+            f"{'class':<6} {'fun':<18} {'AM t(s)':>8} {'AU t(s)':>8} "
+            f"{'dll-consistent':>15}"
+        )
+        print("-" * 60)
+        dll_unsafe = []
+        for e in DLL_TABLE:
+            am = dll_results.get((e.name, "am"), empty)
+            au = dll_results.get((e.name, "au"), empty)
+            ok = au["ok"] if au["ok"] is not None else am["ok"]
+            if ok is False:
+                dll_unsafe.append(e.name)
+            note = au["note"] or am["note"]
+            print(
+                f"{e.cls:<6} {e.name:<18} {fmt_time(am['time'])} "
+                f"{fmt_time(au['time'])} "
+                f"{'safe' if ok else 'NOT-PROVED' if ok is False else '-':>15}"
+                + (f"  [{note}]" if note else ""),
+                flush=True,
+            )
+        print("-" * 60)
+        if dll_unsafe:
+            print(
+                "dll: safety.dll-consistent NOT proved in: "
+                + ", ".join(dll_unsafe)
+            )
+        else:
+            print(
+                f"dll: safety.dll-consistent proved on all "
+                f"{len(DLL_TABLE)} rows (zero false alarms)"
+            )
     if termination:
         termination_seconds = sum(
             row["termination_time"]

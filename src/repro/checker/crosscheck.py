@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.concrete.heap import Cell, to_cells
+from repro.concrete.heap import Cell, dll_violations, to_cells, to_dll_cells
 from repro.concrete.interp import (
     AssertFailure,
     AssumeFailure,
@@ -28,6 +28,7 @@ from repro.concrete.interp import (
 from repro.core.api import Analyzer
 from repro.fuzz.oracle import Finding
 from repro.lang import ast as A
+from repro.lang.ast import uses_prev
 from repro.lang.normalize import normalize_program
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
@@ -49,7 +50,7 @@ class CrossCheckConfig:
 
 
 # One concrete observation: ("deref", proc, line) | ("leak", proc, None)
-# | ("cycle", proc, None).
+# | ("cycle", proc, None) | ("dllbroken", proc, None).
 Event = Tuple[str, str, Optional[int]]
 
 
@@ -68,10 +69,11 @@ def _walk(cell: Optional[Cell]) -> Tuple[Set[int], Dict[int, Cell], bool]:
 
 
 class _FrameObserver:
-    """Collects leak/cycle events at every concrete frame exit."""
+    """Collects leak/cycle/DLL events at every concrete frame exit."""
 
-    def __init__(self, events: List[Event]):
+    def __init__(self, events: List[Event], dll: bool = False):
         self.events = events
+        self.dll = dll
 
     def __call__(self, proc_name: str, env, cfg) -> None:
         io_names = {p.name for p in list(cfg.inputs) + list(cfg.outputs)}
@@ -81,6 +83,14 @@ class _FrameObserver:
             ids, _cells, saw_cycle = _walk(env.get(name))
             reach_io |= ids
             cyclic = cyclic or saw_cycle
+        if self.dll:
+            # Outputs are the lists the exit summary describes; a broken
+            # back pointer there is what safety.dll-consistent must catch.
+            for p in cfg.outputs:
+                value = env.get(p.name)
+                if isinstance(value, Cell) and dll_violations(value):
+                    self.events.append(("dllbroken", proc_name, None))
+                    break
         leaked = False
         for name in sorted(env):
             if name in io_names or not isinstance(env.get(name), Cell):
@@ -172,23 +182,28 @@ class CrossChecker:
                 max_seconds=self.config.engine_max_seconds,
             ),
         )
-        events = self._observe_events(analyzer, root, views_list)
+        events = self._observe_events(analyzer, root, views_list, dll=uses_prev(norm))
         return self._contradictions(report, events, root, source, seed)
 
     # -- concrete side ----------------------------------------------------------
 
     def _observe_events(
-        self, analyzer: Analyzer, root: str, views_list: Sequence[List]
+        self,
+        analyzer: Analyzer,
+        root: str,
+        views_list: Sequence[List],
+        dll: bool = False,
     ) -> List[Event]:
         events: List[Event] = []
         interp = Interpreter(
             analyzer.icfg, max_steps=self.config.max_interp_steps
         )
-        interp.frame_observer = _FrameObserver(events)
+        interp.frame_observer = _FrameObserver(events, dll=dll)
         cfg = analyzer.icfg.cfg(root)
+        build = to_dll_cells if dll else to_cells
         for views in views_list:
             args = [
-                to_cells(list(v)) if isinstance(v, list) else v for v in views
+                build(list(v)) if isinstance(v, list) else v for v in views
             ]
             if len(args) != len(cfg.inputs):
                 continue
@@ -257,5 +272,10 @@ class CrossChecker:
                 add(
                     f"concrete cyclic backbone in {proc} contradicts "
                     "a safe acyclicity verdict"
+                )
+            elif kind == "dllbroken" and report.dll_consistent_verdict(proc) == SAFE:
+                add(
+                    f"concrete back-pointer violation at exit of {proc} "
+                    "contradicts a safe dll-consistent verdict"
                 )
         return findings

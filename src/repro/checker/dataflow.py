@@ -32,6 +32,7 @@ from repro.lang.cfg import (
     OpSkip,
     OpStoreData,
     OpStoreNext,
+    OpStorePrev,
 )
 
 # ---------------------------------------------------------------------------
@@ -72,8 +73,8 @@ def _spec_vars(formula: A.SpecFormula) -> Tuple[Set[str], Set[str]]:
 def op_reads(op: Op) -> Set[str]:
     """Variables whose *value* the op consumes."""
     if isinstance(op, OpAssignPtr):
-        return {op.source} if op.kind in ("var", "next") else set()
-    if isinstance(op, OpStoreNext):
+        return {op.source} if op.kind in ("var", "next", "prev") else set()
+    if isinstance(op, (OpStoreNext, OpStorePrev)):
         reads = {op.target}
         if op.source is not None:
             reads.add(op.source)
@@ -113,8 +114,8 @@ def op_derefs(op: Op) -> Set[str]:
     in this set must be non-NULL for the op to execute.
     """
     if isinstance(op, OpAssignPtr):
-        return {op.source} if op.kind == "next" else set()
-    if isinstance(op, OpStoreNext):
+        return {op.source} if op.kind in ("next", "prev") else set()
+    if isinstance(op, (OpStoreNext, OpStorePrev)):
         return {op.target}
     if isinstance(op, OpStoreData):
         return {op.target} | expr_derefs(op.expr)

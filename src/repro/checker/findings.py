@@ -27,6 +27,7 @@ RULE_UNUSED_PARAM = "lint.unused-param"
 RULE_SAFETY_NULL_DEREF = "safety.null-deref"
 RULE_SAFETY_LEAK = "safety.leak"
 RULE_SAFETY_ACYCLIC = "safety.acyclic"
+RULE_SAFETY_DLL_CONSISTENT = "safety.dll-consistent"
 
 # -- Termination prover (repro.termination; opt-in tier) ----------------------
 RULE_SAFETY_TERMINATION = "safety.termination"
@@ -51,6 +52,7 @@ SAFETY_RULE_IDS: Tuple[str, ...] = (
     RULE_SAFETY_NULL_DEREF,
     RULE_SAFETY_LEAK,
     RULE_SAFETY_ACYCLIC,
+    RULE_SAFETY_DLL_CONSISTENT,
 )
 TERMINATION_RULE_IDS: Tuple[str, ...] = (RULE_SAFETY_TERMINATION,)
 FRONTEND_RULE_IDS: Tuple[str, ...] = (RULE_PARSE_ERROR, RULE_TYPE_ERROR)
@@ -73,6 +75,9 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     RULE_SAFETY_NULL_DEREF: "dereference not proved non-NULL in all abstract heaps",
     RULE_SAFETY_LEAK: "cells may be unreachable from inputs/outputs at exit",
     RULE_SAFETY_ACYCLIC: "list backbone may become cyclic",
+    RULE_SAFETY_DLL_CONSISTENT: (
+        "doubly-linked back pointers not proved consistent at exit"
+    ),
     RULE_SAFETY_TERMINATION: "loop or recursion not proved terminating",
     RULE_PARSE_ERROR: "source does not parse",
     RULE_TYPE_ERROR: "source does not typecheck",

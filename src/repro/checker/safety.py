@@ -38,14 +38,16 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.engine import EngineOptions
 from repro.datawords import terms as T
 from repro.lang import ast as A
-from repro.lang.cfg import CFG, Edge
+from repro.lang.cfg import CFG, Edge, cfg_uses_prev
 from repro.core.localheap import CutpointError
+from repro.shape import dll
 from repro.shape.graph import NULL, HeapGraph
 from repro.checker import dataflow as df
 from repro.checker.findings import (
     CheckFinding,
     RULE_CHECKER_INCOMPLETE,
     RULE_SAFETY_ACYCLIC,
+    RULE_SAFETY_DLL_CONSISTENT,
     RULE_SAFETY_LEAK,
     RULE_SAFETY_NULL_DEREF,
     SAFE,
@@ -150,6 +152,9 @@ class SafetyReport:
     def acyclic_verdict(self, proc: str) -> Optional[str]:
         return self._aggregate(self._verdicts(RULE_SAFETY_ACYCLIC, proc))
 
+    def dll_consistent_verdict(self, proc: str) -> Optional[str]:
+        return self._aggregate(self._verdicts(RULE_SAFETY_DLL_CONSISTENT, proc))
+
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
         for site in self.sites:
@@ -232,6 +237,7 @@ def _check_proc(
     cfg: CFG,
     records,
     rules: Set[str],
+    domain=None,
 ) -> List[SafetySite]:
     proc = cfg.proc_name
     sites: List[SafetySite] = []
@@ -312,6 +318,60 @@ def _check_proc(
                     "heaps_clean": n_clean,
                     "roots": roots,
                     "example_nodes": example,
+                },
+            )
+        )
+
+    if RULE_SAFETY_DLL_CONSISTENT in rules and cfg_uses_prev(cfg):
+        # Only procedures that touch ``prev`` carry the obligation: for
+        # everything else the attributes are empty and the verdict would
+        # be vacuous noise in the golden files.  Roots are the *outputs*:
+        # they are the procedure's contract, while an input pointer goes
+        # stale the moment the procedure unlinks its head (delete-front
+        # correctly leaves the old head's forward link unmatched).
+        roots = [p.name for p in cfg.outputs if p.type == A.LIST]
+        n_ok = n_broken = n_unknown = 0
+        for record in records:
+            state = record.states.get(cfg.exit)
+            if state is None:
+                continue
+            for heap in state:
+                if domain is None:
+                    n_unknown += 1
+                    continue
+                verdict_h = dll.classify_heap(heap, domain, roots)
+                if verdict_h == dll.CONSISTENT:
+                    n_ok += 1
+                elif verdict_h == dll.BROKEN:
+                    n_broken += 1
+                else:
+                    n_unknown += 1
+        if n_broken == 0 and n_unknown == 0:
+            verdict = SAFE  # also the vacuous (no exit heap) case
+            message = (
+                f"back pointers form a well-formed DLL in every exit heap of '{proc}'"
+            )
+        elif n_ok == 0 and n_unknown == 0:
+            verdict = UNSAFE
+            message = (
+                f"back pointers provably mismatch forward links at exit of '{proc}'"
+            )
+        else:
+            verdict = UNKNOWN
+            message = f"back pointers not proved consistent at exit of '{proc}'"
+        sites.append(
+            SafetySite(
+                rule_id=RULE_SAFETY_DLL_CONSISTENT,
+                proc=proc,
+                line=cfg.node_lines.get(cfg.exit) or None,
+                detail="",
+                verdict=verdict,
+                message=message,
+                witness={
+                    "heaps_consistent": n_ok,
+                    "heaps_broken": n_broken,
+                    "heaps_unknown": n_unknown,
+                    "roots": roots,
                 },
             )
         )
@@ -411,7 +471,7 @@ def check_safety(analyzer, options: Optional[SafetyOptions] = None) -> SafetyRep
         records = [
             r for r in result.engine.records.values() if r.proc == proc
         ]
-        sites = _check_proc(cfg, records, rules)
+        sites = _check_proc(cfg, records, rules, domain=result.domain)
         if not result.ok:
             report.proc_status[proc] = (
                 "budget: " + "; ".join(str(d) for d in result.diagnostics)

@@ -12,13 +12,23 @@ from typing import Iterable, List, Optional, Set
 
 
 class Cell:
-    """One list cell: ``struct list { int data; struct list *next; }``."""
+    """One list cell: ``struct list { int data; struct list *next, *prev; }``.
 
-    __slots__ = ("data", "next")
+    ``prev`` stays None for singly-linked programs; the DLL builders and
+    the back-pointer invariant oracle are the only consumers.
+    """
 
-    def __init__(self, data: int = 0, next: Optional["Cell"] = None):
+    __slots__ = ("data", "next", "prev")
+
+    def __init__(
+        self,
+        data: int = 0,
+        next: Optional["Cell"] = None,
+        prev: Optional["Cell"] = None,
+    ):
         self.data = data
         self.next = next
+        self.prev = prev
 
     def __repr__(self) -> str:
         return f"Cell({self.data})"
@@ -50,6 +60,55 @@ def from_cells(head: Optional[Cell], limit: int = 1_000_000) -> List[int]:
         out.append(current.data)
         current = current.next
     return out
+
+
+def to_dll_cells(values: Iterable[int]) -> Optional[Cell]:
+    """Build a fresh well-formed doubly-linked list holding ``values``."""
+    head = to_cells(values)
+    prev: Optional[Cell] = None
+    current = head
+    while current is not None:
+        current.prev = prev
+        prev = current
+        current = current.next
+    return head
+
+
+def dll_violations(head: Optional[Cell], limit: int = 1_000_000) -> List[str]:
+    """Concrete back-pointer invariant check (the ``--dll`` fuzz oracle).
+
+    The invariant is the segment attribute's meaning, ``n.prev.next == n``
+    for every reachable cell with a non-None ``prev``, plus matched
+    interior links (``c.next.prev is c`` along the chain).  The head's
+    ``prev`` may legitimately be non-None -- a returned pointer can aim
+    mid-list while its predecessor's forward link still vouches for the
+    back pointer -- but a *dangling* head back pointer
+    (``head.prev.next is not head``) is a violation.
+    Raises on cyclic/overlong chains like :func:`from_cells`.
+    """
+    out: List[str] = []
+    if (
+        head is not None
+        and head.prev is not None
+        and head.prev.next is not head
+    ):
+        out.append(
+            f"head {head!r}: prev.next is {head.prev.next!r}, "
+            f"expected {head!r}"
+        )
+    for i, cell in enumerate(cells_of(head)):
+        if len(out) >= limit:  # pragma: no cover - defensive
+            break
+        if cell.next is not None and cell.next.prev is not cell:
+            out.append(
+                f"cell {i} ({cell!r}): next.prev is "
+                f"{cell.next.prev!r}, expected {cell!r}"
+            )
+    return out
+
+
+def is_wellformed_dll(head: Optional[Cell]) -> bool:
+    return is_acyclic(head) and not dll_violations(head)
 
 
 def length(head: Optional[Cell]) -> int:

@@ -31,6 +31,7 @@ from repro.lang.cfg import (
     OpSkip,
     OpStoreData,
     OpStoreNext,
+    OpStorePrev,
 )
 
 Value = Union[int, Optional[Cell]]
@@ -155,6 +156,11 @@ class Interpreter:
                 env[op.target] = Cell(0)
             elif op.kind == "var":
                 env[op.target] = env[op.source]
+            elif op.kind == "prev":
+                base = env[op.source]
+                if base is None:
+                    raise ConcreteError(f"NULL dereference: {op.source}->prev")
+                env[op.target] = base.prev
             else:  # next
                 base = env[op.source]
                 if base is None:
@@ -166,6 +172,12 @@ class Interpreter:
             if base is None:
                 raise ConcreteError(f"NULL dereference: {op.target}->next=")
             base.next = None if op.source is None else env[op.source]
+            return
+        if isinstance(op, OpStorePrev):
+            base = env[op.target]
+            if base is None:
+                raise ConcreteError(f"NULL dereference: {op.target}->prev=")
+            base.prev = None if op.source is None else env[op.source]
             return
         if isinstance(op, OpStoreData):
             base = env[op.target]

@@ -34,7 +34,14 @@ from repro.engine.canon import (
     icfg_fingerprint,
 )
 from repro.lang import ast as A
-from repro.lang.cfg import CFG, ICFG, OpAssert, OpAssume, OpCall
+from repro.lang.cfg import (
+    CFG,
+    ICFG,
+    OpAssert,
+    OpAssume,
+    OpCall,
+    icfg_uses_prev,
+)
 from repro.shape.abstract_heap import AbstractHeap
 from repro.shape.graph import NULL, HeapGraph
 from repro.shape.heap_set import HeapSet
@@ -132,7 +139,7 @@ class Engine:
         self.opts = opts if opts is not None else EngineOptions()
         self.icfg = icfg
         self.domain = domain
-        self.transfer = Transfer(domain, k)
+        self.transfer = Transfer(domain, k, dll=icfg_uses_prev(icfg))
         self.records: Dict[RecordKey, Record] = {}
         self.strengthen_hook = strengthen_hook
         self.assume_handler = assume_handler
@@ -207,7 +214,19 @@ class Engine:
                 caller_graph_nodes.append(node)
                 succ[node] = NULL
                 labels[var] = node
-        graph = HeapGraph(caller_graph_nodes, succ, labels)
+        if self.transfer.dll:
+            # Generic DLL arguments: each list is a well-formed doubly-
+            # linked fragment whose head's prev is NULL.
+            graph = HeapGraph(
+                caller_graph_nodes,
+                succ,
+                labels,
+                {n: NULL for n in caller_graph_nodes},
+                frozenset(caller_graph_nodes),
+                frozenset(),
+            )
+        else:
+            graph = HeapGraph(caller_graph_nodes, succ, labels)
         heap = AbstractHeap(graph, value)
         op = OpCall(
             targets=tuple(p.name + "$res" for p in cfg.outputs),

@@ -116,13 +116,21 @@ def build_call_entry(
         external_labels = [
             v for v in graph.vars_of(node) if v not in actual_set
         ]
+        # An external cell whose prev pointer aims into the local heap is
+        # an external reference too (the DLL analogue of a predecessor).
+        external_prevrefs = [
+            m
+            for m, t in graph.prevof.items()
+            if t == node and m not in local
+        ]
         is_entry = node in entry_nodes_of_actuals
-        if not is_entry and (external_preds or external_labels):
+        if not is_entry and (external_preds or external_labels or external_prevrefs):
             raise CutpointError(
                 f"cutpoint at node {node} calling {op.proc} "
-                f"(preds={external_preds}, labels={external_labels})"
+                f"(preds={external_preds}, labels={external_labels}, "
+                f"prevrefs={external_prevrefs})"
             )
-        if is_entry and (external_preds or external_labels):
+        if is_entry and (external_preds or external_labels or external_prevrefs):
             for f, a in zip(ptr_formals, ptr_actuals):
                 if graph.node_of(a) == node and not reattach[f]:
                     raise CutpointError(
@@ -138,7 +146,26 @@ def build_call_entry(
     for p in callee_cfg.outputs + callee_cfg.locals:
         if p.type == A.LIST and p.name not in labels:
             labels[p.name] = NULL
-    local_graph = HeapGraph(local, local_succ, labels)
+    local_prevof: Dict[str, str] = {}
+    for m, t in graph.prevof.items():
+        if m not in local:
+            continue
+        if t != NULL and t not in local:
+            # Backward-reachability makes prev targets local; a miss means
+            # the local heap reaches out behind the callee's view.
+            raise CutpointError(
+                f"prev target {t} of local node {m} escapes the local heap "
+                f"calling {op.proc}"
+            )
+        local_prevof[m] = t
+    local_graph = HeapGraph(
+        local,
+        local_succ,
+        labels,
+        local_prevof,
+        graph.dllseg & local,
+        graph.backlink & local,
+    )
     canon_graph, renaming = local_graph.canonical()
     caller_to_entry = {n: renaming[n] for n in local}
 
@@ -178,7 +205,12 @@ def build_call_entry(
         labels[T.entry_copy(f)] = (
             NULL if target == NULL else snap_nodes[target]
         )
-    entry_graph = HeapGraph(nodes, succ, labels)
+    # Snapshot nodes stay attr-free: they exist only to pin word identity,
+    # and _match_snapshot walks succ chains exclusively.
+    entry_graph = HeapGraph(
+        nodes, succ, labels,
+        canon_graph.prevof, canon_graph.dllseg, canon_graph.backlink,
+    )
     for n, c in snap_nodes.items():
         value = domain.add_word_copy_eq(value, n, c)
     for fd in data_formals:
@@ -350,7 +382,38 @@ def compose_return(
     ]
     value = domain.forget_data(value, leftover)
 
-    graph = HeapGraph(nodes, succ, labels)
+    # -- DLL attributes: kept caller facts + renamed summary facts ----------------------
+    prevof: Dict[str, str] = {}
+    dllseg = (caller_graph.dllseg & kept_nodes)
+    backlink = set()
+    for m, t in caller_graph.prevof.items():
+        if m not in kept_nodes:
+            continue  # the summary is authoritative for consumed cells
+        if t == NULL or t in kept_nodes:
+            prevof[m] = t
+        elif t in consumed:
+            # first(t) kept its identity through the call; follow it to
+            # the formal's exit node, else soundly forget the fact.
+            target = _reattach_edge(m, t, caller_graph, info, exit_node_of_actual)
+            if target is not None and target != NULL:
+                prevof[m] = target
+    for p in caller_graph.backlink:
+        # A backlink into the consumed region may be stale (the callee can
+        # rewrite first(entry).prev), so only fully-kept links survive.
+        if p in kept_nodes and caller_graph.succ.get(p) in kept_nodes:
+            backlink.add(p)
+    for m, t in exit_heap.graph.prevof.items():
+        if m in snapshot_map or t in snapshot_map:
+            continue  # snapshot nodes carry no heap facts
+        prevof[node_rename[m]] = t if t == NULL else node_rename[t]
+    for n in exit_heap.graph.dllseg:
+        if n not in snapshot_map:
+            dllseg = dllseg | {node_rename[n]}
+    for p in exit_heap.graph.backlink:
+        if p not in snapshot_map:
+            backlink.add(node_rename[p])
+
+    graph = HeapGraph(nodes, succ, labels, prevof, dllseg, backlink)
     return AbstractHeap(graph, value)
 
 

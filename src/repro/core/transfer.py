@@ -27,7 +27,9 @@ from repro.lang.cfg import (
     OpSkip,
     OpStoreData,
     OpStoreNext,
+    OpStorePrev,
 )
+from repro.core.localheap import CutpointError
 from repro.numeric.linexpr import Constraint, LinExpr
 from repro.shape.abstract_heap import AbstractHeap, split_word
 from repro.shape.graph import NULL, HeapGraph
@@ -35,6 +37,15 @@ from repro.shape.graph import NULL, HeapGraph
 
 class NullDereference(Exception):
     """Raised internally; transformers convert it to an empty result."""
+
+
+class PrevUnknownError(CutpointError):
+    """A ``prev`` read the DLL attributes cannot resolve.
+
+    Subclassing :class:`CutpointError` routes it through the existing
+    degradation paths: the checker reports ``unknown`` instead of
+    guessing, the fuzz oracle counts a skip, termination declines.
+    """
 
 
 def _advance(domain: LDWDomain, value, pred, word, tail, all_words):
@@ -74,11 +85,18 @@ def data_expr_to_linexpr(expr: A.Expr, graph: HeapGraph) -> LinExpr:
 
 
 class Transfer:
-    """post# over abstract heaps, parameterized by the LDW domain and k."""
+    """post# over abstract heaps, parameterized by the LDW domain and k.
 
-    def __init__(self, domain: LDWDomain, k: int = 0):
+    ``dll=True`` (set by the engine when the program touches ``prev``)
+    switches on maintenance of the DLL attributes; prev-free programs
+    keep attribute-free graphs and the transformers below behave exactly
+    as the singly-linked seed code did.
+    """
+
+    def __init__(self, domain: LDWDomain, k: int = 0, dll: bool = False):
         self.domain = domain
         self.k = k
+        self.dll = dll
 
     # -- shared helpers ------------------------------------------------------------
 
@@ -88,6 +106,56 @@ class Transfer:
         if heap.is_bottom(self.domain):
             return []
         return [heap.canonicalize(self.domain)]
+
+    def _entails_len1(self, value, node: str) -> bool:
+        """Does the value entail ``len(node) == 1``?
+
+        AU answers through its length polyhedron; AM has no length terms,
+        but emptiness of the tail multiset ``mtl(node)`` is the same fact.
+        """
+        domain = self.domain
+        try:
+            if domain.entails_constraint(
+                value, Constraint.eq(LinExpr.var(T.length(node)), 1)
+            ):
+                return True
+        except Exception:
+            pass
+        try:
+            return domain.entails_constraint(
+                value, Constraint.eq(LinExpr.var(T.mtl(node)), 0)
+            )
+        except Exception:
+            return False
+
+    def _mark_len1(self, graph: HeapGraph, node: str) -> HeapGraph:
+        """Record that ``node`` is a known singleton (vacuously interior-
+        back-linked), so folds can keep DLL facts through the segment."""
+        if not self.dll or node in graph.dllseg:
+            return graph
+        return graph.with_dll_attrs(dllseg=graph.dllseg | {node})
+
+    def _split_attr_fixup(
+        self, graph: HeapGraph, orig: HeapGraph, node: str, tail: str
+    ) -> HeapGraph:
+        """DLL attributes after split(node -> node·tail).
+
+        first(node) is unchanged so every prevof fact survives verbatim;
+        node is now a singleton; node's old boundary link moves to tail;
+        the fresh node->tail boundary was an interior link of node.
+        """
+        if not self.dll:
+            return graph
+        dllseg = set(graph.dllseg)
+        backlink = set(graph.backlink)
+        backlink.discard(node)
+        if node in orig.backlink:
+            backlink.add(tail)
+        if node in orig.dllseg:
+            dllseg.add(tail)
+            backlink.add(node)
+        dllseg.add(node)  # len == 1 after the split
+        return graph.with_dll_attrs(dllseg=dllseg, backlink=backlink)
 
     def materialize_next(self, heap: AbstractHeap, var: str) -> List[AbstractHeap]:
         """Expose the successor cell of ``var``'s cell: after this, the
@@ -104,7 +172,9 @@ class Transfer:
         # Case len == 1: the successor is already var->next.
         value1 = domain.restrict_len1(heap.value, node)
         if not domain.is_bottom(value1):
-            results.append(AbstractHeap(heap.graph, value1))
+            results.append(
+                AbstractHeap(self._mark_len1(heap.graph, node), value1)
+            )
         # Case len > 1: split off the tail as a fresh node.
         tail = heap.graph.fresh_node_name()
         value2 = split_word(
@@ -113,6 +183,7 @@ class Transfer:
         if not domain.is_bottom(value2):
             old_succ = heap.graph.succ.get(node)
             graph = heap.graph.with_node(tail, old_succ).with_succ(node, tail)
+            graph = self._split_attr_fixup(graph, heap.graph, node, tail)
             results.append(AbstractHeap(graph, value2))
         return results
 
@@ -125,6 +196,8 @@ class Transfer:
             return self.post_assign_ptr(op, heap)
         if isinstance(op, OpStoreNext):
             return self.post_store_next(op, heap)
+        if isinstance(op, OpStorePrev):
+            return self.post_store_prev(op, heap)
         if isinstance(op, OpStoreData):
             return self.post_store_data(op, heap)
         if isinstance(op, OpAssignData):
@@ -149,8 +222,16 @@ class Transfer:
         if op.kind == "new":
             fresh = heap.graph.fresh_node_name()
             graph = heap.graph.with_node(fresh, NULL).with_label(op.target, fresh)
+            if self.dll:
+                # A fresh cell has prev == NULL and is a singleton.
+                graph = graph.with_dll_attrs(
+                    prevof={**graph.prevof, fresh: NULL},
+                    dllseg=graph.dllseg | {fresh},
+                )
             value = domain.add_singleton_word(heap.value, fresh)
             return self._finish(AbstractHeap(graph, value))
+        if op.kind == "prev":
+            return self.post_assign_prev(op, heap)
         # op.kind == "next": materialize, then retarget the label.
         results: List[AbstractHeap] = []
         # Case len == 1 (the successor cell is already exposed).
@@ -161,7 +242,9 @@ class Transfer:
         if not domain.is_bottom(value1):
             succ = heap.graph.succ.get(node)
             if succ is not None:
-                graph = heap.graph.with_label(op.target, succ)
+                graph = self._mark_len1(
+                    heap.graph.with_label(op.target, succ), node
+                )
                 results.extend(self._finish(AbstractHeap(graph, value1)))
         # Case len > 1: if the head cell would immediately be folded into
         # its unique predecessor (the cursor-advance idiom), use the fused
@@ -189,6 +272,20 @@ class Transfer:
                     .without_nodes([node])
                     .with_succ(pred, tail)
                 )
+                if self.dll:
+                    # Fused split+merge: the head of node became the last
+                    # cell of pred, node's tail the fresh node.
+                    orig = heap.graph
+                    dllseg = set(graph.dllseg)
+                    backlink = set(graph.backlink)
+                    if node in orig.dllseg:
+                        dllseg.add(tail)
+                        backlink.add(pred)
+                    if node in orig.backlink:
+                        backlink.add(tail)
+                    if not (pred in orig.dllseg and pred in orig.backlink):
+                        dllseg.discard(pred)
+                    graph = graph.with_dll_attrs(dllseg=dllseg, backlink=backlink)
                 results.extend(self._finish(AbstractHeap(graph, value2)))
             return results
         value2 = split_word(
@@ -201,6 +298,7 @@ class Transfer:
                 .with_succ(node, tail)
                 .with_label(op.target, tail)
             )
+            graph = self._split_attr_fixup(graph, heap.graph, node, tail)
             results.extend(self._finish(AbstractHeap(graph, value2)))
         return results
 
@@ -214,8 +312,93 @@ class Transfer:
             if target == node:
                 continue  # would build a self-loop; outside the fragment
             graph = mat.graph.with_succ(node, target)
+            if self.dll:
+                old_succ = mat.graph.succ.get(node)
+                prevof = dict(graph.prevof)
+                backlink = set(graph.backlink)
+                if node in backlink:
+                    backlink.discard(node)
+                    if old_succ not in (None, NULL):
+                        # The detached successor still has prev == node
+                        # (node is a singleton after materialization).
+                        prevof[old_succ] = node
+                if target != NULL and prevof.get(target) == node:
+                    # The explicit back-pointer now matches the new edge.
+                    del prevof[target]
+                    backlink.add(node)
+                graph = graph.with_dll_attrs(prevof=prevof, backlink=backlink)
             results.extend(self._finish(AbstractHeap(graph, mat.value)))
         return results
+
+    def post_store_prev(self, op: OpStorePrev, heap: AbstractHeap) -> List[AbstractHeap]:
+        """``p->prev = q`` writes the first cell of p's segment, so no
+        materialization is needed; only the DLL attributes move."""
+        graph = heap.graph
+        node = graph.node_of(op.target)
+        if node == NULL:
+            return []
+        target = NULL if op.source is None else graph.node_of(op.source)
+        prevof = dict(graph.prevof)
+        backlink = set(graph.backlink)
+        prevof.pop(node, None)
+        for p in list(backlink):
+            if graph.succ.get(p) == node:
+                # Those boundary facts described the overwritten field.
+                backlink.discard(p)
+        if (
+            target != NULL
+            and graph.succ.get(target) == node
+            and self._entails_len1(heap.value, target)
+        ):
+            # The store re-establishes the boundary invariant exactly.
+            backlink.add(target)
+        else:
+            prevof[node] = target
+        new_graph = graph.with_dll_attrs(prevof=prevof, backlink=backlink)
+        return self._finish(AbstractHeap(new_graph, heap.value))
+
+    def post_assign_prev(self, op: OpAssignPtr, heap: AbstractHeap) -> List[AbstractHeap]:
+        """``y = x->prev``: resolve through an explicit head back-pointer
+        or materialize the last cell of the back-linked predecessor."""
+        domain = self.domain
+        graph = heap.graph
+        node = graph.node_of(op.source)
+        if node == NULL:
+            return []
+        if node in graph.prevof:
+            new_graph = graph.with_label(op.target, graph.prevof[node])
+            return self._finish(AbstractHeap(new_graph, heap.value))
+        preds = [p for p in graph.backlink if graph.succ.get(p) == node]
+        if len(preds) == 1:
+            p = preds[0]
+            results: List[AbstractHeap] = []
+            # Case len(p) == 1: p's cell is the prev cell itself.
+            value1 = domain.restrict_len1(heap.value, p)
+            if not domain.is_bottom(value1):
+                g1 = self._mark_len1(graph.with_label(op.target, p), p)
+                results.extend(self._finish(AbstractHeap(g1, value1)))
+            # Case len(p) > 1: split the last cell off from the right.
+            last = graph.fresh_node_name()
+            value2 = domain.split_last(heap.value, p, last)
+            if not domain.is_bottom(value2):
+                g2 = (
+                    graph.with_node(last, node)
+                    .with_succ(p, last)
+                    .with_label(op.target, last)
+                )
+                dllseg = set(g2.dllseg)
+                backlink = set(g2.backlink)
+                backlink.discard(p)
+                backlink.add(last)  # last->node keeps the boundary fact
+                if p in graph.dllseg:
+                    backlink.add(p)  # p->last was an interior link of p
+                dllseg.add(last)
+                g2 = g2.with_dll_attrs(dllseg=dllseg, backlink=backlink)
+                results.extend(self._finish(AbstractHeap(g2, value2)))
+            return results
+        raise PrevUnknownError(
+            f"cannot resolve {op.source}->prev: no back-link fact for {node}"
+        )
 
     def post_store_data(self, op: OpStoreData, heap: AbstractHeap) -> List[AbstractHeap]:
         node = heap.graph.node_of(op.target)

@@ -91,6 +91,20 @@ class LDWDomain(ABC):
     def restrict_len1(self, value, word: str):
         """``split#`` (case ``len(word) == 1``): meet with ``len(word)=1``."""
 
+    def split_last(self, value, word: str, last: str):
+        """``split#`` from the right (case ``len(word) > 1``): ``word``
+        keeps everything but the last letter; ``last`` (fresh) receives
+        the final letter.
+
+        Used by backward (``prev``) materialization.  The generic
+        implementation is sound but lossy: the prefix ``word`` is
+        havocked (projected, i.e. any non-empty sequence) and ``last``
+        introduced as an unconstrained singleton.  Domains with
+        positional clauses may override it with a precise right split.
+        """
+        dropped = self.project_words(value, [word])
+        return self.add_singleton_word(dropped, last)
+
     def advance(self, value, pred: str, word: str, tail: str, all_words=None):
         """Fused cursor advance: ``pred := pred · head(word)``, ``tail :=
         tail(word)`` in one step.

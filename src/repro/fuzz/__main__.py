@@ -373,6 +373,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="check only the (fast) AM domain",
     )
     ap.add_argument(
+        "--dll",
+        action="store_true",
+        help="generate doubly-linked idioms (prev stores/loads); inputs "
+        "become well-formed DLLs and outputs are audited against the "
+        "concrete back-pointer invariant",
+    )
+    ap.add_argument(
         "--check-safety",
         action="store_true",
         help="cross-validate Tier-B checker verdicts against concrete "
@@ -418,7 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     oracle = _make_checker(oracle_config, args.check_safety,
                            args.check_termination, args.check_kernels)
-    gen_config = GenConfig(n_procs=args.max_procs)
+    gen_config = GenConfig(n_procs=args.max_procs, dll=args.dll)
 
     corpus_failures = 0
     if args.corpus is not None and args.corpus.is_dir():

@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.concrete.heap import from_cells, to_cells
+from repro.concrete.heap import dll_violations, from_cells, to_cells, to_dll_cells
 from repro.concrete.interp import (
     AssertFailure,
     AssumeFailure,
@@ -42,10 +42,12 @@ from repro.core.api import Analyzer, AnalysisResult
 from repro.core.localheap import CutpointError
 from repro.datawords import terms as T
 from repro.lang import ast as A
+from repro.lang.ast import uses_prev
 from repro.lang.normalize import normalize_program
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.lang.typecheck import typecheck_program
+from repro.shape import dll as dll_rules
 from repro.shape.graph import NULL
 
 
@@ -74,7 +76,7 @@ class OracleConfig:
 class Finding:
     """One oracle failure, self-contained for replay and shrinking."""
 
-    kind: str  # "gamma" | "no_shape" | "lattice" | "crash"
+    kind: str  # "gamma" | "no_shape" | "dll" | "lattice" | "crash"
     domain: str  # "am" | "au"
     root: str
     message: str
@@ -100,6 +102,8 @@ class _Observation:
     in_data: Dict[str, int]
     out_words: Dict[str, List[int]]
     out_data: Dict[str, int]
+    # DLL mode only: output name -> concrete back-pointer invariant held
+    out_dll: Dict[str, bool] = field(default_factory=dict)
 
 
 class Oracle:
@@ -178,10 +182,15 @@ class Oracle:
         cfg = analyzer.icfg.cfg(root)
         interp = Interpreter(analyzer.icfg, max_steps=self.config.max_interp_steps)
 
+        # prev-using programs get well-formed DLL inputs -- matching the
+        # abstract generic entry, which assumes arguments are DLLs -- and
+        # their outputs are audited against the concrete back-pointer
+        # invariant (the --dll soundness oracle).
+        dll = uses_prev(norm)
         observations = [
             obs
             for views in views_list
-            if (obs := self._observe(interp, cfg, root, views)) is not None
+            if (obs := self._observe(interp, cfg, root, views, dll=dll)) is not None
         ]
 
         findings: List[Finding] = []
@@ -195,9 +204,12 @@ class Oracle:
 
     # -- concrete side -----------------------------------------------------------
 
-    def _observe(self, interp, cfg, root: str, views: List) -> Optional[_Observation]:
+    def _observe(
+        self, interp, cfg, root: str, views: List, dll: bool = False
+    ) -> Optional[_Observation]:
+        build = to_dll_cells if dll else to_cells
         args = [
-            to_cells(list(v)) if isinstance(v, list) else v for v in views
+            build(list(v)) if isinstance(v, list) else v for v in views
         ]
         try:
             outputs = interp.run(root, args)
@@ -213,15 +225,18 @@ class Oracle:
                 in_data[T.entry_copy(p.name)] = view
         out_words: Dict[str, List[int]] = {}
         out_data: Dict[str, int] = {}
+        out_dll: Dict[str, bool] = {}
         for p, value in zip(cfg.outputs, outputs):
             if p.type == A.LIST:
                 try:
                     out_words[p.name] = from_cells(value)
                 except ValueError:
                     return None  # cyclic output: no word view exists
+                if dll:
+                    out_dll[p.name] = not dll_violations(value)
             else:
                 out_data[p.name] = value
-        return _Observation(views, in_words, in_data, out_words, out_data)
+        return _Observation(views, in_words, in_data, out_words, out_data, out_dll)
 
     # -- abstract side -------------------------------------------------------------
 
@@ -299,6 +314,7 @@ class Oracle:
         shape_matched = False
         covered = False
         violated: List[str] = []
+        dll_mismatch: List[str] = []
         for entry, summary in result.summaries:
             for heap in summary:
                 words_env = _bind_words(heap.graph, bindings)
@@ -306,6 +322,10 @@ class Oracle:
                     continue
                 shape_matched = True
                 if result.domain.satisfied_by(heap.value, words_env, data_env):
+                    mismatch = self._dll_mismatch(result, heap, obs)
+                    if mismatch is not None:
+                        dll_mismatch.append(mismatch)
+                        continue
                     covered = True
                     witnesses.append(
                         (heap.graph.key(), heap.value, words_env, data_env)
@@ -314,6 +334,24 @@ class Oracle:
                     violated.append(heap.describe(result.domain))
         if covered:
             return []
+        if dll_mismatch:
+            # Some disjunct covers the words but its DLL attributes make a
+            # definite claim the concrete back pointers refute.
+            return [
+                Finding(
+                    kind="dll",
+                    domain=domain,
+                    root=root,
+                    message=(
+                        f"covering disjuncts contradict the concrete back-"
+                        f"pointer invariant on {obs.views} -> {obs.out_words}: "
+                        + "; ".join(dll_mismatch[:3])
+                    ),
+                    source=source,
+                    inputs=obs.views,
+                    seed=seed,
+                )
+            ]
         if shape_matched:
             details = "; ".join(violated[:3])
             return [
@@ -345,6 +383,22 @@ class Oracle:
                 seed=seed,
             )
         ]
+
+    def _dll_mismatch(self, result, heap, obs: _Observation) -> Optional[str]:
+        """Definite DLL claims of a covering disjunct vs. concrete truth.
+
+        ``consistent`` promises every concretization is a well-formed DLL,
+        ``broken`` that none is; either claim is refutable by the observed
+        run.  ``unknown`` never conflicts.  Returns a description of the
+        first conflict, or ``None`` when the disjunct is compatible.
+        """
+        for var, wellformed in obs.out_dll.items():
+            verdict = dll_rules.classify_heap(heap, result.domain, [var])
+            if verdict == dll_rules.CONSISTENT and not wellformed:
+                return f"{var}: abstractly consistent, concretely broken"
+            if verdict == dll_rules.BROKEN and wellformed:
+                return f"{var}: abstractly broken, concretely well-formed"
+        return None
 
     # -- lattice laws ---------------------------------------------------------------
 

@@ -52,6 +52,11 @@ class GenConfig:
     p_unguarded_deref: float = 0.1  # emit a deref without a NULL guard
     allow_loops: bool = True
     allow_calls: bool = True
+    # Doubly-linked mode: adds prev-aware idioms (DLL push-front /
+    # insert-after / delete-after keep the back-pointer invariant;
+    # backward cursor moves and loops traverse it).  Off by default so
+    # prev-free fuzzing is byte-identical to the pre-DLL generator.
+    dll: bool = False
 
     def smaller(self) -> "GenConfig":
         """A strictly smaller configuration (used by the shrinker)."""
@@ -191,11 +196,22 @@ class ProgramGen:
             (self._gen_read_data, 2),
             (self._gen_assign_int, 3),
         ]
+        if self.config.dll:
+            choices.extend(
+                [
+                    (self._gen_dll_push_front, 3),
+                    (self._gen_dll_insert_after, 2),
+                    (self._gen_dll_delete_after, 1),
+                    (self._gen_retreat, 2),
+                ]
+            )
         if depth > 0:
             choices.append((self._gen_if, 3))
             if self.config.allow_loops:
                 choices.append((self._gen_traverse_loop, 3))
                 choices.append((self._gen_count_loop, 2))
+                if self.config.dll:
+                    choices.append((self._gen_backward_loop, 2))
         if callees and self.config.allow_calls:
             choices.append((self._gen_call, 8 if boost_calls else 3))
         total = sum(w for _, w in choices)
@@ -370,6 +386,107 @@ class ProgramGen:
         return [
             A.Assign(target=counter, value=A.IntLit(bound)),
             A.While(cond=A.DataCmp(">", A.Var(counter), A.IntLit(0)), body=inner),
+        ]
+
+    # -- DLL idioms (invariant-preserving, plus backward moves) ---------------
+
+    def _gen_dll_push_front(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if len(targets) < 2:
+            return None
+        fresh, target = self.rng.sample(targets, 2)
+        return [
+            A.Assign(target=fresh, value=A.NewCell()),
+            A.StoreData(target=fresh, value=self._int_expr(scope)),
+            A.StoreNext(target=fresh, value=A.Var(target)),
+            A.StorePrev(target=fresh, value=A.Null()),
+            A.If(
+                cond=A.PtrCmp("!=", A.Var(target), A.Null()),
+                then_body=[A.StorePrev(target=target, value=A.Var(fresh))],
+                else_body=[],
+            ),
+            A.Assign(target=target, value=A.Var(fresh)),
+        ]
+
+    def _gen_dll_insert_after(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if len(targets) < 2:
+            return None
+        fresh, rest = self.rng.sample(targets, 2)
+        anchor = self.rng.choice(scope.list_vars)
+        if anchor in (fresh, rest):
+            return None
+        body = [
+            A.Assign(target=rest, value=A.NextOf(A.Var(anchor))),
+            A.Assign(target=fresh, value=A.NewCell()),
+            A.StoreData(target=fresh, value=self._int_expr(scope)),
+            A.StoreNext(target=fresh, value=A.Var(rest)),
+            A.StorePrev(target=fresh, value=A.Var(anchor)),
+            A.StoreNext(target=anchor, value=A.Var(fresh)),
+            A.If(
+                cond=A.PtrCmp("!=", A.Var(rest), A.Null()),
+                then_body=[A.StorePrev(target=rest, value=A.Var(fresh))],
+                else_body=[],
+            ),
+        ]
+        return [self._guard(anchor, body)]
+
+    def _gen_dll_delete_after(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        rest = self.rng.choice(targets)
+        anchors = [v for v in scope.list_vars if v != rest]
+        if not anchors:
+            return None
+        anchor = self.rng.choice(anchors)
+        inner = [
+            A.Assign(target=rest, value=A.NextOf(A.Var(anchor))),
+            A.If(
+                cond=A.PtrCmp("!=", A.Var(rest), A.Null()),
+                then_body=[
+                    A.Assign(target=rest, value=A.NextOf(A.Var(rest))),
+                    A.StoreNext(target=anchor, value=A.Var(rest)),
+                    A.If(
+                        cond=A.PtrCmp("!=", A.Var(rest), A.Null()),
+                        then_body=[
+                            A.StorePrev(target=rest, value=A.Var(anchor))
+                        ],
+                        else_body=[],
+                    ),
+                ],
+                else_body=[],
+            ),
+        ]
+        return [self._guard(anchor, inner)]
+
+    def _gen_retreat(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        targets = scope.writable_lists()
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        source = self.rng.choice(scope.list_vars)
+        stmt = A.Assign(target=target, value=A.PrevOf(A.Var(source)))
+        if self.rng.random() < self.config.p_unguarded_deref:
+            return [stmt]
+        return [self._guard(source, [stmt])]
+
+    def _gen_backward_loop(self, depth, scope, callees) -> Optional[List[A.Stmt]]:
+        cursors = scope.writable_lists()
+        if not cursors:
+            return None
+        cursor = self.rng.choice(cursors)
+        source = self.rng.choice(scope.list_vars)
+        scope.protected.add(cursor)
+        try:
+            inner = self._stmts(self.rng.randint(0, 2), depth - 1, scope, callees)
+        finally:
+            scope.protected.discard(cursor)
+        inner = [s for s in inner if not isinstance(s, A.Skip)]
+        inner.append(A.Assign(target=cursor, value=A.PrevOf(A.Var(cursor))))
+        return [
+            A.Assign(target=cursor, value=A.Var(source)),
+            A.While(cond=A.PtrCmp("!=", A.Var(cursor), A.Null()), body=inner),
         ]
 
     def _gen_call(self, depth, scope, callees) -> Optional[List[A.Stmt]]:

@@ -63,6 +63,14 @@ class NextOf(Expr):
 
 
 @dataclass(frozen=True)
+class PrevOf(Expr):
+    base: Var
+
+    def __str__(self) -> str:
+        return f"{self.base}->prev"
+
+
+@dataclass(frozen=True)
 class IntLit(Expr):
     value: int
 
@@ -194,6 +202,17 @@ class StoreNext(Stmt):
 
 
 @dataclass
+class StorePrev(Stmt):
+    """``p->prev = q`` (q a pointer variable or NULL)."""
+
+    target: str = ""
+    value: Expr = None
+
+    def __str__(self) -> str:
+        return f"{self.target}->prev = {self.value};"
+
+
+@dataclass
 class StoreData(Stmt):
     """``p->data = t``."""
 
@@ -290,3 +309,56 @@ class Program:
 
     def names(self) -> List[str]:
         return [p.name for p in self.procedures]
+
+
+# ---------------------------------------------------------------------------
+# DLL detection
+
+def _expr_uses_prev(expr) -> bool:
+    if isinstance(expr, PrevOf):
+        return True
+    if isinstance(expr, BinOp):
+        return _expr_uses_prev(expr.left) or _expr_uses_prev(expr.right)
+    return False
+
+
+def _cond_uses_prev(cond) -> bool:
+    if isinstance(cond, (PtrCmp, DataCmp)):
+        return _expr_uses_prev(cond.left) or _expr_uses_prev(cond.right)
+    if isinstance(cond, BoolOp):
+        return _cond_uses_prev(cond.left) or _cond_uses_prev(cond.right)
+    if isinstance(cond, NotCond):
+        return _cond_uses_prev(cond.inner)
+    return False
+
+
+def _stmts_use_prev(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, StorePrev):
+            return True
+        if isinstance(stmt, (Assign, StoreNext, StoreData)):
+            if _expr_uses_prev(stmt.value):
+                return True
+        elif isinstance(stmt, Call):
+            if any(_expr_uses_prev(a) for a in stmt.args):
+                return True
+        elif isinstance(stmt, If):
+            if (
+                _cond_uses_prev(stmt.cond)
+                or _stmts_use_prev(stmt.then_body)
+                or _stmts_use_prev(stmt.else_body)
+            ):
+                return True
+        elif isinstance(stmt, While):
+            if _cond_uses_prev(stmt.cond) or _stmts_use_prev(stmt.body):
+                return True
+    return False
+
+
+def uses_prev(program: "Program") -> bool:
+    """True iff any procedure touches the ``prev`` field.
+
+    This is the gate for every DLL code path: prev-free programs must
+    analyze bit-identically to the singly-linked seed analysis.
+    """
+    return any(_stmts_use_prev(p.body) for p in program.procedures)

@@ -50,14 +50,15 @@ class OpSkip(Op):
 @dataclass(frozen=True)
 class OpAssignPtr(Op):
     target: str
-    kind: str  # "null" | "var" | "next" | "new"
-    source: Optional[str] = None  # for var/next
+    kind: str  # "null" | "var" | "next" | "prev" | "new"
+    source: Optional[str] = None  # for var/next/prev
 
     def __str__(self) -> str:
         rhs = {
             "null": "NULL",
             "var": self.source,
             "next": f"{self.source}->next",
+            "prev": f"{self.source}->prev",
             "new": "new",
         }[self.kind]
         return f"{self.target} = {rhs}"
@@ -70,6 +71,15 @@ class OpStoreNext(Op):
 
     def __str__(self) -> str:
         return f"{self.target}->next = {self.source or 'NULL'}"
+
+
+@dataclass(frozen=True)
+class OpStorePrev(Op):
+    target: str
+    source: Optional[str]  # None = NULL
+
+    def __str__(self) -> str:
+        return f"{self.target}->prev = {self.source or 'NULL'}"
 
 
 @dataclass(frozen=True)
@@ -239,6 +249,11 @@ class _Builder:
             value = None if isinstance(stmt.value, A.Null) else stmt.value.name
             cfg.add_edge(src, dst, OpStoreNext(stmt.target, value), line)
             return dst
+        if isinstance(stmt, A.StorePrev):
+            dst = cfg.new_node(line)
+            value = None if isinstance(stmt.value, A.Null) else stmt.value.name
+            cfg.add_edge(src, dst, OpStorePrev(stmt.target, value), line)
+            return dst
         if isinstance(stmt, A.StoreData):
             dst = cfg.new_node(line)
             cfg.add_edge(src, dst, OpStoreData(stmt.target, stmt.value), line)
@@ -290,6 +305,10 @@ class _Builder:
         elif isinstance(value, A.NextOf):
             cfg.add_edge(
                 src, dst, OpAssignPtr(stmt.target, "next", value.base.name), line
+            )
+        elif isinstance(value, A.PrevOf):
+            cfg.add_edge(
+                src, dst, OpAssignPtr(stmt.target, "prev", value.base.name), line
             )
         elif isinstance(value, A.Var) and stmt.target in cfg.pointer_vars:
             cfg.add_edge(
@@ -370,11 +389,12 @@ class _Builder:
             return src, None
         if isinstance(expr, A.Var):
             return src, expr.name
-        if isinstance(expr, A.NextOf):
+        if isinstance(expr, (A.NextOf, A.PrevOf)):
             tmp = self.fresh(A.LIST)
             mid = cfg.new_node(line)
+            kind = "next" if isinstance(expr, A.NextOf) else "prev"
             cfg.add_edge(
-                src, mid, OpAssignPtr(tmp, "next", expr.base.name), line
+                src, mid, OpAssignPtr(tmp, kind, expr.base.name), line
             )
             return mid, tmp
         raise ValueError(f"bad pointer operand {expr!r}")
@@ -437,3 +457,18 @@ class ICFG:
 
 def build_icfg(program: A.Program) -> ICFG:
     return ICFG({p.name: build_cfg(p) for p in program.procedures})
+
+
+def cfg_uses_prev(cfg: CFG) -> bool:
+    for edge in cfg.edges:
+        op = edge.op
+        if isinstance(op, OpStorePrev):
+            return True
+        if isinstance(op, OpAssignPtr) and op.kind == "prev":
+            return True
+    return False
+
+
+def icfg_uses_prev(icfg: ICFG) -> bool:
+    """True iff any op in any CFG touches ``prev`` — the DLL-mode gate."""
+    return any(cfg_uses_prev(c) for c in icfg.cfgs.values())

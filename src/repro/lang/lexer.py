@@ -20,6 +20,7 @@ KEYWORDS = {
     "new",
     "NULL",
     "next",
+    "prev",
     "data",
     "true",
     "false",

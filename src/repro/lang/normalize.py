@@ -55,7 +55,7 @@ class _Normalizer:
                 if isinstance(arg, A.Var):
                     args.append(arg)
                     continue
-                typ = A.LIST if isinstance(arg, (A.Null, A.NextOf)) else A.INT
+                typ = A.LIST if isinstance(arg, (A.Null, A.NextOf, A.PrevOf)) else A.INT
                 tmp = self.fresh(typ)
                 pre.append(A.Assign(line=stmt.line, target=tmp, value=arg))
                 args.append(A.Var(tmp))
@@ -111,6 +111,8 @@ def _rename_expr(expr: A.Expr, ren: Dict[str, str]) -> A.Expr:
         return A.Var(ren.get(expr.name, expr.name))
     if isinstance(expr, A.NextOf):
         return A.NextOf(_rename_expr(expr.base, ren))
+    if isinstance(expr, A.PrevOf):
+        return A.PrevOf(_rename_expr(expr.base, ren))
     if isinstance(expr, A.DataOf):
         return A.DataOf(_rename_expr(expr.base, ren))
     if isinstance(expr, A.BinOp):
@@ -158,7 +160,7 @@ def _rename_body(body: Sequence[A.Stmt], ren: Dict[str, str]) -> List[A.Stmt]:
                     value=_rename_expr(stmt.value, ren),
                 )
             )
-        elif isinstance(stmt, (A.StoreNext, A.StoreData)):
+        elif isinstance(stmt, (A.StoreNext, A.StorePrev, A.StoreData)):
             out.append(
                 type(stmt)(
                     line=stmt.line,

@@ -8,11 +8,11 @@ Grammar (see :mod:`repro.lang` for the surface description)::
     block     := "{" local* stmt* "}"
     local     := "local" ID ("," ID)* ":" ("list"|"int") ";"
     stmt      := simple ";" | if | while | "assert" spec ";" | "assume" spec ";"
-    simple    := lhs "=" rhs | ID "->" ("next"|"data") "=" expr
+    simple    := lhs "=" rhs | ID "->" ("next"|"prev"|"data") "=" expr
                | "(" ID ("," ID)* ")" "=" ID "(" args ")" | "skip"
     rhs       := "new" | expr | ID "(" args ")"
     expr      := additive over atoms; atom := NUM | "NULL" | ID
-               | ID "->" ("next"|"data") | "(" expr ")" | "-" atom
+               | ID "->" ("next"|"prev"|"data") | "(" expr ")" | "-" atom
     cond      := disjunction of conjunctions of (possibly negated) atoms;
                  atomcond := expr ("=="|"!="|"<"|"<="|">"|">=") expr
     spec      := specatom ("&&" specatom)*
@@ -232,6 +232,8 @@ class _Parser:
             self.expect(";")
             if field.text == "next":
                 return A.StoreNext(line=tok.line, target=name, value=value)
+            if field.text == "prev":
+                return A.StorePrev(line=tok.line, target=name, value=value)
             if field.text == "data":
                 return A.StoreData(line=tok.line, target=name, value=value)
             raise ParseError(f"unknown field {field.text!r}", field.line)
@@ -302,6 +304,8 @@ class _Parser:
                 field = self.next()
                 if field.text == "next":
                     return A.NextOf(A.Var(tok.text))
+                if field.text == "prev":
+                    return A.PrevOf(A.Var(tok.text))
                 if field.text == "data":
                     return A.DataOf(A.Var(tok.text))
                 raise ParseError(f"unknown field {field.text!r}", field.line)

@@ -38,6 +38,8 @@ def pretty_expr(expr: A.Expr) -> str:
         return "new"
     if isinstance(expr, A.NextOf):
         return f"{expr.base.name}->next"
+    if isinstance(expr, A.PrevOf):
+        return f"{expr.base.name}->prev"
     if isinstance(expr, A.DataOf):
         return f"{expr.base.name}->data"
     if isinstance(expr, A.IntLit):
@@ -80,6 +82,9 @@ def _pretty_stmt(stmt: A.Stmt, indent: int, out: List[str]) -> None:
         return
     if isinstance(stmt, A.StoreNext):
         out.append(f"{pad}{stmt.target}->next = {pretty_expr(stmt.value)};")
+        return
+    if isinstance(stmt, A.StorePrev):
+        out.append(f"{pad}{stmt.target}->prev = {pretty_expr(stmt.value)};")
         return
     if isinstance(stmt, A.StoreData):
         out.append(f"{pad}{stmt.target}->data = {pretty_expr(stmt.value)};")

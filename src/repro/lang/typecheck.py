@@ -61,6 +61,10 @@ class _ProcChecker:
             if self.type_of(expr.base, line) != A.LIST:
                 raise TypeError_(f"{expr.base} is not a list", line)
             return A.LIST
+        if isinstance(expr, A.PrevOf):
+            if self.type_of(expr.base, line) != A.LIST:
+                raise TypeError_(f"{expr.base} is not a list", line)
+            return A.LIST
         if isinstance(expr, A.DataOf):
             if self.type_of(expr.base, line) != A.LIST:
                 raise TypeError_(f"{expr.base} is not a list", line)
@@ -132,9 +136,19 @@ class _ProcChecker:
                 raise TypeError_(f"{stmt.target!r} is not a list", line)
             if self.type_of(stmt.value, line) != A.LIST:
                 raise TypeError_("p->next takes a pointer value", line)
-            if isinstance(stmt.value, A.NextOf):
+            if isinstance(stmt.value, (A.NextOf, A.PrevOf)):
                 raise TypeError_(
                     "p->next = q->next is not primitive; use a temporary", line
+                )
+            return stmt
+        if isinstance(stmt, A.StorePrev):
+            if self.types.get(stmt.target) != A.LIST:
+                raise TypeError_(f"{stmt.target!r} is not a list", line)
+            if self.type_of(stmt.value, line) != A.LIST:
+                raise TypeError_("p->prev takes a pointer value", line)
+            if isinstance(stmt.value, (A.NextOf, A.PrevOf)):
+                raise TypeError_(
+                    "p->prev = q->next is not primitive; use a temporary", line
                 )
             return stmt
         if isinstance(stmt, A.StoreData):

@@ -126,8 +126,35 @@ class AbstractHeap:
             new_succ[pred] = succ_of_node
         else:
             new_succ.pop(pred, None)
+        # prevof facts name *first* cells: ``prevof[m] = t`` says
+        # ``first(m).prev == first(t)``.  Merging node into pred makes
+        # first(node) an interior cell, so facts about it (either side)
+        # die; facts about first(pred) survive unchanged.
+        prevof: Dict[str, str] = {
+            m: t
+            for m, t in graph.prevof.items()
+            if m != node and t != node
+        }
+        # The merged segment's interior is interior(pred) + the pred->node
+        # boundary + interior(node); its boundary link is node's.
+        dllseg = set(graph.dllseg)
+        merged_dll = (
+            pred in graph.dllseg
+            and node in graph.dllseg
+            and pred in graph.backlink
+        )
+        dllseg.discard(pred)
+        dllseg.discard(node)
+        if merged_dll:
+            dllseg.add(pred)
+        backlink = set(graph.backlink)
+        backlink.discard(pred)
+        backlink.discard(node)
+        if node in graph.backlink:
+            backlink.add(pred)
         new_graph = HeapGraph(
-            (graph.nodes - {NULL}) - {node}, new_succ, graph.labels
+            (graph.nodes - {NULL}) - {node}, new_succ, graph.labels,
+            prevof, dllseg, backlink
         )
         value = _concat(domain, self.value, pred, [pred, node], graph.word_nodes())
         return AbstractHeap(new_graph, value)

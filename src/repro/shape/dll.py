@@ -1,0 +1,162 @@
+"""Doubly-linked list reasoning over the backbone graph.
+
+The backbone abstraction (:mod:`repro.shape.graph`) tracks three optional
+attributes for DLL programs, all of which are empty for ``prev``-free
+programs:
+
+``prevof[n] = t``
+    ``first(n).prev == first(t)`` (or ``NULL``) — the fact a single
+    ``p->prev = q`` store creates.
+
+``n in dllseg``
+    Every *interior* link of the collapsed segment ``n`` is back-linked:
+    ``c.next.prev == c`` for consecutive cells inside ``n``.  Vacuously
+    true for singleton segments.
+
+``n in backlink``
+    The *boundary* link of ``n`` is back-linked:
+    ``first(succ(n)).prev == last(n)``.
+
+This module turns those per-segment facts into a verdict about whole
+lists: :func:`classify` decides whether the chain reachable from a set of
+root labels is certainly a well-formed DLL (every forward link matched by
+a back link, head's ``prev`` is ``NULL``), certainly broken, or unknown.
+The Tier-B checker's ``safety.dll-consistent`` rule evaluates it on every
+exit heap of the analyzed procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.shape.graph import NULL, HeapGraph
+
+__all__ = [
+    "chain",
+    "classify",
+    "classify_heap",
+    "CONSISTENT",
+    "BROKEN",
+    "UNKNOWN",
+]
+
+CONSISTENT = "consistent"
+BROKEN = "broken"
+UNKNOWN = "unknown"
+
+# Decides whether the LDW value entails ``len(node) == 1``; the shape
+# graph alone cannot (a collapsed segment denotes any non-empty list).
+EntailsLen1 = Callable[[str], bool]
+
+
+def chain(graph: HeapGraph, node: str) -> Optional[List[str]]:
+    """The succ chain from ``node`` to ``NULL``; ``None`` if it cycles."""
+    out: List[str] = []
+    seen = set()
+    here = node
+    while here != NULL:
+        if here in seen:
+            return None
+        seen.add(here)
+        out.append(here)
+        here = graph.succ.get(here, NULL)
+    return out
+
+
+def _boundary_ok(
+    graph: HeapGraph, n: str, m: str, entails_len1: EntailsLen1
+) -> Tuple[bool, bool]:
+    """(definitely back-linked, definitely broken) for the link n -> m."""
+    if n in graph.backlink:
+        return True, False
+    t = graph.prevof.get(m)
+    if t is None:
+        return False, False
+    if t != n:
+        # first(m).prev is a cell of a *different* segment (or NULL),
+        # never last(n): the back pointer provably mismatches.
+        return False, True
+    # prevof[m] == n says first(m).prev == first(n); that is last(n)
+    # exactly when the segment is a single cell.
+    return entails_len1(n), False
+
+
+def _head_ok(
+    graph: HeapGraph, head: str, entails_len1: EntailsLen1
+) -> Tuple[bool, bool]:
+    """(definitely fine, definitely broken) for a chain's first node.
+
+    The invariant at the head is ``head.prev.next == head`` whenever
+    ``head.prev`` is a cell: a ``NULL`` prev is a true head, and a defined
+    non-NULL prev must be matched by its owner's forward link.  A root may
+    point mid-list, so an *unknown* prev is vouched for by a unique
+    backbone predecessor whose boundary is back-linked.
+    """
+    t = graph.prevof.get(head)
+    if t == NULL:
+        return True, False  # a true head
+    preds = [p for p in graph.preds(head) if p != NULL]
+    if t is not None:
+        # head.prev == first(t): matched exactly when t's forward link
+        # closes back onto head and t is a single cell.
+        if t in preds:
+            return entails_len1(t), False
+        return False, True  # t's forward link provably bypasses head
+    if len(preds) == 1:
+        return _boundary_ok(graph, preds[0], head, entails_len1)
+    # No (or several) predecessors and an unknown prev: can't decide.
+    return False, False
+
+
+def classify(
+    graph: HeapGraph,
+    roots: Iterable[str],
+    entails_len1: EntailsLen1,
+) -> str:
+    """Classify the lists hanging off ``roots`` (label names).
+
+    ``consistent``: every chain from a root is provably a well-formed
+    DLL — all interior links back-linked (``dllseg``), every boundary
+    back-linked (``backlink`` or a matching singleton ``prevof``), and
+    the head's ``prev`` is ``NULL``.
+
+    ``broken``: some back pointer provably mismatches its forward link,
+    or a head's ``prev`` is provably a non-NULL cell.
+
+    ``unknown``: neither is provable from the attributes.
+    """
+    verdict = CONSISTENT
+    for root in roots:
+        node = graph.labels.get(root, NULL)
+        if node == NULL:
+            continue  # the empty list is a (vacuous) DLL
+        nodes = chain(graph, node)
+        if nodes is None:
+            return UNKNOWN  # cyclic backbone: out of this fragment's scope
+        head_ok, head_broken = _head_ok(graph, nodes[0], entails_len1)
+        if head_broken:
+            return BROKEN
+        if not head_ok:
+            verdict = UNKNOWN
+        for n in nodes:
+            if n not in graph.dllseg:
+                verdict = UNKNOWN
+        for n, m in zip(nodes, nodes[1:]):
+            ok, broken = _boundary_ok(graph, n, m, entails_len1)
+            if broken:
+                return BROKEN
+            if not ok:
+                verdict = UNKNOWN
+    return verdict
+
+
+def classify_heap(heap, domain, roots: Iterable[str]) -> str:
+    """:func:`classify` with length entailment read off the heap's value."""
+    from repro.core.transfer import Transfer
+
+    transfer = Transfer(domain, dll=True)
+
+    def entails_len1(node: str) -> bool:
+        return transfer._entails_len1(heap.value, node)
+
+    return classify(heap.graph, roots, entails_len1)

@@ -26,20 +26,40 @@ class ShapeError(Exception):
 
 
 class HeapGraph:
-    """An immutable backbone: nodes, successor map, variable labels."""
+    """An immutable backbone: nodes, successor map, variable labels.
 
-    __slots__ = ("nodes", "succ", "labels", "_key", "_stable_hash",
-                 "_renaming", "_sig")
+    Doubly-linked heaps add three optional components, all empty for
+    singly-linked programs (empty attributes leave ``key()``,
+    ``signature()`` and equality bit-identical to the SLL representation):
+
+    - ``prevof[n] = t``: the *first* cell of segment ``n`` has an explicit
+      ``prev`` pointer to the *first* cell of ``t`` (or to NULL) — the
+      exact fact a ``p->prev = q`` store creates;
+    - ``dllseg``: segments whose *interior* links are back-linked, i.e.
+      every adjacent cell pair inside the collapsed segment satisfies
+      ``c.next.prev == c`` (vacuously true for length-1 segments);
+    - ``backlink``: segments ``n`` whose *boundary* link is back-linked:
+      ``first(succ(n)).prev == last(n)``.
+    """
+
+    __slots__ = ("nodes", "succ", "labels", "prevof", "dllseg", "backlink",
+                 "_key", "_stable_hash", "_renaming", "_sig")
 
     def __init__(
         self,
         nodes: Iterable[str],
         succ: Mapping[str, str],
         labels: Mapping[str, str],
+        prevof: Optional[Mapping[str, str]] = None,
+        dllseg: Iterable[str] = (),
+        backlink: Iterable[str] = (),
     ):
         self.nodes: FrozenSet[str] = frozenset(nodes) | {NULL}
         self.succ: Dict[str, str] = dict(succ)
         self.labels: Dict[str, str] = dict(labels)
+        self.prevof: Dict[str, str] = dict(prevof) if prevof else {}
+        self.dllseg: FrozenSet[str] = frozenset(dllseg)
+        self.backlink: FrozenSet[str] = frozenset(backlink)
         self._key = None
         self._stable_hash = None  # filled by repro.engine.canon.graph_hash
         self._renaming = None  # cached canonical renaming (BFS order)
@@ -52,6 +72,19 @@ class HeapGraph:
         for var, n in self.labels.items():
             if n not in self.nodes:
                 raise ShapeError(f"label {var} on missing node {n}")
+        if self.prevof:
+            for n, t in self.prevof.items():
+                if n not in self.nodes or n == NULL or t not in self.nodes:
+                    raise ShapeError(f"dangling prev {n} -> {t}")
+        for n in self.dllseg | self.backlink:
+            if n not in self.nodes or n == NULL:
+                raise ShapeError(f"DLL attribute on missing node {n}")
+
+    def dll_attrs(self) -> Tuple[Dict[str, str], FrozenSet[str], FrozenSet[str]]:
+        return self.prevof, self.dllseg, self.backlink
+
+    def has_dll_attrs(self) -> bool:
+        return bool(self.prevof or self.dllseg or self.backlink)
 
     # -- constructors -----------------------------------------------------------
 
@@ -90,6 +123,7 @@ class HeapGraph:
     def reachable_from(self, roots: Iterable[str]) -> FrozenSet[str]:
         seen: Set[str] = set()
         stack = [r for r in roots if r in self.nodes]
+        dll = bool(self.prevof or self.backlink)
         while stack:
             n = stack.pop()
             if n in seen:
@@ -98,6 +132,15 @@ class HeapGraph:
             nxt = self.succ.get(n)
             if nxt is not None:
                 stack.append(nxt)
+            if dll:
+                # prev pointers keep cells reachable: follow explicit
+                # head back-pointers and reversed boundary back-links.
+                t = self.prevof.get(n)
+                if t is not None and t != NULL:
+                    stack.append(t)
+                for p in self.backlink:
+                    if self.succ.get(p) == n:
+                        stack.append(p)
         return frozenset(seen)
 
     def reachable_from_vars(self, variables: Iterable[str]) -> FrozenSet[str]:
@@ -114,12 +157,14 @@ class HeapGraph:
     def with_label(self, var: str, node: str) -> "HeapGraph":
         labels = dict(self.labels)
         labels[var] = node
-        return HeapGraph(self.nodes - {NULL}, self.succ, labels)
+        return HeapGraph(self.nodes - {NULL}, self.succ, labels,
+                         self.prevof, self.dllseg, self.backlink)
 
     def without_labels(self, variables: Iterable[str]) -> "HeapGraph":
         drop = set(variables)
         labels = {v: n for v, n in self.labels.items() if v not in drop}
-        return HeapGraph(self.nodes - {NULL}, self.succ, labels)
+        return HeapGraph(self.nodes - {NULL}, self.succ, labels,
+                         self.prevof, self.dllseg, self.backlink)
 
     def with_node(self, node: str, succ: Optional[str] = None) -> "HeapGraph":
         nodes = set(self.nodes - {NULL})
@@ -127,7 +172,8 @@ class HeapGraph:
         succs = dict(self.succ)
         if succ is not None:
             succs[node] = succ
-        return HeapGraph(nodes, succs, self.labels)
+        return HeapGraph(nodes, succs, self.labels,
+                         self.prevof, self.dllseg, self.backlink)
 
     def with_succ(self, node: str, succ: Optional[str]) -> "HeapGraph":
         succs = dict(self.succ)
@@ -135,7 +181,24 @@ class HeapGraph:
             succs.pop(node, None)
         else:
             succs[node] = succ
-        return HeapGraph(self.nodes - {NULL}, succs, self.labels)
+        return HeapGraph(self.nodes - {NULL}, succs, self.labels,
+                         self.prevof, self.dllseg, self.backlink)
+
+    def with_dll_attrs(
+        self,
+        prevof: Optional[Mapping[str, str]] = None,
+        dllseg: Optional[Iterable[str]] = None,
+        backlink: Optional[Iterable[str]] = None,
+    ) -> "HeapGraph":
+        """Replace DLL attributes (None keeps the current component)."""
+        return HeapGraph(
+            self.nodes - {NULL},
+            self.succ,
+            self.labels,
+            self.prevof if prevof is None else prevof,
+            self.dllseg if dllseg is None else dllseg,
+            self.backlink if backlink is None else backlink,
+        )
 
     def without_nodes(self, drop: Iterable[str]) -> "HeapGraph":
         dropped = set(drop)
@@ -150,7 +213,20 @@ class HeapGraph:
             for n, m in self.succ.items()
             if n not in dropped and m not in dropped
         }
-        return HeapGraph(nodes, succs, self.labels)
+        prevof = {
+            n: t
+            for n, t in self.prevof.items()
+            if n not in dropped and t not in dropped
+        }
+        # A boundary back-link is a fact about the succ edge; it dies
+        # with either endpoint.
+        backlink = frozenset(
+            n
+            for n in self.backlink
+            if n not in dropped and self.succ.get(n) not in dropped
+        )
+        return HeapGraph(nodes, succs, self.labels,
+                         prevof, self.dllseg - dropped, backlink)
 
     def rename_nodes(self, mapping: Mapping[str, str]) -> "HeapGraph":
         def rn(n: str) -> str:
@@ -159,7 +235,10 @@ class HeapGraph:
         nodes = {rn(n) for n in self.nodes - {NULL}}
         succ = {rn(n): rn(m) for n, m in self.succ.items()}
         labels = {v: rn(n) for v, n in self.labels.items()}
-        return HeapGraph(nodes, succ, labels)
+        prevof = {rn(n): rn(t) for n, t in self.prevof.items()}
+        dllseg = frozenset(rn(n) for n in self.dllseg)
+        backlink = frozenset(rn(n) for n in self.backlink)
+        return HeapGraph(nodes, succ, labels, prevof, dllseg, backlink)
 
     def fresh_node_name(self, taken: Iterable[str] = ()) -> str:
         used = set(self.nodes) | set(taken)
@@ -183,6 +262,25 @@ class HeapGraph:
                 seen.add(current)
                 order.append(current)
                 current = self.succ.get(current)
+        if self.prevof or self.backlink:
+            # Nodes reachable only through prev pointers: chase them in
+            # discovery order so DLL canonical naming stays deterministic.
+            i = 0
+            while i < len(order):
+                here = order[i]
+                i += 1
+                nexts = []
+                t = self.prevof.get(here)
+                if t is not None:
+                    nexts.append(t)
+                nexts.extend(
+                    p for p in sorted(self.backlink) if self.succ.get(p) == here
+                )
+                for current in nexts:
+                    while current is not None and current not in seen:
+                        seen.add(current)
+                        order.append(current)
+                        current = self.succ.get(current)
         # Unreachable (garbage) nodes, in sorted order, at the end.
         for node in sorted(self.nodes - seen):
             order.append(node)
@@ -220,6 +318,14 @@ class HeapGraph:
                     for node, vs in groups.items()
                 )),
             )
+            if self.has_dll_attrs():
+                # Counts are renaming-invariant; appended only for DLL
+                # graphs so SLL signatures stay bit-identical.
+                self._sig = self._sig + (
+                    len(self.prevof),
+                    len(self.dllseg),
+                    len(self.backlink),
+                )
         return self._sig
 
     def key(self) -> Tuple:
@@ -232,6 +338,14 @@ class HeapGraph:
                 tuple(sorted(canon.succ.items())),
                 tuple(sorted(canon.labels.items())),
             )
+            if canon.has_dll_attrs():
+                # Appended only when present: prev-free graphs keep the
+                # exact pre-DLL key (and stable hash).
+                self._key = self._key + (
+                    tuple(sorted(canon.prevof.items())),
+                    tuple(sorted(canon.dllseg)),
+                    tuple(sorted(canon.backlink)),
+                )
         return self._key
 
     def isomorphic(self, other: "HeapGraph") -> bool:
@@ -245,6 +359,9 @@ class HeapGraph:
             and self.nodes == other.nodes
             and self.succ == other.succ
             and self.labels == other.labels
+            and self.prevof == other.prevof
+            and self.dllseg == other.dllseg
+            and self.backlink == other.backlink
         )
 
     def __hash__(self) -> int:
@@ -256,7 +373,14 @@ class HeapGraph:
             vars_ = ",".join(self.vars_of(n))
             nxt = self.succ.get(n, "?")
             label = f"{n}({vars_})" if vars_ else n
-            parts.append(f"{label}->{nxt}")
+            marks = ""
+            if n in self.dllseg:
+                marks += "="
+            if n in self.backlink:
+                marks += "<"
+            if n in self.prevof:
+                marks += f"^{self.prevof[n]}"
+            parts.append(f"{label}{marks}->{nxt}")
         null_vars = ",".join(self.vars_of(NULL))
         if null_vars:
             parts.append(f"null({null_vars})")

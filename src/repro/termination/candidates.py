@@ -47,12 +47,15 @@ class RankCandidate:
     """One candidate ranking function.
 
     ``kind == "ptr"``: measure = sum of path lengths of ``ptr_vars``
-    (structurally bounded below by 0).  ``kind == "data"``: measure =
-    ``expr`` (an affine LISL data expression; bounded below only if the
-    decrease checker proves it at the loop-head arrivals).
+    (structurally bounded below by 0).  ``kind == "revptr"``: measure =
+    sum of *reverse* path lengths — the distance from the chain's head,
+    for cursors advanced along ``prev`` in DLL programs; also
+    structurally bounded.  ``kind == "data"``: measure = ``expr`` (an
+    affine LISL data expression; bounded below only if the decrease
+    checker proves it at the loop-head arrivals).
     """
 
-    kind: str  # "ptr" | "data"
+    kind: str  # "ptr" | "revptr" | "data"
     ptr_vars: Tuple[str, ...] = ()
     expr: Optional[A.Expr] = field(default=None, compare=False)
     label: str = ""
@@ -61,7 +64,7 @@ class RankCandidate:
         return self.label
 
     def bounded_structurally(self) -> bool:
-        return self.kind == "ptr"
+        return self.kind in ("ptr", "revptr")
 
 
 @dataclass
@@ -198,8 +201,10 @@ def _guard_chain(
 # Candidate generation
 
 
-def _advanced_ptrs(cfg: CFG, region: FrozenSet[int]) -> List[str]:
-    """Pointers advanced along ``next`` inside the region.
+def _advanced_ptrs(
+    cfg: CFG, region: FrozenSet[int], kind: str = "next"
+) -> List[str]:
+    """Pointers advanced along ``next`` (or ``prev``) inside the region.
 
     Catches both the direct ``c = c->next`` and the two-step
     ``n = c->next; ...; c = n`` cursor idiom.
@@ -209,7 +214,7 @@ def _advanced_ptrs(cfg: CFG, region: FrozenSet[int]) -> List[str]:
     for edge in cfg.edges:
         if edge.src not in region or not isinstance(edge.op, OpAssignPtr):
             continue
-        if edge.op.kind == "next":
+        if edge.op.kind == kind:
             next_targets.add(edge.op.target)
         elif edge.op.kind == "var":
             var_copies.append((edge.op.target, edge.op.source))
@@ -236,6 +241,15 @@ def loop_candidates(cfg: CFG, loop: LoopInfo, max_candidates: int = 12) -> List[
             ptr_vars.append(v)
     for v in ptr_vars:
         add(RankCandidate(kind="ptr", ptr_vars=(v,), label=f"pathlen({v})"))
+    # Backward (DLL) traversals: a cursor advanced along ``prev`` shrinks
+    # its distance from the chain's head instead of its distance to NULL.
+    for v in _advanced_ptrs(cfg, loop.region, kind="prev"):
+        if v in _pointer_names(cfg):
+            add(
+                RankCandidate(
+                    kind="revptr", ptr_vars=(v,), label=f"revpathlen({v})"
+                )
+            )
     if len(loop.guard_ptrs) >= 2:
         vs = tuple(sorted(loop.guard_ptrs))
         add(
@@ -309,12 +323,44 @@ def pathlen_expr(graph: HeapGraph, var: str) -> Optional[LinExpr]:
     return pathlen_from_node(graph, node)
 
 
+def revpathlen_from_node(graph: HeapGraph, node: str) -> Optional[LinExpr]:
+    """``1 +`` sum of ``len(n)`` over the unique-predecessor chain above
+    ``node`` — the cursor's distance from the chain's head, counting the
+    cursor's own cell.
+
+    None when an ancestor is shared (two predecessors make the distance
+    ill-defined) or the chain cycles.
+    """
+    if node == NULL or node not in graph.nodes:
+        return None
+    expr = LinExpr.const_expr(1)
+    seen: Set[str] = {node}
+    here = node
+    while True:
+        preds = [p for p in graph.preds(here) if p != NULL]
+        if not preds:
+            return expr
+        if len(preds) != 1 or preds[0] in seen:
+            return None
+        here = preds[0]
+        seen.add(here)
+        expr = expr + LinExpr.var(T.length(here))
+
+
+def revpathlen_expr(graph: HeapGraph, var: str) -> Optional[LinExpr]:
+    node = graph.labels.get(var)
+    if node is None or node == NULL:
+        return LinExpr.const_expr(0) if node == NULL else None
+    return revpathlen_from_node(graph, node)
+
+
 def measure_expr(candidate: RankCandidate, graph: HeapGraph) -> Optional[LinExpr]:
     """The candidate's measure over one abstract heap's terms (or None)."""
-    if candidate.kind == "ptr":
+    if candidate.kind in ("ptr", "revptr"):
+        measure = pathlen_expr if candidate.kind == "ptr" else revpathlen_expr
         total = LinExpr.const_expr(0)
         for var in candidate.ptr_vars:
-            part = pathlen_expr(graph, var)
+            part = measure(graph, var)
             if part is None:
                 return None
             total = total + part

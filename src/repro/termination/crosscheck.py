@@ -68,6 +68,20 @@ def _list_len(value) -> Optional[int]:
     return n
 
 
+def _prev_len(value) -> Optional[int]:
+    """Concrete distance from the head along ``prev``; None on a cycle."""
+    n = 0
+    seen: Set[int] = set()
+    cur = value
+    while isinstance(cur, Cell):
+        if id(cur) in seen:
+            return None
+        seen.add(id(cur))
+        n += 1
+        cur = cur.prev
+    return n
+
+
 def _eval_expr(expr: A.Expr, env) -> Optional[int]:
     if isinstance(expr, A.IntLit):
         return expr.value
@@ -100,10 +114,11 @@ def concrete_measure(candidate, names: Sequence[str], env) -> Optional[int]:
     """
     if isinstance(candidate, RankCandidate) and candidate.kind == "data":
         return _eval_expr(candidate.expr, env)
+    reverse = isinstance(candidate, RankCandidate) and candidate.kind == "revptr"
     kind = (
         candidate.type
         if isinstance(candidate, SlotCandidate)
-        else A.LIST  # ptr RankCandidate
+        else A.LIST  # ptr/revptr RankCandidate
     )
     total = 0
     for name in names:
@@ -113,7 +128,7 @@ def concrete_measure(candidate, names: Sequence[str], env) -> Optional[int]:
                 return None
             total += value
         else:
-            part = _list_len(value)
+            part = _prev_len(value) if reverse else _list_len(value)
             if part is None:
                 return None
             total += part

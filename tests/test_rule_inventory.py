@@ -30,6 +30,9 @@ class TestCheckerRuleInventory:
             "safety.leak",
             "safety.acyclic",
             "safety.termination",
+            # Grew with the doubly-linked-list subsystem: back-pointer
+            # consistency of output lists (DESIGN.md section 15).
+            "safety.dll-consistent",
             "frontend.parse-error",
             "frontend.type-error",
             "checker.incomplete",
