@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Demand-query latency against an in-process gateway.
+
+One gateway (inline jobs, warm sessions), one tenant, the Table 1
+benchmark program (every paper procedure plus its helpers).  For each
+Table 1 root the script issues the same single-obligation ``check``
+query twice — the **cold** answer runs the backward-cone analysis
+through :class:`~repro.core.strategy.DemandStrategy`, the **warm**
+repeats answer from the gateway's cone-keyed query cache — and records
+per-query latency plus cone size against the whole-program procedure
+count.
+
+Two gates (exit 1 on failure, mirrored in ``BENCH_query.json``):
+
+- warm answers are sub-100ms (they are cache restores, not fixpoints);
+- the backward cone is strictly smaller than the whole program on at
+  least 80% of the queried roots (the demand win is real scoping, not
+  bookkeeping).
+
+The artifact doubles as the query-path regression record
+(``BENCH_query.json`` in CI).
+
+Usage:  python benchmarks/bench_query.py [--json PATH] [--repeats N]
+                                         [--budget SECONDS]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.gateway.server import GatewayConfig, GatewayThread
+from repro.lang.benchlib import BENCHMARK_SOURCE, TABLE1
+from repro.service.client import ServiceClient
+
+WARM_BUDGET_MS = 100.0
+CONE_FLOOR = 0.8
+
+
+def pctl(samples, q):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(len(ordered) * q / 100.0)))
+    return ordered[rank]
+
+
+def _connect(gw) -> ServiceClient:
+    _, (host, port) = gw.address
+    return ServiceClient.connect_tcp(host, port)
+
+
+def run_queries(client, roots, repeats, budget):
+    rows = []
+    for root in roots:
+        t0 = time.perf_counter()
+        cold = client.check(
+            BENCHMARK_SOURCE, query=f"{root}:0", max_seconds=budget
+        )
+        cold_ms = (time.perf_counter() - t0) * 1000.0
+        assert cold.get("ok"), cold
+        result = cold["result"]
+        assert result["mode"] == "cold", result["mode"]
+        answer = result["query"]
+        warm_ms = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm = client.check(
+                BENCHMARK_SOURCE, query=f"{root}:0", max_seconds=budget
+            )
+            warm_ms.append((time.perf_counter() - t0) * 1000.0)
+            assert warm["result"]["mode"] == "warm", warm["result"]["mode"]
+            assert warm["result"]["query"] == answer, (
+                f"warm answer for {root} diverged from cold"
+            )
+        row = {
+            "proc": root,
+            "verdict": answer["verdict"],
+            "cone_size": answer["cone_size"],
+            "proc_count": answer["proc_count"],
+            "cold_ms": round(cold_ms, 3),
+            "warm_p50_ms": round(pctl(warm_ms, 50), 3),
+            "warm_max_ms": round(max(warm_ms), 3),
+        }
+        rows.append(row)
+        print(
+            f"  {root:>12}: cone {row['cone_size']}/{row['proc_count']} "
+            f"cold={row['cold_ms']:.1f}ms warm={row['warm_p50_ms']:.2f}ms "
+            f"verdict={row['verdict']}"
+        )
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the timing artifact to this path")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="warm repeats per query")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="per-query analysis budget (seconds)")
+    args = parser.parse_args()
+
+    roots = [e.name for e in TABLE1]
+    gw = GatewayThread(GatewayConfig(jobs=0, workers=1)).start()
+    try:
+        with _connect(gw) as client:
+            print(f"query bench: {len(roots)} Table 1 roots, "
+                  f"{args.repeats} warm repeats each")
+            rows = run_queries(client, roots, args.repeats, args.budget)
+            metrics_text = client.metrics()
+    finally:
+        gw.stop()
+
+    cold = [r["cold_ms"] for r in rows]
+    warm_p50 = [r["warm_p50_ms"] for r in rows]
+    warm_max = max(r["warm_max_ms"] for r in rows)
+    smaller = [r for r in rows if r["cone_size"] < r["proc_count"]]
+    cone_fraction = len(smaller) / len(rows)
+    warm_ok = warm_max < WARM_BUDGET_MS
+    cone_ok = cone_fraction >= CONE_FLOOR
+    print(f"cold: p50={pctl(cold, 50):.1f}ms p95={pctl(cold, 95):.1f}ms; "
+          f"warm: p50={pctl(warm_p50, 50):.2f}ms max={warm_max:.2f}ms "
+          f"({'<' if warm_ok else '>='} {WARM_BUDGET_MS:.0f}ms budget)")
+    print(f"cone < program on {len(smaller)}/{len(rows)} queries "
+          f"({cone_fraction:.0%}, floor {CONE_FLOOR:.0%})")
+    query_metrics = [
+        line for line in metrics_text.splitlines()
+        if line.startswith("repro_query_total")
+    ]
+    print("metrics:", "; ".join(query_metrics))
+
+    if args.json:
+        artifact = {
+            "suite": "query",
+            "program": "table1",
+            "queries": len(rows),
+            "repeats": args.repeats,
+            "cold_p50_ms": round(pctl(cold, 50), 3),
+            "cold_p95_ms": round(pctl(cold, 95), 3),
+            "warm_p50_ms": round(pctl(warm_p50, 50), 3),
+            "warm_max_ms": round(warm_max, 3),
+            "warm_budget_ms": WARM_BUDGET_MS,
+            "warm_under_budget": warm_ok,
+            "cone_smaller_fraction": round(cone_fraction, 3),
+            "cone_floor": CONE_FLOOR,
+            "per_query": rows,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+        print(f"wrote {args.json}")
+    if not warm_ok:
+        print("FAIL: a warm query exceeded the latency budget",
+              file=sys.stderr)
+        return 1
+    if not cone_ok:
+        print("FAIL: backward cones not smaller than the program on "
+              f"{CONE_FLOOR:.0%} of queries", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,13 @@ Examples::
     repro-lint examples/ tests/corpus/buggy --tier lint
     repro-lint prog.lisl --tier all --sarif findings.sarif --json
     repro-lint prog.lisl --rules lint.dead-store,safety.null-deref
+    repro-lint prog.lisl --query reverse:12
+    repro-lint prog.lisl --query main:0:safety.leak --json
+
+``--query PROC:LINE[:RULE]`` answers one program-point obligation on
+demand (line 0 = the whole procedure): only the queried procedure's
+backward call cone is analyzed, and the answer reports the cone size
+against the whole-program procedure count.  It takes exactly one file.
 
 Exit codes: 0 = no reportable findings, 1 = findings at or above
 ``--fail-on``, 2 = usage errors.  Frontend failures (parse/type errors)
@@ -65,6 +72,63 @@ def _split_rules(spec: Optional[str]):
     return lint, safety, termination
 
 
+def _run_query(path: str, spec: str, args) -> int:
+    """The ``--query`` mode: answer one obligation on demand."""
+    from repro.core.api import Analyzer
+    from repro.lang.parser import ParseError
+    from repro.lang.typecheck import TypeError_
+    from repro.checker.safety import Query, answer_query
+
+    try:
+        query = Query.parse(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    uri = path.replace(os.sep, "/")
+    try:
+        analyzer = Analyzer.from_source(source)
+    except (ParseError, TypeError_) as exc:
+        print(f"error: {uri}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        answer = answer_query(
+            analyzer,
+            query,
+            SafetyOptions(
+                domain=args.domain, k=args.k, max_seconds=args.budget
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = answer.findings()
+    if args.json:
+        print(json.dumps(
+            {"schema": diag.SCHEMA, "file": uri, **answer.to_json()}, indent=2
+        ))
+    else:
+        for finding in findings:
+            where = uri
+            if finding.line:
+                where += f":{finding.line}"
+            proc = f" ({finding.procedure})" if finding.procedure else ""
+            print(f"{where}: [{finding.verdict}] {finding.rule_id}{proc}: "
+                  f"{finding.message}")
+        heat = "warm" if answer.from_cache else "cold"
+        print(f"query {query.spec()}: verdict "
+              f"{answer.verdict or 'no-obligation'} "
+              f"(cone {answer.cone_size}/{answer.proc_count} procs, {heat}, "
+              f"{answer.seconds * 1000:.1f} ms)")
+    failed = any(_reportable(f, args.fail_on) for f in findings)
+    return 1 if failed else 0
+
+
 def _reportable(finding: CheckFinding, fail_on: str) -> bool:
     if fail_on == "none":
         return False
@@ -98,6 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "unknown with a checker.incomplete note")
     ap.add_argument("--include-safe", action="store_true",
                     help="also report proved-safe Tier-B obligations")
+    ap.add_argument("--query", type=str, default=None,
+                    metavar="PROC:LINE[:RULE]",
+                    help="answer one program-point obligation on demand "
+                         "(line 0 = whole procedure; rule defaults to every "
+                         "Tier-B rule); analyzes only the procedure's "
+                         "backward call cone and takes exactly one file")
     ap.add_argument("--fail-on", choices=("any", "unsafe", "none"), default="any",
                     help="exit 1 when findings at this severity exist "
                          "(any = lints + unsafe; default)")
@@ -111,6 +181,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not files:
         print("error: no .lisl files found", file=sys.stderr)
         return 2
+    if args.query is not None:
+        if len(files) != 1:
+            print("error: --query takes exactly one file", file=sys.stderr)
+            return 2
+        return _run_query(files[0], args.query, args)
     lint_rules, safety_rules, termination_rules = _split_rules(args.rules)
     tier = args.tier
     if args.rules:

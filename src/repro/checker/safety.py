@@ -6,9 +6,19 @@ entry heap), the per-CFG-node :class:`HeapSet` fixpoint
 obligations need, so the checker spends zero extra fixpoint iterations.
 Each procedure is analyzed as a *root* from its generic entries (every
 pointer formal independently NULL or a separate acyclic list), which
-over-approximates every cutpoint-free calling context; summary caching
-is disabled for these runs because cached records restore summaries but
-not per-node states.
+over-approximates every cutpoint-free calling context.  The runs are
+made under ``EngineOptions(point_states=True)``, the engine capability
+that guarantees per-node state tables even on summary-cache hits — so
+warm re-checks are cache restores, never fresh fixpoints (they used to
+run with ``use_cache=False`` for exactly this reason).
+
+Besides the exhaustive sweep (:func:`check_safety`, every procedure,
+every obligation), this module answers *demand queries*
+(:func:`answer_query`): one ``(procedure, line, rule)`` obligation set,
+resolved through :class:`repro.core.strategy.DemandStrategy` so only
+the query's backward-relevant call cone is ever analyzed.  Demand and
+exhaustive answers are bit-identical by construction (same tabulation);
+``tests/test_query.py`` enforces it corpus-wide.
 
 Three obligations are discharged against every abstract heap:
 
@@ -462,7 +472,7 @@ def check_safety(analyzer, options: Optional[SafetyOptions] = None) -> SafetyRep
                 k=opts.k,
                 max_steps=opts.max_steps,
                 max_seconds=remaining,
-                engine_opts=EngineOptions(use_cache=False),
+                engine_opts=EngineOptions(point_states=True),
             )
         except CutpointError as exc:
             report.proc_status[proc] = f"cutpoint: {exc}"
@@ -482,3 +492,173 @@ def check_safety(analyzer, options: Optional[SafetyOptions] = None) -> SafetyRep
         report.sites.extend(sites)
     report.seconds = time.perf_counter() - started
     return report
+
+
+# ---------------------------------------------------------------------------
+# Demand queries: one (procedure, line, rule) obligation on demand
+
+
+@dataclass(frozen=True)
+class Query:
+    """One program-point obligation: a procedure, an optional source
+    line (``None`` matches every line of the procedure) and an optional
+    safety rule id (``None`` matches every Tier-B rule)."""
+
+    proc: str
+    line: Optional[int] = None
+    rule: Optional[str] = None
+
+    @staticmethod
+    def parse(spec: str) -> "Query":
+        """Parse the CLI/protocol spelling ``PROC:LINE[:RULE]``; a LINE
+        of 0 means "the whole procedure"."""
+        parts = spec.split(":", 2)
+        if len(parts) < 2 or not parts[0]:
+            raise ValueError(
+                f"bad query {spec!r} (expected PROC:LINE[:RULE])"
+            )
+        proc, line_text = parts[0], parts[1]
+        try:
+            line = int(line_text)
+        except ValueError:
+            raise ValueError(
+                f"bad query line {line_text!r} in {spec!r} (expected an integer)"
+            )
+        rule = parts[2] if len(parts) == 3 and parts[2] else None
+        if rule is not None and rule not in SAFETY_RULE_IDS:
+            raise ValueError(
+                f"unknown safety rule {rule!r} in query {spec!r} "
+                f"(expected one of {', '.join(SAFETY_RULE_IDS)})"
+            )
+        return Query(proc=proc, line=line if line > 0 else None, rule=rule)
+
+    def spec(self) -> str:
+        out = f"{self.proc}:{self.line or 0}"
+        return f"{out}:{self.rule}" if self.rule else out
+
+
+@dataclass
+class QueryAnswer:
+    """A demand query's verdict plus its cost accounting."""
+
+    query: Query
+    verdict: Optional[str]  # aggregated over sites; None = no obligation there
+    sites: List[SafetySite] = field(default_factory=list)
+    proc_status: str = "ok"
+    cone: List[str] = field(default_factory=list)
+    proc_count: int = 0
+    from_cache: bool = False  # did the run restore a cached tabulation?
+    seconds: float = 0.0
+
+    @property
+    def cone_size(self) -> int:
+        return len(self.cone)
+
+    def findings(self, include_safe: bool = True) -> List[CheckFinding]:
+        """Matching sites as findings; queries default to reporting
+        proved-safe obligations too (the verdict *is* the answer)."""
+        out = [
+            site.to_finding()
+            for site in self.sites
+            if include_safe or site.verdict != SAFE
+        ]
+        if self.proc_status != "ok":
+            out.append(
+                CheckFinding(
+                    rule_id=RULE_CHECKER_INCOMPLETE,
+                    verdict=UNKNOWN,
+                    message=f"analysis of '{self.query.proc}' incomplete "
+                    f"({self.proc_status}); query verdict degraded to unknown",
+                    procedure=self.query.proc,
+                )
+            )
+        return sort_findings(out)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "query": {
+                "proc": self.query.proc,
+                "line": self.query.line,
+                "rule": self.query.rule,
+            },
+            "verdict": self.verdict,
+            "findings": [f.to_json() for f in self.findings()],
+            "proc_status": self.proc_status,
+            "cone": list(self.cone),
+            "cone_size": self.cone_size,
+            "proc_count": self.proc_count,
+            "from_cache": self.from_cache,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+def answer_query(
+    analyzer,
+    query: Query,
+    options: Optional[SafetyOptions] = None,
+) -> QueryAnswer:
+    """Discharge one program-point obligation on demand.
+
+    Instead of the exhaustive per-procedure whole-root sweep of
+    :func:`check_safety`, this analyzes *only* the queried procedure —
+    through :class:`~repro.core.strategy.DemandStrategy`, which scopes
+    the run to the query's backward-relevant call cone and reuses the
+    summary cache for warm answers.  The returned sites carry exactly
+    the payloads the exhaustive sweep would produce for the same
+    ``(proc, line, rule)`` coordinates.
+
+    Raises :class:`ValueError` for an unknown procedure or rule;
+    analysis-level incompleteness (cutpoints, budgets) degrades the
+    verdict to ``unknown`` like the exhaustive sweep does.
+    """
+    from repro.core.strategy import DemandStrategy
+
+    opts = options or SafetyOptions()
+    if query.proc not in analyzer.icfg.cfgs:
+        raise ValueError(f"unknown procedure {query.proc!r}")
+    if query.rule is not None and query.rule not in SAFETY_RULE_IDS:
+        raise ValueError(f"unknown safety rule {query.rule!r}")
+    rules = set(opts.rules) if opts.rules is not None else set(SAFETY_RULE_IDS)
+    if query.rule is not None:
+        rules &= {query.rule}
+    cfg = analyzer.icfg.cfg(query.proc)
+    strategy = DemandStrategy(query.proc)
+    started = time.perf_counter()
+    answer = QueryAnswer(query=query, verdict=None)
+    try:
+        result = analyzer.analyze(
+            query.proc,
+            domain=opts.domain,
+            k=opts.k,
+            max_steps=opts.max_steps,
+            max_seconds=opts.max_seconds,
+            engine_opts=EngineOptions(point_states=True),
+            strategy=strategy,
+        )
+    except CutpointError as exc:
+        answer.proc_status = f"cutpoint: {exc}"
+        answer.sites = _degrade(_check_proc(cfg, [], rules))
+        result = None
+    answer.cone = list(strategy.cone)
+    answer.proc_count = strategy.proc_count
+    answer.from_cache = strategy.from_cache
+    if result is not None:
+        records = [
+            r for r in result.engine.records.values() if r.proc == query.proc
+        ]
+        sites = _check_proc(cfg, records, rules, domain=result.domain)
+        if not result.ok:
+            answer.proc_status = (
+                "budget: " + "; ".join(str(d) for d in result.diagnostics)
+            )
+            sites = _degrade(sites)
+        answer.sites = sites
+    answer.sites = [
+        site
+        for site in answer.sites
+        if (query.line is None or site.line == query.line)
+        and (query.rule is None or site.rule_id == query.rule)
+    ]
+    answer.verdict = SafetyReport._aggregate([s.verdict for s in answer.sites])
+    answer.seconds = time.perf_counter() - started
+    return answer

@@ -12,9 +12,26 @@
 - :mod:`repro.core.assertions` -- assert/assume formulas and entailment
   checking (§6.3);
 - :mod:`repro.core.equivalence` -- procedure equivalence checking (§6.4);
+- :mod:`repro.core.strategy` -- pluggable inter-procedural strategies
+  (exhaustive bottom-up tabulation vs. demand-driven backward-cone
+  queries);
 - :mod:`repro.core.api` -- the user-facing :class:`Analyzer` facade.
 """
 
 from repro.core.api import Analyzer, AnalysisResult, choose_patterns
+from repro.core.strategy import (
+    DemandStrategy,
+    ExhaustiveStrategy,
+    InterProcStrategy,
+    backward_cone,
+)
 
-__all__ = ["Analyzer", "AnalysisResult", "choose_patterns"]
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "choose_patterns",
+    "InterProcStrategy",
+    "ExhaustiveStrategy",
+    "DemandStrategy",
+    "backward_cone",
+]

@@ -31,6 +31,12 @@ from repro.lang.typecheck import typecheck_program
 from repro.shape.abstract_heap import AbstractHeap
 from repro.shape.heap_set import HeapSet
 from repro.core.interproc import AnalysisBudgetExceeded, Engine
+from repro.core.strategy import (
+    DemandStrategy,
+    ExhaustiveStrategy,
+    InterProcStrategy,
+    backward_cone,
+)
 
 
 def choose_patterns(icfg: ICFG, proc: str) -> PatternSet:
@@ -170,6 +176,7 @@ class Analyzer:
         max_steps: Optional[int] = None,
         max_seconds: Optional[float] = None,
         engine_opts: Optional[EngineOptions] = None,
+        strategy: Optional[InterProcStrategy] = None,
     ) -> AnalysisResult:
         ldw = self.make_domain(domain, proc, patterns)
         if strengthen_hook is not None and hasattr(strengthen_hook, "au_domain"):
@@ -189,18 +196,21 @@ class Analyzer:
         )
         diagnostics: List[Diagnostic] = []
         try:
-            engine.analyze(proc)
+            engine.analyze(proc, strategy=strategy)
         except AnalysisBudgetExceeded as exc:
             diagnostics.append(Diagnostic.from_budget(exc))
         finally:
             engine.telemetry.close()
+        stats = engine.stats()
+        if strategy is not None:
+            stats.update(strategy.stats())
         return AnalysisResult(
             proc=proc,
             domain_name=domain,
             domain=ldw,
             summaries=engine.summaries_of(proc),
             engine=engine,
-            stats=engine.stats(),
+            stats=stats,
             diagnostics=diagnostics,
         )
 

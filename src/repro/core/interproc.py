@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.strategy import InterProcStrategy
 
 from repro.datawords.base import LDWDomain
 from repro.engine import EngineOptions, FifoScheduler, Scheduler, SummaryCache
@@ -169,7 +172,9 @@ class Engine:
         self.cache: Optional[SummaryCache] = (
             self.opts.cache if self.opts.use_cache else None
         )
+        self.wants_point_states = bool(self.opts.point_states)
         self.from_cache = False  # did the last analyze() restore a cached run?
+        self.strategy: Optional["InterProcStrategy"] = None
         # Baseline of the process-wide exact-LP memo, so stats() can
         # report this run's hits/misses rather than cumulative totals.
         from repro.numeric import simplex as _simplex
@@ -308,28 +313,71 @@ class Engine:
                 key = self.worklist.pop()
                 self._analyze_record(key)
 
-    def analyze(self, proc: str) -> List[Record]:
-        """Analyze a procedure from its most-general entries; returns the
-        records (one per entry shape).
+    def analyze(
+        self, proc: str, strategy: Optional["InterProcStrategy"] = None
+    ) -> List[Record]:
+        """Analyze a procedure through an inter-procedural strategy.
+
+        The default :class:`repro.core.strategy.ExhaustiveStrategy` is
+        the paper's bottom-up summary tabulation from the procedure's
+        most-general entries; :class:`repro.core.strategy.DemandStrategy`
+        scopes the run to the backward-relevant call cone of a single
+        program-point query.  Returns the root records (one per entry
+        shape).
+        """
+        from repro.core.strategy import ExhaustiveStrategy
+
+        if strategy is None:
+            strategy = ExhaustiveStrategy()
+        self.strategy = strategy
+        return strategy.run(self, proc)
+
+    def tabulate_root(self, proc: str) -> List[Record]:
+        """Tabulate a procedure from its most-general entries; returns
+        the records (one per entry shape).  Strategies share this as the
+        underlying fixpoint driver, which keeps their verdicts
+        bit-identical by construction.
 
         When a summary cache is configured and holds this exact run
         (program, procedure, domain, patterns, fold bound, hooks), the
         whole record table is restored from it and no fixpoint runs.
+        Under ``EngineOptions.point_states`` the cached payload must also
+        carry per-node state tables; a cached run recorded without them
+        is recomputed and the cache entry upgraded in place.
         """
         self.from_cache = False
         cache_key = self._cache_key(proc)
         if cache_key is not None and self.cache is not None:
             payload = self.cache.get(cache_key)
             if payload is not None:
-                self.telemetry.count("cache.hits")
-                self.telemetry.event("cache.hit", proc=proc)
-                return self._restore_run(payload, proc)
-            self.telemetry.count("cache.misses")
-            self.telemetry.event("cache.miss", proc=proc)
+                records_part, states_part = payload_parts(payload)
+                if states_part is not None or not self.wants_point_states:
+                    self.telemetry.count("cache.hits")
+                    self.telemetry.event("cache.hit", proc=proc)
+                    return self._notify_recorder(
+                        self._restore_run(records_part, states_part, proc)
+                    )
+                # The cached run predates this point_states request:
+                # recompute and upgrade the entry so the next hit
+                # carries the state tables.
+                self.telemetry.count("cache.state_upgrades")
+                self.telemetry.event("cache.state_upgrade", proc=proc)
+            else:
+                self.telemetry.count("cache.misses")
+                self.telemetry.event("cache.miss", proc=proc)
         records = [self.get_record(proc, e) for e in self.generic_entries(proc)]
         self.run()
         if cache_key is not None and self.cache is not None:
             self.cache.put(cache_key, self._run_payload())
+        return self._notify_recorder(records)
+
+    def _notify_recorder(self, records: List[Record]) -> List[Record]:
+        """Invoke a callable ``point_states`` recorder on every finished
+        record (fresh or cache-restored), in deterministic table order."""
+        recorder = self.opts.point_states if callable(self.opts.point_states) else None
+        if recorder is not None:
+            for record in self.records.values():
+                recorder(record)
         return records
 
     # -- run-level caching --------------------------------------------------------------------
@@ -351,18 +399,31 @@ class Engine:
             assume_tag,
         )
 
-    def _run_payload(self) -> List[Tuple[str, AbstractHeap, HeapSet]]:
-        return [
+    def _run_payload(self):
+        """The cacheable run result.  The compact legacy shape is a list
+        of ``(proc, entry, summary)`` triples; runs recorded under
+        ``point_states`` use the dict shape that additionally carries
+        each record's per-node state table (same order)."""
+        records = [
             (record.proc, record.entry, record.summary)
             for record in self.records.values()
         ]
+        if not self.wants_point_states:
+            return records
+        return {
+            "records": records,
+            "states": [dict(record.states) for record in self.records.values()],
+        }
 
-    def _restore_run(self, payload, proc: str) -> List[Record]:
+    def _restore_run(self, records_payload, states_payload, proc: str) -> List[Record]:
         self.from_cache = True
-        for callee, entry, summary in payload:
+        for i, (callee, entry, summary) in enumerate(records_payload):
             key = self._record_key(callee, entry)
-            self.records[key] = Record(proc=callee, entry=entry, summary=summary)
-        self.telemetry.count("records.restored", len(payload))
+            record = Record(proc=callee, entry=entry, summary=summary)
+            if states_payload is not None:
+                record.states = dict(states_payload[i])
+            self.records[key] = record
+        self.telemetry.count("records.restored", len(records_payload))
         return [record for record in self.records.values() if record.proc == proc]
 
     # -- intra-procedural fixpoint ----------------------------------------------------------------
@@ -551,6 +612,8 @@ class Engine:
             "steps": self.steps,
             "from_cache": self.from_cache,
         }
+        if self.strategy is not None:
+            out["strategy"] = self.strategy.name
         out.update(self.telemetry.report())
         out["scheduler"] = self.worklist.stats()
         if self.cache is not None:
@@ -566,6 +629,15 @@ class Engine:
             "solve_entries": lp_now["solve_entries"],
         }
         return out
+
+
+def payload_parts(payload) -> Tuple[List[Tuple], Optional[List[Dict]]]:
+    """Split a cached run payload into ``(records, states-or-None)``,
+    accepting both the legacy list shape and the point-states dict shape
+    (old disk stores keep working either way)."""
+    if isinstance(payload, dict):
+        return payload["records"], payload.get("states")
+    return payload, None
 
 
 def _hook_tag(hook) -> Optional[str]:

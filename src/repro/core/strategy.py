@@ -1,0 +1,167 @@
+"""Pluggable inter-procedural analysis strategies.
+
+The tabulating engine of :mod:`repro.core.interproc` decides *how* one
+(procedure, entry configuration) record reaches its fixpoint; a strategy
+decides *which* records a run is about.  The interface follows the
+value-context formulation of Padhye–Khedker (VASCO) and the
+same-level-valid-path framing of Reps–Horwitz–Sagiv (IFDS): a *value
+context* here is a :class:`~repro.core.interproc.Record` — one procedure
+paired with one canonical entry heap — and the three context-transfer
+functions map onto existing engine pieces:
+
+===============  ==========================================================
+VASCO hook       this codebase
+===============  ==========================================================
+``callEntry``    :func:`repro.core.localheap.build_call_entry` (caller heap
+                 restricted to the callee frame, cutpoint-checked)
+``callExit``     :func:`repro.core.localheap.compose_return` (callee exit
+                 heap re-attached into the caller frame)
+``normalFlow``   :meth:`repro.core.transfer.Transfer.post` (intra-edge
+                 abstract post)
+===============  ==========================================================
+
+Both strategies drive the very same tabulation
+(:meth:`~repro.core.interproc.Engine.tabulate_root`), which makes their
+summaries — and every checker verdict derived from them — bit-identical
+by construction; the corpus-wide differential gate in
+``tests/test_query.py`` holds them to that.
+
+:class:`ExhaustiveStrategy`
+    the paper's bottom-up summary tabulation: analyze a root from its
+    most-general entries, creating callee records on demand.  This is
+    what every pre-existing caller gets by default.
+
+:class:`DemandStrategy`
+    answers a single program-point query.  Before running it computes
+    the *backward-relevant call cone* of the queried procedure over the
+    ICFG — the call-graph closure that is the only part of the program a
+    query's verdict can depend on (records are created on demand at call
+    edges, so the top-down tabulation from the root's entries can never
+    leave the cone) — and reuses cached whole-run summaries for
+    everything else: a warm query is a cache restore, never a fixpoint.
+    The cone is exposed for observability (``repro-lint --query``, the
+    service ``check`` verb and ``BENCH_query.json`` all report cone size
+    against whole-program procedure count).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.interproc import Engine, Record
+    from repro.lang.cfg import ICFG
+
+
+def backward_cone(icfg: "ICFG", proc: str) -> Tuple[str, ...]:
+    """The backward-relevant call cone of a query in ``proc``: the
+    call-graph closure of ``{proc}`` (the procedure plus its transitive
+    callees), sorted for determinism.
+
+    This is exactly the set of procedures whose records the top-down
+    tabulation from ``proc``'s entries may create, hence the only
+    procedures a per-point verdict inside ``proc`` can depend on.  A
+    mutual-recursion SCC is wholly inside the cone of any of its
+    members; procedures only *calling into* the cone are not (the
+    checker analyzes every root from its most-general entries, which
+    over-approximates all callers).
+    """
+    if proc not in icfg.cfgs:
+        raise KeyError(f"unknown procedure {proc!r}")
+    graph = icfg.call_graph()
+    seen = {proc}
+    stack = [proc]
+    while stack:
+        current = stack.pop()
+        for callee in graph.get(current, ()):
+            if callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return tuple(sorted(seen))
+
+
+class InterProcStrategy:
+    """How a run maps a root procedure onto tabulated records."""
+
+    name = "abstract"
+
+    def run(self, engine: "Engine", proc: str) -> List["Record"]:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Strategy-specific accounting merged into the run stats."""
+        return {"strategy": self.name}
+
+
+class ExhaustiveStrategy(InterProcStrategy):
+    """The bottom-up summary tabulator (paper §4), unchanged semantics:
+    analyze the root from its most-general entry configurations; callee
+    records come into existence on demand at call edges and the SCC
+    scheduler drives the condensation bottom-up."""
+
+    name = "exhaustive"
+
+    def run(self, engine: "Engine", proc: str) -> List["Record"]:
+        return engine.tabulate_root(proc)
+
+
+class DemandStrategy(InterProcStrategy):
+    """Scope a run to one query's backward-relevant call cone.
+
+    ``target`` defaults to the analyzed root.  After :meth:`run`,
+    ``cone`` holds the cone members and ``proc_count`` the
+    whole-program procedure count — the demand-vs-exhaustive work ratio
+    every query surface reports.  The tabulation itself is shared with
+    :class:`ExhaustiveStrategy` (same entries, same scheduler, same
+    widening points), so demand answers match exhaustive answers
+    bit-for-bit; the saving is that *only* the cone is ever analyzed
+    (one root instead of every procedure in the program) and that warm
+    queries restore the root's cached run — including per-point state
+    tables under ``EngineOptions.point_states`` — without running any
+    fixpoint.
+    """
+
+    name = "demand"
+
+    def __init__(self, target: Optional[str] = None):
+        self.target = target
+        self.cone: Tuple[str, ...] = ()
+        self.proc_count = 0
+        self.from_cache = False
+
+    def run(self, engine: "Engine", proc: str) -> List["Record"]:
+        target = self.target or proc
+        if target != proc:
+            raise ValueError(
+                f"demand strategy targets {target!r} but was run on {proc!r}"
+            )
+        self.cone = backward_cone(engine.icfg, target)
+        self.proc_count = len(engine.icfg.cfgs)
+        engine.telemetry.count("demand.queries")
+        engine.telemetry.event(
+            "demand.cone",
+            proc=target,
+            cone=len(self.cone),
+            procs=self.proc_count,
+        )
+        records = engine.tabulate_root(target)
+        self.from_cache = engine.from_cache
+        # The tabulation can only have created records inside the cone;
+        # anything else would be a cone-computation bug worth failing
+        # loudly on (the differential gate relies on this invariant).
+        outside = {r.proc for r in engine.records.values()} - set(self.cone)
+        if outside:
+            raise AssertionError(
+                f"demand analysis of {target!r} left its backward cone: "
+                f"{sorted(outside)}"
+            )
+        return records
+
+    def stats(self) -> dict:
+        return {
+            "strategy": self.name,
+            "cone_size": len(self.cone),
+            "proc_count": self.proc_count,
+            "cone": list(self.cone),
+            "from_cache": self.from_cache,
+        }

@@ -49,11 +49,25 @@ class EngineOptions:
     FIFO (kept for differential testing).  ``cache`` is a shared
     :class:`SummaryCache`; ``use_cache=False`` bypasses it for one run.
     ``trace_path``/``collect_events`` opt into the JSONL event trace.
+
+    ``point_states`` makes per-program-point abstract states a
+    first-class run output: every ``Record.states`` is guaranteed
+    populated after ``analyze`` even when the run is answered from the
+    summary cache (state tables ride along in the cached payload, and a
+    cached run recorded without them is transparently recomputed and
+    upgraded in place).  Pass a callable instead of ``True`` to also
+    have it invoked with each finished :class:`Record` — a streaming
+    recorder hook for checkers that consume states as they appear.
+    Before this capability existed, per-point consumers (the Tier-B
+    safety checker, the termination prover) had to run with
+    ``use_cache=False``, which is exactly the anti-pattern it replaces.
     """
 
     scheduler: str = "scc"
     cache: Optional[SummaryCache] = None
     use_cache: bool = True
+    # False | True | callable(record) -> None (see class docstring).
+    point_states: object = False
     trace_path: Optional[str] = None
     collect_events: bool = False
     max_record_iterations: int = 60

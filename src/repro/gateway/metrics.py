@@ -35,6 +35,9 @@ QUANTILES = (("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0))
 _LABELLED_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
     # (dotted prefix, metric family, label name)
     ("checker.rule.", "repro_checker_rule_total", "rule"),
+    # query.warm / query.cold -> repro_query_total{mode="warm"|"cold"};
+    # the query.latency_ms window renders as a summary separately.
+    ("query.", "repro_query_total", "mode"),
     ("requests.", "repro_requests_total", "verb"),
     ("shed.", "repro_shed_total", "reason"),
 )

@@ -578,10 +578,29 @@ class AnalysisGateway:
         """The ``check`` verb with warm per-proc reuse; findings are
         cached per ``tenant/program_id`` via the shared
         :class:`CheckFindingCache` (identical invalidation keys to the
-        single-process daemon)."""
+        single-process daemon).  A ``query`` field switches to the
+        demand path (one obligation, backward-cone analysis, cached
+        answer -- see :mod:`repro.service.queries`)."""
         request = job.request
         program_id = str(request.get("program_id", "default"))
         cache_id = f"{job.tenant}/{program_id}"
+        if request.get("query") is not None:
+            from repro.service.jobs import run_query_request
+            from repro.service.queries import execute_query
+
+            return execute_query(
+                self._check_cache,
+                self.telemetry,
+                request,
+                program,
+                budget,
+                lambda payload: self._run_pool_task(
+                    request, "check", run_query_request, payload, budget,
+                    raw_result=True,
+                ),
+                cache_id=cache_id,
+                extra={"tenant": job.tenant},
+            )
         tier = str(request.get("tier", "all"))
         if tier not in ("lint", "safety", "termination", "all"):
             return P.error_response(

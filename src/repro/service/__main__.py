@@ -20,6 +20,11 @@ Examples::
 
     # assertion verdicts as structured diagnostics
     python -m repro.service submit prog.lisl --addr 127.0.0.1:7341 --check-asserts
+
+    # one program-point obligation on demand (backward-cone analysis;
+    # warm answers come from the server's cone-keyed query cache)
+    python -m repro.service submit prog.lisl --addr 127.0.0.1:7341 \
+        --check --query reverse:12:safety.null-deref
 """
 
 from __future__ import annotations
@@ -73,11 +78,20 @@ def _print_response(response, as_json: bool) -> int:
             print(f"  {task_id}: {len(hashes)} summarie(s)")
         _print_diagnostics(result.get("diagnostics"))
     elif response.get("verb") == "check":
-        print(
-            f"check: {len(result.get('checked', []))} proc(s) checked, "
-            f"{len(result.get('reused', []))} reused from cache "
-            f"({'clean' if result.get('ok') else 'findings'})"
-        )
+        if "query" in result:
+            answer = result["query"]
+            print(
+                f"query {answer['query']['proc']}: verdict "
+                f"{answer.get('verdict') or 'no-obligation'} "
+                f"({result.get('mode')}, cone {answer.get('cone_size')}/"
+                f"{answer.get('proc_count')} procs)"
+            )
+        else:
+            print(
+                f"check: {len(result.get('checked', []))} proc(s) checked, "
+                f"{len(result.get('reused', []))} reused from cache "
+                f"({'clean' if result.get('ok') else 'findings'})"
+            )
         _print_diagnostics(result.get("diagnostics"))
     elif response.get("verb") in ("status", "flush", "shutdown"):
         print(json.dumps(result, indent=2, default=repr))
@@ -138,6 +152,7 @@ def _submit_once(client: ServiceClient, args, source: str) -> int:
             k=args.k,
             program_id=args.program_id,
             max_seconds=args.budget,
+            query=args.query,
         )
         return _print_response(response, args.json)
     if args.check_asserts:
@@ -248,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the two-tier lint/safety checker")
         cp.add_argument("--tier", choices=("lint", "safety", "all"),
                         default="all", help="checker tier(s) for --check")
+        cp.add_argument("--query", type=str, default=None,
+                        metavar="PROC:LINE[:RULE]",
+                        help="with --check: answer one program-point "
+                             "obligation on demand (line 0 = whole "
+                             "procedure)")
         cp.add_argument("--json", action="store_true",
                         help="print the raw JSON response")
         if name == "watch":

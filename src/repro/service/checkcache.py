@@ -22,8 +22,9 @@ both front ends touch it from worker threads.
 
 from __future__ import annotations
 
+import copy
 import threading
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class CheckFindingCache:
@@ -34,7 +35,9 @@ class CheckFindingCache:
         # program_id -> {"config": (tier, domain, k),
         #                "procs": {proc: {"lint": (key, [records]),
         #                                 "safety": (key, [records], status),
-        #                                 "termination": (key, [records], status)}}}
+        #                                 "termination": (key, [records], status)}},
+        #                "queries": {(proc, line, rule, domain, k):
+        #                            (cone key, answer JSON)}}
         self._caches: Dict[str, Dict[str, Any]] = {}
 
     @staticmethod
@@ -160,16 +163,57 @@ class CheckFindingCache:
         )
         return records, proc_status
 
+    # -- demand-query answers --------------------------------------------------
+    #
+    # A query answer for (proc, line, rule, domain, k) is a pure function
+    # of the proc's backward call cone, so it is cached under the same
+    # cone-fingerprint key Tier-B findings use.  The query cache is keyed
+    # independently of the check verb's (tier, domain, k) config -- a
+    # query carries its own domain/k in its key -- but ``partition``'s
+    # config-change clear wipes it along with everything else (it is only
+    # a cache).
+
+    def query_get(
+        self,
+        program_id: str,
+        query_key: Tuple,
+        cone_key: str,
+    ) -> Optional[Dict[str, Any]]:
+        """The cached answer, or None when missing or cone-stale."""
+        with self._lock:
+            cache = self._caches.get(program_id) or {}
+            entry = (cache.get("queries") or {}).get(query_key)
+            if entry is None or entry[0] != cone_key:
+                return None
+            return copy.deepcopy(entry[1])
+
+    def query_put(
+        self,
+        program_id: str,
+        query_key: Tuple,
+        cone_key: str,
+        answer: Dict[str, Any],
+    ) -> None:
+        with self._lock:
+            cache = self._caches.setdefault(program_id, {})
+            cache.setdefault("queries", {})[query_key] = (
+                cone_key,
+                copy.deepcopy(answer),
+            )
+
     def flush(self, program_id: Any = None) -> int:
-        """Drop cached findings (one program or all); returns the count
-        of dropped per-procedure entries."""
+        """Drop cached findings and query answers (one program or all);
+        returns the count of dropped entries."""
+
+        def _size(cache: Dict[str, Any]) -> int:
+            return len(cache.get("procs") or {}) + len(cache.get("queries") or {})
+
         dropped = 0
         with self._lock:
             if program_id is None:
                 for cache in self._caches.values():
-                    dropped += len(cache.get("procs") or {})
+                    dropped += _size(cache)
                 self._caches.clear()
             elif program_id in self._caches:
-                cache = self._caches.pop(program_id)
-                dropped += len(cache.get("procs") or {})
+                dropped += _size(self._caches.pop(program_id))
         return dropped

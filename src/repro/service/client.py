@@ -174,8 +174,16 @@ class ServiceClient:
         max_seconds: Optional[float] = None,
         tenant: Optional[str] = None,
         deadline_ms: Optional[int] = None,
+        query: Optional[Any] = None,
     ) -> Dict[str, Any]:
-        """Run the two-tier checker; warm runs reuse per-proc findings."""
+        """Run the two-tier checker; warm runs reuse per-proc findings.
+
+        ``query`` switches to the demand path: a ``"PROC:LINE[:RULE]"``
+        string (line 0 = whole procedure) or a ``{"proc", "line",
+        "rule"}`` object answers that one obligation via backward-cone
+        analysis, with the answer cached server-side under the
+        procedure's cone-fingerprint key (warm queries skip analysis
+        entirely)."""
         fields: Dict[str, Any] = {
             "source": source,
             "tier": tier,
@@ -187,6 +195,8 @@ class ServiceClient:
             fields["procs"] = list(procs)
         if max_seconds is not None:
             fields["max_seconds"] = max_seconds
+        if query is not None:
+            fields["query"] = query
         self._tenant_fields(fields, tenant, deadline_ms)
         return self.request("check", **fields)
 

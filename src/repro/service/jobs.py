@@ -46,6 +46,22 @@ class CheckRequest:
 
 
 @dataclass
+class QueryRequest:
+    """Answer one program-point obligation on demand (``check`` verb
+    with a ``query`` field): analyzed through
+    :class:`repro.core.strategy.DemandStrategy`, so only the queried
+    procedure's backward call cone is ever tabulated."""
+
+    program: Any  # normalized repro.lang.ast.Program
+    proc: str = ""
+    line: Optional[int] = None  # None = the whole procedure
+    rule: Optional[str] = None  # None = every Tier-B safety rule
+    domain: str = "am"
+    k: int = 0
+    max_seconds: Optional[float] = None
+
+
+@dataclass
 class EquivalenceRequest:
     """Prove two sorting-like procedures equivalent (paper §6.4)."""
 
@@ -172,6 +188,26 @@ def run_check_request(request: CheckRequest) -> Dict[str, Any]:
         out["stats"]["termination_seconds"] = round(report.seconds, 6)
         out["stats"]["termination_verdicts"] = report.counts()
     return out
+
+
+def run_query_request(request: QueryRequest) -> Dict[str, Any]:
+    """Worker entry point: one demand-query answer as plain JSON
+    (verdict, findings, cone accounting -- see
+    :meth:`repro.checker.safety.QueryAnswer.to_json`)."""
+    from repro.core.api import Analyzer
+    from repro.checker.safety import Query, SafetyOptions, answer_query
+
+    analyzer = Analyzer(request.program)
+    answer = answer_query(
+        analyzer,
+        Query(proc=request.proc, line=request.line, rule=request.rule),
+        SafetyOptions(
+            domain=request.domain,
+            k=request.k,
+            max_seconds=request.max_seconds,
+        ),
+    )
+    return answer.to_json()
 
 
 def run_equivalence_request(request: EquivalenceRequest) -> Dict[str, Any]:

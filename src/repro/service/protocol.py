@@ -21,6 +21,11 @@ Grammar (see DESIGN.md §10 for the full field tables)::
                          "result"?: object, "telemetry"?: object,
                          "error"?: { "kind": str, "message": str } } )
 
+The ``check`` verb optionally carries a ``query`` field — a
+``"PROC:LINE[:RULE]"`` string or a ``{"proc", "line", "rule"}`` object —
+switching it to a single demand-driven obligation answered via
+backward-cone analysis (see :mod:`repro.service.queries`).
+
 Oversized lines (> ``MAX_LINE_BYTES``) and malformed JSON yield a
 ``bad_request`` error response rather than a dropped connection.
 """
@@ -88,6 +93,30 @@ def validate_request(message: Dict[str, Any]) -> str:
         message.get("source"), str
     ):
         raise ProtocolError(f"verb {verb!r} requires a string 'source'")
+    if verb == "check" and message.get("query") is not None:
+        query = message["query"]
+        if isinstance(query, dict):
+            if not isinstance(query.get("proc"), str) or not query["proc"]:
+                raise ProtocolError(
+                    "check 'query' object requires a non-empty string 'proc'"
+                )
+            if query.get("line") is not None and not isinstance(
+                query["line"], int
+            ):
+                raise ProtocolError(
+                    "check 'query' line must be an integer or null"
+                )
+            if query.get("rule") is not None and not isinstance(
+                query["rule"], str
+            ):
+                raise ProtocolError(
+                    "check 'query' rule must be a string or null"
+                )
+        elif not isinstance(query, str):
+            raise ProtocolError(
+                "check 'query' must be a 'PROC:LINE[:RULE]' string or an "
+                "object with 'proc'/'line'/'rule'"
+            )
     if verb == "equivalence":
         if not isinstance(message.get("source"), str):
             raise ProtocolError("verb 'equivalence' requires a string 'source'")

@@ -510,7 +510,54 @@ class AnalysisServer:
         fingerprint — the same key the incremental analyzer trusts —
         plus the same line signature.  Only procedures whose key changed
         are re-dispatched; the rest answer from the cache.
+
+        A request with a ``query`` field is a demand query instead: one
+        (proc, line, rule) obligation answered through the backward-cone
+        :class:`~repro.core.strategy.DemandStrategy`, cached under the
+        cone-fingerprint key (see :mod:`repro.service.queries`).
         """
+        if request.get("query") is not None:
+            from repro.service.jobs import run_query_request
+            from repro.service.queries import execute_query
+
+            def run_query(payload):
+                if self.config.jobs == 0:
+                    return run_query_request(payload)
+                from repro.parallel.pool import OK, PoolTask, WorkerPool
+
+                pool = WorkerPool(jobs=1, hard_grace=self.config.hard_grace)
+                (outcome,) = pool.run(
+                    [
+                        PoolTask(
+                            task_id="query",
+                            fn=run_query_request,
+                            args=(payload,),
+                            budget=max_seconds,
+                        )
+                    ]
+                )
+                if outcome.status != OK:
+                    self.telemetry.count(f"requests.check.{outcome.status}")
+                    record = D.from_task_error(outcome.status, outcome.error)
+                    return P.error_response(
+                        request,
+                        outcome.status,
+                        (outcome.error or {}).get(
+                            "message", f"task {outcome.status}"
+                        ),
+                        "check",
+                        diagnostics=D.run_envelope([record]),
+                    )
+                return outcome.result
+
+            return execute_query(
+                self._check_cache,
+                self.telemetry,
+                request,
+                program,
+                max_seconds,
+                run_query,
+            )
         program_id = str(request.get("program_id", "default"))
         tier = str(request.get("tier", "all"))
         if tier not in ("lint", "safety", "termination", "all"):

@@ -218,7 +218,7 @@ def check_termination(
                 k=opts.k,
                 max_steps=opts.max_steps,
                 max_seconds=remaining,
-                engine_opts=EngineOptions(use_cache=False),
+                engine_opts=EngineOptions(point_states=True),
             )
         except CutpointError as exc:
             report.proc_status[proc] = f"cutpoint: {exc}"
